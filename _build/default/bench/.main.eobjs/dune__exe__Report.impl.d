@@ -1,0 +1,1 @@
+bench/report.ml: Buffer List Printf String

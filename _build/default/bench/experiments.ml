@@ -1,0 +1,876 @@
+(* The experiment implementations: one entry per table and figure of
+   the paper's evaluation section (see DESIGN.md's per-experiment
+   index).  Heavy simulator runs are shared: the 6-benchmark x 4-mode
+   result matrix is computed once and reused by Table V and Figures 11,
+   13 and 15. *)
+
+module Config = Nvml_arch.Config
+module Cpu = Nvml_arch.Cpu
+module Hw_cost = Nvml_arch.Hw_cost
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+module Checks = Nvml_core.Checks
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Registry = Nvml_structures.Registry
+module Workload = Nvml_ycsb.Workload
+module Harness = Nvml_kvstore.Harness
+module Matrix = Nvml_mlkit.Matrix
+module Iris = Nvml_mlkit.Iris
+module Knn = Nvml_mlkit.Knn
+module Interp = Nvml_minic.Interp
+module Corpus = Nvml_minic.Corpus
+module Inference = Nvml_comp.Inference
+open Report
+
+type ctx = { spec : Workload.spec; verbose : bool }
+
+let benchmarks = Registry.benchmark_names (* LL Hash RB Splay AVL SG *)
+
+(* --- shared benchmark matrix -------------------------------------------- *)
+
+let matrix_cache : (string * Runtime.mode, Harness.result) Hashtbl.t =
+  Hashtbl.create 32
+
+let run_one ctx ?cfg name mode =
+  if ctx.verbose then
+    Printf.eprintf "  [run] %s / %s...\n%!" name (Runtime.mode_name mode);
+  Harness.run_benchmark name ~mode ?cfg ctx.spec
+
+let matrix ctx name mode =
+  match Hashtbl.find_opt matrix_cache (name, mode) with
+  | Some r -> r
+  | None ->
+      let r = run_one ctx name mode in
+      Hashtbl.replace matrix_cache (name, mode) r;
+      r
+
+let norm_cycles ctx name mode =
+  let r = matrix ctx name mode in
+  let v = matrix ctx name Runtime.Volatile in
+  float_of_int r.Harness.run.Cpu.cycles /. float_of_int v.Harness.run.Cpu.cycles
+
+(* --- Table II ------------------------------------------------------------ *)
+
+let table2 _ctx =
+  heading "Table II: storage cost of the hardware structures (45 nm)";
+  let structures = Hw_cost.of_config Config.default in
+  table
+    ~header:[ "Structure"; "Entry (B)"; "Entries"; "Total (B)"; "Area (mm^2)" ]
+    (List.map
+       (fun s ->
+         [
+           s.Hw_cost.name;
+           int_ s.Hw_cost.entry_bytes;
+           int_ s.Hw_cost.num_entries;
+           int_ (Hw_cost.total_bytes s);
+           Printf.sprintf "%.4f" (Hw_cost.area_mm2 s);
+         ])
+       structures);
+  Printf.printf
+    "Total size: %s bytes; total area: %.4f mm^2 (%.3f%% of an 81 mm^2 die)\n"
+    (with_commas (Hw_cost.total_bytes_all structures))
+    (Hw_cost.total_area_all structures)
+    (100. *. Hw_cost.fraction_of_die structures);
+  Printf.printf "Paper: 1,280 bytes total, 0.0479 mm^2, 0.059%% of die.\n"
+
+(* --- Table III ------------------------------------------------------------ *)
+
+let table3 _ctx =
+  heading "Table III: benchmark data structures";
+  let module S = Nvml_structures in
+  let node_bytes = function
+    | "LL" -> S.Linked_list.node_size
+    | "Hash" -> S.Hash_table.node_size
+    | "RB" -> S.Rb_tree.node_size
+    | "Splay" -> S.Splay_tree.node_size
+    | "AVL" -> S.Avl_tree.node_size
+    | "SG" -> S.Scapegoat_tree.node_size
+    | _ -> 0
+  in
+  let describe = function
+    | "LL" -> S.Linked_list.description
+    | "Hash" -> S.Hash_table.description
+    | "RB" -> S.Rb_tree.description
+    | "Splay" -> S.Splay_tree.description
+    | "AVL" -> S.Avl_tree.description
+    | "SG" -> S.Scapegoat_tree.description
+    | _ -> ""
+  in
+  table
+    ~header:[ "Benchmark"; "Node (B)"; "Implementation" ]
+    (List.map
+       (fun n -> [ n; int_ (node_bytes n); describe n ])
+       benchmarks);
+  Printf.printf
+    "(The paper instantiates these from Boost, 22,206 lines of library code;\n\
+    \ here each is implemented from scratch over the simulated-memory runtime.)\n"
+
+(* --- Table IV -------------------------------------------------------------- *)
+
+let table4 _ctx =
+  heading "Table IV: simulator parameters";
+  table ~header:[ "Component"; "Parameter" ]
+    (List.map (fun (k, v) -> [ k; v ]) (Config.rows Config.default))
+
+(* --- Table V ---------------------------------------------------------------- *)
+
+let table5 ctx =
+  heading "Table V: dynamic checks and conversions (SW version)";
+  table
+    ~header:[ "Benchmark"; "dynamic checks"; "abs. to rel."; "rel. to abs." ]
+    (List.map
+       (fun name ->
+         let r = matrix ctx name Runtime.Sw in
+         [
+           name;
+           with_commas r.Harness.checks.Harness.dynamic_checks;
+           with_commas r.Harness.checks.Harness.abs_to_rel;
+           with_commas r.Harness.checks.Harness.rel_to_abs;
+         ])
+       benchmarks);
+  Printf.printf
+    "Paper magnitudes (100k ops): LL 8.2M, Hash 2.6M, RB 14.5M, Splay 25.6M,\n\
+     AVL 14.4M, SG 18.1M dynamic checks.\n"
+
+(* --- Figure 11 --------------------------------------------------------------- *)
+
+let fig11 ctx =
+  heading
+    "Figure 11: execution time normalized to the volatile version (lower is \
+     better)";
+  let rows =
+    List.map
+      (fun name ->
+        [
+          name;
+          f3 (norm_cycles ctx name Runtime.Explicit);
+          f3 (norm_cycles ctx name Runtime.Sw);
+          f3 (norm_cycles ctx name Runtime.Hw);
+        ])
+      benchmarks
+  in
+  table ~header:[ "Benchmark"; "Explicit"; "SW"; "HW" ] rows;
+  let gm mode = geomean (List.map (fun n -> norm_cycles ctx n mode) benchmarks) in
+  Printf.printf
+    "Geomean: Explicit %.3f, SW %.3f, HW %.3f; HW speedup over Explicit %.2fx\n"
+    (gm Runtime.Explicit) (gm Runtime.Sw) (gm Runtime.Hw)
+    (gm Runtime.Explicit /. gm Runtime.Hw);
+  Printf.printf
+    "Paper shape: SW ~2.75x average; HW <= 1.12x; HW beats Explicit by ~1.33x.\n"
+
+(* --- Figure 12 ---------------------------------------------------------------- *)
+
+let fig12 _ctx =
+  heading
+    "Figure 12: translation reuse — one loaded pointer, many field accesses";
+  let site = Site.make "fig12.harness" in
+  let run mode =
+    let rt = Runtime.create ~mode () in
+    let pool = Runtime.create_pool rt ~name:"p" ~size:(1 lsl 20) in
+    let a = Runtime.alloc_in rt (Runtime.Pool_region pool) 64 in
+    let b = Runtime.alloc_in rt (Runtime.Pool_region pool) 64 in
+    Runtime.store_ptr rt ~site a ~off:0 b;
+    let s0 = Runtime.snapshot rt in
+    (* codelet: q = a->ptr; then 6 field reads through q *)
+    let q = Runtime.load_ptr rt ~site a ~off:0 in
+    for i = 0 to 5 do
+      ignore (Runtime.load_word rt ~site q ~off:(8 * i))
+    done;
+    let s1 = Runtime.snapshot rt in
+    (Cpu.diff_snapshot s1 s0).Cpu.polb_accesses
+  in
+  table
+    ~header:[ "Version"; "address translations for 1 pointer + 6 reads" ]
+    [
+      [ "HW (user-transparent)"; int_ (run Runtime.Hw) ];
+      [ "Explicit"; int_ (run Runtime.Explicit) ];
+    ];
+  Printf.printf
+    "The HW version converts once when the pointer is materialized and reuses\n\
+     the virtual address; the explicit version translates at every access.\n"
+
+(* --- Figure 13 ----------------------------------------------------------------- *)
+
+let fig13 ctx =
+  heading
+    "Figure 13: branch mispredictions normalized to the volatile version";
+  let mp name mode =
+    let r = matrix ctx name mode in
+    let v = matrix ctx name Runtime.Volatile in
+    float_of_int r.Harness.run.Cpu.branch_mispredicts
+    /. float_of_int (max 1 v.Harness.run.Cpu.branch_mispredicts)
+  in
+  table
+    ~header:[ "Benchmark"; "SW"; "HW"; "Explicit" ]
+    (List.map
+       (fun name ->
+         [
+           name;
+           f2 (mp name Runtime.Sw);
+           f2 (mp name Runtime.Hw);
+           f2 (mp name Runtime.Explicit);
+         ])
+       benchmarks);
+  Printf.printf
+    "Paper shape: SW mispredicts 6.7x - 2944x more than HW; HW ~= volatile.\n"
+
+(* --- Figure 14 ------------------------------------------------------------------ *)
+
+let fig14 ctx =
+  heading
+    "Figure 14: HW execution time vs VALB/VAW latency, normalized to Explicit";
+  let latencies = [ 3; 10; 25; 50 ] in
+  let header = "Benchmark" :: List.map (fun l -> Printf.sprintf "%dcyc" l) latencies in
+  let rows =
+    List.map
+      (fun name ->
+        let explicit =
+          float_of_int (matrix ctx name Runtime.Explicit).Harness.run.Cpu.cycles
+        in
+        name
+        :: List.map
+             (fun lat ->
+               let cfg =
+                 { Config.default with Config.valb_latency = lat;
+                   vatb_node_latency = lat }
+               in
+               let r = run_one ctx ~cfg name Runtime.Hw in
+               f3 (float_of_int r.Harness.run.Cpu.cycles /. explicit))
+             latencies)
+      benchmarks
+  in
+  table ~header rows;
+  Printf.printf
+    "Paper shape: even 50-cycle VALB/VAW latency costs < 10%% — storeP is rare\n\
+     and its translations are hidden in the storeP unit.\n"
+
+(* --- Figure 15 ------------------------------------------------------------------- *)
+
+let fig15 ctx =
+  heading
+    "Figure 15: fraction of memory accesses using the translation hardware (HW)";
+  table
+    ~header:[ "Benchmark"; "storeP"; "VALB/VAW"; "POLB/POW" ]
+    (List.map
+       (fun name ->
+         let s = (matrix ctx name Runtime.Hw).Harness.run in
+         let m = float_of_int (max 1 s.Cpu.mem_accesses) in
+         [
+           name;
+           pct (float_of_int s.Cpu.storeps /. m);
+           pct (float_of_int s.Cpu.valb_accesses /. m);
+           pct (float_of_int s.Cpu.polb_accesses /. m);
+         ])
+       benchmarks);
+  Printf.printf
+    "Paper: 0.38%% of accesses are storeP, 0.22%% touch the VALB/VAW, 12.6%%\n\
+     touch the POLB/POW.\n"
+
+(* --- KNN case study ------------------------------------------------------------- *)
+
+let knn_run mode =
+  let rt = Runtime.create ~mode () in
+  let pool =
+    match mode with
+    | Runtime.Volatile -> -1
+    | _ -> Runtime.create_pool rt ~name:"knn" ~size:(1 lsl 21)
+  in
+  let placement =
+    match mode with
+    | Runtime.Volatile -> Knn.all_dram
+    | _ -> Knn.paper_placement ~pool
+  in
+  let data = Iris.generate () in
+  let t =
+    Knn.create rt placement ~n:Iris.total_samples ~dims:Iris.features_per_sample
+      ~k:3
+  in
+  Knn.load_input t data.Iris.features;
+  let s0 = Runtime.snapshot rt in
+  Knn.run rt t;
+  let s1 = Runtime.snapshot rt in
+  (Knn.accuracy t data.Iris.labels, Cpu.diff_snapshot s1 s0)
+
+let knn _ctx =
+  heading "Case study (Sec. VII-E): KNN over iris, all matrices persisted but input";
+  let acc_v, vol = knn_run Runtime.Volatile in
+  let rows =
+    List.map
+      (fun mode ->
+        let acc, s = knn_run mode in
+        let m = float_of_int (max 1 s.Cpu.mem_accesses) in
+        [
+          Runtime.mode_name mode;
+          f3 (float_of_int s.Cpu.cycles /. float_of_int vol.Cpu.cycles);
+          pct (float_of_int s.Cpu.polb_accesses /. m);
+          Printf.sprintf "%.1f%%" (100. *. acc);
+        ])
+      [ Runtime.Volatile; Runtime.Hw; Runtime.Sw; Runtime.Explicit ]
+  in
+  ignore acc_v;
+  table ~header:[ "Version"; "Norm. time"; "translating accesses"; "accuracy" ] rows;
+  Printf.printf "Paper: HW marginal overhead (0.22%% of loads translate);\n";
+  Printf.printf "       SW sees 7.56x slowdown on this kernel.\n";
+  subheading "Productivity (lines/sites to change for NVM)";
+  let count_sites prefix =
+    List.length (List.filter (fun s -> not (Site.is_static s)) (Site.with_prefix prefix))
+  in
+  let matrix_sites = count_sites "matrix." in
+  let knn_sites = count_sites "knn." in
+  table
+    ~header:[ "Approach"; "This repro"; "Paper (KNN/MLPack)" ]
+    [
+      [ "user-transparent: alloc lines changed"; "4 (matrix placements)"; "7 lines" ];
+      [
+        "explicit: pointer-op sites to rewrite";
+        Printf.sprintf "%d sites (matrix %d + knn %d) per placement combo"
+          (matrix_sites + knn_sites) matrix_sites knn_sites;
+        "863 lines, >10 objects, 32 functions";
+      ];
+      [ "explicit: DRAM/NVM placement combos"; "16 (4 matrices)"; "16 versions" ];
+    ]
+
+(* --- Fig. 9: generated code -------------------------------------------------------- *)
+
+let fig9_source =
+  {|
+struct Node { int value; struct Node* next; };
+void Append(struct Node* p, struct Node* n) {
+  if (p != n) {
+    p->next = n;
+  }
+  return;
+}
+int main() {
+  struct Node* a = (struct Node*) malloc(sizeof(struct Node));
+  struct Node* b = (struct Node*) malloc(sizeof(struct Node));
+  a->next = NULL;
+  Append(a, b);
+  return 0;
+}
+|}
+
+let fig9 _ctx =
+  heading "Figure 9: compiler-generated code for the linked-list Append";
+  let program = Nvml_minic.Parser.parse_program fig9_source in
+  subheading "input source";
+  print_endline (String.trim fig9_source);
+  subheading "after inference + check insertion (SW version)";
+  print_endline (Nvml_comp.Codegen.generated_source program);
+  let r = Inference.infer program in
+  Printf.printf
+    "\n%d of %d pointer-op sites kept their dynamic checks (the operands\n\
+     reaching Append are opaque parameters, exactly as in the paper).\n"
+    r.Inference.checked_sites r.Inference.total_sites
+
+(* --- soundness (Sec. VII-B) ------------------------------------------------------ *)
+
+let run_minic ?plan ~mode ~persistent program =
+  let rt = Runtime.create ~mode () in
+  let heap =
+    if persistent && mode <> Runtime.Volatile then
+      Runtime.Pool_region (Runtime.create_pool rt ~name:"heap" ~size:(1 lsl 22))
+    else Runtime.Dram_region
+  in
+  (Interp.run rt ?plan ~heap program ~args:[]).Interp.output
+
+let soundness _ctx =
+  heading "Soundness (Sec. VII-B): corpus under native vs pmalloc-everything heaps";
+  let total = ref 0 and passed = ref 0 in
+  let rows =
+    List.map
+      (fun (name, program) ->
+        let reference = run_minic ~mode:Runtime.Volatile ~persistent:false program in
+        let check mode persistent =
+          incr total;
+          let ok = run_minic ~mode ~persistent program = reference in
+          if ok then incr passed;
+          if ok then "ok" else "FAIL"
+        in
+        let plan_check () =
+          incr total;
+          let inference = Inference.infer program in
+          let plan = Inference.plan inference in
+          let ok =
+            run_minic ~plan ~mode:Runtime.Sw ~persistent:true program = reference
+          in
+          if ok then incr passed;
+          if ok then "ok" else "FAIL"
+        in
+        [
+          name;
+          check Runtime.Sw false;
+          check Runtime.Sw true;
+          check Runtime.Hw false;
+          check Runtime.Hw true;
+          plan_check ();
+        ])
+      Corpus.all
+  in
+  table
+    ~header:
+      [ "Program"; "SW/DRAM"; "SW/NVM"; "HW/DRAM"; "HW/NVM"; "SW+inference" ]
+    rows;
+  Printf.printf "%d/%d runs match the native output.\n" !passed !total;
+  Printf.printf
+    "(Paper: all 267 application + 1518 regression tests of the LLVM\n\
+    \ test-suite pass under the SW implementation.)\n"
+
+(* --- compiler inference (Sec. V-B) ------------------------------------------------ *)
+
+let compiler _ctx =
+  heading "Compiler pass: pointer-property inference, checks remaining per program";
+  let stats =
+    List.map
+      (fun (name, program) ->
+        let r = Inference.infer program in
+        (name, r.Inference.total_sites, r.Inference.checked_sites,
+         Inference.fraction_checked r))
+      Corpus.all
+  in
+  table
+    ~header:[ "Program"; "pointer-op sites"; "checked"; "% remaining" ]
+    (List.map
+       (fun (name, total, checked, frac) ->
+         [ name; int_ total; int_ checked; pct frac ])
+       stats);
+  let avg =
+    List.fold_left (fun acc (_, _, _, f) -> acc +. f) 0.0 stats
+    /. float_of_int (List.length stats)
+  in
+  let total = List.fold_left (fun acc (_, t, _, _) -> acc + t) 0 stats in
+  let checked = List.fold_left (fun acc (_, _, c, _) -> acc + c) 0 stats in
+  Printf.printf
+    "Average checks remaining: %.1f%% per program, %.1f%% site-weighted\n\
+     (paper: ~42%% on Boost; traversal-shaped programs here land at 32-83%%).\n"
+    (100. *. avg)
+    (100. *. float_of_int checked /. float_of_int total)
+
+(* --- productivity table ------------------------------------------------------------ *)
+
+let productivity _ctx =
+  heading "Productivity: migration cost, transparent vs explicit";
+  let prefixes =
+    [ ("LL", "ll."); ("Hash", "hash."); ("RB", "rb."); ("Splay", "splay.");
+      ("AVL", "avl."); ("SG", "sg."); ("Matrix+KNN", "matrix.") ]
+  in
+  table
+    ~header:
+      [ "Library"; "explicit: pointer-op sites to rewrite";
+        "transparent: lines changed" ]
+    (List.map
+       (fun (name, prefix) ->
+         let sites = List.length (Site.with_prefix prefix) in
+         [ name; int_ sites; "1 (allocator call)" ])
+       prefixes);
+  Printf.printf
+    "Reference points from the paper: porting Redis to PMDK changed 4,348\n\
+     lines (7.6%% of the codebase); migrating rocksDB's index added 4,117\n\
+     lines; the explicit KNN port changes 863 lines.\n"
+
+(* --- ablations ----------------------------------------------------------------------- *)
+
+(* Quantify the design choices DESIGN.md calls out: (1) the
+   translation-reuse register model behind the HW-vs-Explicit win and
+   the Fig. 14 flatness; (2) predictor capacity, which governs how much
+   of the SW slowdown is misprediction. *)
+let ablation ctx =
+  heading "Ablation 1: the keep-relative/translation-reuse optimization (HW)";
+  let bench_set = [ "RB"; "Splay"; "Hash" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let volatile =
+          float_of_int (matrix ctx name Runtime.Volatile).Harness.run.Cpu.cycles
+        in
+        let on = matrix ctx name Runtime.Hw in
+        let cfg_off = { Config.default with Config.keep_relative_opt = false } in
+        let off = run_one ctx ~cfg:cfg_off name Runtime.Hw in
+        let valb_frac (r : Harness.result) =
+          float_of_int r.Harness.run.Cpu.valb_accesses
+          /. float_of_int (max 1 r.Harness.run.Cpu.mem_accesses)
+        in
+        [
+          name;
+          f3 (float_of_int on.Harness.run.Cpu.cycles /. volatile);
+          f3 (float_of_int off.Harness.run.Cpu.cycles /. volatile);
+          pct (valb_frac on);
+          pct (valb_frac off);
+          int_ off.Harness.run.Cpu.storep_stall_cycles;
+        ])
+      bench_set
+  in
+  table
+    ~header:
+      [ "Benchmark"; "HW (reuse on)"; "HW (reuse off)"; "VALB on"; "VALB off";
+        "FSM stalls (off)" ]
+    rows;
+  Printf.printf
+    "Reuse eliminates nearly all va2ra traffic; without it the VALB absorbs\n\
+     every store-back, but the 32-entry storeP FSM hides the latency — the\n\
+     translations cost bandwidth, not time (hence Fig. 14's flatness).\n";
+  subheading "VALB/VAW latency sensitivity with reuse disabled (Splay)";
+  let explicit =
+    float_of_int (matrix ctx "Splay" Runtime.Explicit).Harness.run.Cpu.cycles
+  in
+  let row =
+    "Splay(no reuse)"
+    :: List.map
+         (fun lat ->
+           let cfg =
+             { Config.default with Config.keep_relative_opt = false;
+               valb_latency = lat; vatb_node_latency = lat }
+           in
+           let r = run_one ctx ~cfg "Splay" Runtime.Hw in
+           f3 (float_of_int r.Harness.run.Cpu.cycles /. explicit))
+         [ 3; 10; 25; 50 ]
+  in
+  table ~header:[ "Benchmark"; "3cyc"; "10cyc"; "25cyc"; "50cyc" ] [ row ];
+  heading "Ablation 2: branch-predictor capacity vs the SW slowdown (RB)";
+  let volatile =
+    float_of_int (matrix ctx "RB" Runtime.Volatile).Harness.run.Cpu.cycles
+  in
+  let rows =
+    List.map
+      (fun bits ->
+        let cfg =
+          { Config.default with Config.bp_table_bits = bits;
+            bp_history_bits = min bits 12 }
+        in
+        let r = run_one ctx ~cfg "RB" Runtime.Sw in
+        [
+          Printf.sprintf "%d entries" (1 lsl bits);
+          f3 (float_of_int r.Harness.run.Cpu.cycles /. volatile);
+          with_commas r.Harness.run.Cpu.branch_mispredicts;
+        ])
+      [ 6; 8; 10; 12; 14 ]
+  in
+  table ~header:[ "Predictor"; "SW norm. time"; "mispredicts" ] rows
+
+(* --- Table VI: relocation overhead ----------------------------------------------------- *)
+
+(* Table VI contrasts designs by what object relocation costs: managed
+   runtimes (Espresso, AutoPersist, go-pmem) must trace the heap and
+   rewrite every pointer when a pool maps at a new address; position-
+   independent pointers relocate for free.  Measured here on a real
+   structure: re-open a 10k-node RB tree at a new base under our scheme
+   (zero pointer updates), then execute the pointer-tracing rewrite the
+   managed designs would need, in the same timing model. *)
+let table6 _ctx =
+  heading "Table VI (relocation): position-independent pointers vs tracing";
+  let s_rel = Site.make "bench.relocation" in
+  let keys = 10_000 in
+  let rt = Runtime.create ~mode:Runtime.Hw () in
+  let pool = Runtime.create_pool rt ~name:"r" ~size:(1 lsl 22) in
+  let module Rb = Nvml_structures.Rb_tree in
+  let tree = Rb.create rt (Runtime.Pool_region pool) in
+  for i = 1 to keys do
+    Rb.insert tree ~key:(Int64.of_int i) ~value:(Int64.of_int i)
+  done;
+  Runtime.set_root rt ~site:s_rel ~pool (Rb.header tree);
+  (* Our scheme: crash, re-open at a new base — no pointer touched. *)
+  Runtime.crash_and_restart rt;
+  let s0 = Runtime.snapshot rt in
+  ignore (Runtime.open_pool rt "r");
+  let tree = Rb.attach rt (Runtime.get_root rt ~site:s_rel ~pool) in
+  let reopen = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
+  assert (Rb.find tree 5000L <> None);
+  (* Tracing scheme: what Espresso-class designs execute on relocation —
+     visit every object and rewrite each embedded pointer. *)
+  let s1 = Runtime.snapshot rt in
+  let updates = ref 0 in
+  let rec retrace node =
+    if not (Runtime.ptr_is_null rt ~site:s_rel node) then begin
+      List.iter
+        (fun off ->
+          let p = Runtime.load_ptr rt ~site:s_rel node ~off in
+          Runtime.instr rt 2 (* old-base test + rebase add *);
+          Runtime.store_ptr rt ~site:s_rel node ~off p;
+          incr updates)
+        [ 16; 24; 32 ] (* left, right, parent *);
+      retrace (Runtime.load_ptr rt ~site:s_rel node ~off:16);
+      retrace (Runtime.load_ptr rt ~site:s_rel node ~off:24)
+    end
+  in
+  retrace (Runtime.load_ptr rt ~site:s_rel (Rb.header tree) ~off:0);
+  let trace = Cpu.diff_snapshot (Runtime.snapshot rt) s1 in
+  table
+    ~header:[ "scheme"; "pointer updates"; "cycles" ]
+    [
+      [ "position-independent (this work)"; "0"; with_commas reopen.Cpu.cycles ];
+      [
+        "update-all-pointers tracing (Espresso/AutoPersist class)";
+        with_commas !updates;
+        with_commas trace.Cpu.cycles;
+      ];
+    ];
+  Printf.printf
+    "Re-opening the 10k-key tree costs %s cycles under relative pointers;\n\
+     a tracing design rewrites %s pointers for %s cycles (%.0fx) — Table\n\
+     VI's Low-vs-High relocation column, measured.\n"
+    (with_commas reopen.Cpu.cycles) (with_commas !updates)
+    (with_commas trace.Cpu.cycles)
+    (float_of_int trace.Cpu.cycles /. float_of_int (max 1 reopen.Cpu.cycles))
+
+(* --- extended structure set (extension) ----------------------------------------------- *)
+
+(* Fig. 11 repeated over containers beyond Table III: a skip list, a
+   B-tree map and a radix tree — further legacy libraries running
+   unchanged on the same runtime. *)
+let extended ctx =
+  heading
+    "Extension: execution time normalized to volatile, extended structures";
+  let names =
+    List.map
+      (fun (module M : Nvml_structures.Intf.ORDERED_MAP) -> M.name)
+      Nvml_structures.Registry.extended_maps
+  in
+  let rows =
+    List.map
+      (fun name ->
+        [
+          name;
+          f3 (norm_cycles ctx name Runtime.Explicit);
+          f3 (norm_cycles ctx name Runtime.Sw);
+          f3 (norm_cycles ctx name Runtime.Hw);
+        ])
+      names
+  in
+  table ~header:[ "Structure"; "Explicit"; "SW"; "HW" ] rows;
+  Printf.printf
+    "The same ranking as Table III's set: SW-only slow, HW near-native,\n\
+     user-transparent HW ahead of explicit handles.\n"
+
+(* --- multi-pool scaling (extension) -------------------------------------------------- *)
+
+(* The paper's workloads live in one pool, so the POLB never misses.
+   This extension fixes a 64-pool working set (nodes assigned to pools
+   by hash, so the memory layout and locality are identical across
+   configurations) and sweeps only the POLB capacity, isolating the
+   translation-capacity effect. *)
+let multipool _ctx =
+  heading
+    "Extension: POLB capacity under a 64-pool working set (HW, 4096-node \
+     chain)";
+  let s_mp = Site.make "bench.multipool" in
+  let nodes = 4096 and npools = 64 in
+  let pool_of_node i =
+    (* splitmix-style hash so pool references interleave irregularly *)
+    let h = (i * 0x9E3779B9) lxor (i lsr 7) in
+    (h lsr 4) land (npools - 1)
+  in
+  let run polb_entries =
+    let cfg = { Config.default with Config.polb_entries } in
+    let rt = Runtime.create ~cfg ~mode:Runtime.Hw () in
+    let pools =
+      Array.init npools (fun i ->
+          Runtime.create_pool rt ~name:(Fmt.str "p%d" i) ~size:(1 lsl 18))
+    in
+    let head = ref Ptr.null in
+    for i = nodes - 1 downto 0 do
+      let node =
+        Runtime.alloc rt ~pool:pools.(pool_of_node i) ~persistent:true 16
+      in
+      Runtime.store_ptr rt ~site:s_mp node ~off:0 !head;
+      Runtime.store_word rt ~site:s_mp node ~off:8 (Int64.of_int i);
+      head := node
+    done;
+    let s0 = Runtime.snapshot rt in
+    for _ = 1 to 10 do
+      let node = ref !head in
+      while not (Runtime.ptr_is_null rt ~site:s_mp !node) do
+        ignore (Runtime.load_word rt ~site:s_mp !node ~off:8);
+        node := Runtime.load_ptr rt ~site:s_mp !node ~off:0
+      done
+    done;
+    Cpu.diff_snapshot (Runtime.snapshot rt) s0
+  in
+  let base = ref 1 in
+  let rows =
+    List.map
+      (fun entries ->
+        let s = run entries in
+        if entries = 128 then base := s.Cpu.cycles;
+        (entries, s))
+      [ 128; 64; 32; 16; 8; 4 ]
+  in
+  table
+    ~header:[ "POLB entries"; "norm. time"; "POLB miss rate"; "POW walks" ]
+    (List.map
+       (fun (entries, s) ->
+         [
+           int_ entries;
+           f3 (float_of_int s.Cpu.cycles /. float_of_int !base);
+           pct
+             (float_of_int s.Cpu.polb_misses
+             /. float_of_int (max 1 s.Cpu.polb_accesses));
+           with_commas s.Cpu.pow_walks;
+         ])
+       (List.rev rows));
+  Printf.printf
+    "Below the pool working set, POLB misses turn into POW walks — the\n\
+     capacity cliff the paper's single-pool workloads never approach (its\n\
+     32 entries are comfortable for realistic pool counts).\n"
+
+(* --- transaction overhead (extension) ------------------------------------------------- *)
+
+let txn_overhead _ctx =
+  heading
+    "Extension: undo-log transaction overhead (Sec. VI crash consistency)";
+  let module Txn = Nvml_runtime.Txn in
+  let s_tx = Site.make ~static:true "bench.txn" in
+  let cells = 64 and rounds = 2000 in
+  let run ~transactional =
+    let rt = Runtime.create ~mode:Runtime.Hw () in
+    let pool = Runtime.create_pool rt ~name:"t" ~size:(1 lsl 21) in
+    let arr = Runtime.alloc rt ~pool ~persistent:true (cells * 8) in
+    let txn = Txn.create rt ~pool () in
+    let s0 = Runtime.snapshot rt in
+    for r = 1 to rounds do
+      if transactional then begin
+        Txn.begin_ txn;
+        for i = 0 to 3 do
+          Txn.store_word txn ~site:s_tx arr
+            ~off:(8 * ((r + i) mod cells))
+            (Int64.of_int r)
+        done;
+        Txn.commit txn
+      end
+      else
+        for i = 0 to 3 do
+          Runtime.store_word rt ~site:s_tx arr
+            ~off:(8 * ((r + i) mod cells))
+            (Int64.of_int r)
+        done
+    done;
+    (Cpu.diff_snapshot (Runtime.snapshot rt) s0).Cpu.cycles
+  in
+  let plain = run ~transactional:false in
+  let tx = run ~transactional:true in
+  table
+    ~header:[ "version"; "cycles"; "vs plain" ]
+    [
+      [ "plain stores"; with_commas plain; "1.000" ];
+      [ "transactional stores"; with_commas tx;
+        f3 (float_of_int tx /. float_of_int plain) ];
+    ];
+  Printf.printf
+    "Each transactional store adds one log append (read old value + two\n\
+     stores into the in-pool undo log) — the cost a compiler would insert\n\
+     around library calls enclosed in persistent transactions.\n"
+
+(* --- NVM latency and working-set sweeps (extension) ----------------------------------- *)
+
+(* Two sensitivity studies the paper's evaluation fixes as constants:
+   how the HW scheme's overhead over a volatile run scales with the
+   NVM/DRAM latency ratio, and with the working-set size relative to
+   the cache hierarchy. *)
+let sweep ctx =
+  heading "Extension: HW overhead vs NVM latency (RB, paper workload)";
+  let spec = ctx.spec in
+  let rows =
+    List.map
+      (fun nvm_latency ->
+        let cfg = { Config.default with Config.nvm_latency } in
+        let vol = run_one ctx ~cfg "RB" Runtime.Volatile in
+        let hw = run_one ctx ~cfg "RB" Runtime.Hw in
+        [
+          Printf.sprintf "%d cycles (%.1fx DRAM)" nvm_latency
+            (float_of_int nvm_latency /. float_of_int Config.default.Config.dram_latency);
+          f3
+            (float_of_int hw.Harness.run.Cpu.cycles
+            /. float_of_int vol.Harness.run.Cpu.cycles);
+        ])
+      [ 120; 240; 480; 960 ]
+  in
+  table ~header:[ "NVM latency"; "HW / volatile" ] rows;
+  Printf.printf
+    "At 120 cycles (DRAM-equal) the residue is pure translation cost; the\n\
+     rest is the NVM medium itself, which every persistent design pays.\n";
+  heading "Extension: HW overhead vs working-set size (RB)";
+  let rows =
+    List.map
+      (fun records ->
+        let s =
+          { spec with Nvml_ycsb.Workload.record_count = records;
+            operation_count = records * 10 }
+        in
+        let vol = Harness.run_benchmark "RB" ~mode:Runtime.Volatile s in
+        let hw = Harness.run_benchmark "RB" ~mode:Runtime.Hw s in
+        [
+          with_commas records;
+          f3
+            (float_of_int hw.Harness.run.Cpu.cycles
+            /. float_of_int vol.Harness.run.Cpu.cycles);
+          pct hw.Harness.run.Cpu.l3_hit_rate;
+        ])
+      [ 1_000; 10_000; 50_000 ]
+  in
+  table ~header:[ "records"; "HW / volatile"; "L3 hit rate" ] rows;
+  Printf.printf
+    "Past the 2 MiB L3, more accesses reach the NVM medium and the 2x miss\n\
+     latency shows — the overhead is the memory, not the pointer scheme.\n"
+
+(* --- bechamel micro-benchmarks ------------------------------------------------------ *)
+
+let micro _ctx =
+  heading "Micro-benchmarks (Bechamel): core primitives";
+  let open Bechamel in
+  let mem = Nvml_simmem.Mem.create () in
+  let pm = Nvml_pool.Pmop.create mem in
+  let pool = Nvml_pool.Pmop.create_pool pm ~name:"m" ~size:(1 lsl 20) in
+  let x = Xlate.make (Nvml_pool.Pmop.provider pm) in
+  let rel = Nvml_pool.Pmop.pmalloc pm ~pool 64 in
+  let va = Xlate.ra2va x rel in
+  let cache = Nvml_arch.Cache.create ~sets:64 ~ways:8 ~index_shift:6 in
+  let bp = Nvml_arch.Branch_predictor.create ~table_bits:12 ~history_bits:12 in
+  let btree = Nvml_arch.Range_btree.create () in
+  for i = 0 to 63 do
+    Nvml_arch.Range_btree.insert btree
+      ~base:(Int64.of_int (i * 65536)) ~size:32768L ~pool:i
+  done;
+  let counter = ref 0 in
+  let tests =
+    Test.make_grouped ~name:"core"
+      [
+        Test.make ~name:"tag-check (determineY)"
+          (Staged.stage (fun () -> Ptr.is_relative rel));
+        Test.make ~name:"determineX"
+          (Staged.stage (fun () -> Checks.determine_x rel));
+        Test.make ~name:"ra2va" (Staged.stage (fun () -> Xlate.ra2va x rel));
+        Test.make ~name:"va2ra" (Staged.stage (fun () -> Xlate.va2ra x va));
+        Test.make ~name:"pointerAssignment"
+          (Staged.stage (fun () -> Checks.pointer_assignment x ~dst:rel ~value:va));
+        Test.make ~name:"cache access"
+          (Staged.stage (fun () ->
+               incr counter;
+               Nvml_arch.Cache.access cache (!counter land 0xFFFF)));
+        Test.make ~name:"branch predict+update"
+          (Staged.stage (fun () ->
+               incr counter;
+               Nvml_arch.Branch_predictor.branch bp ~pc:64 ~taken:(!counter land 3 = 0)));
+        Test.make ~name:"VATB B-tree lookup"
+          (Staged.stage (fun () ->
+               incr counter;
+               Nvml_arch.Range_btree.lookup btree
+                 (Int64.of_int ((!counter land 63) * 65536 + 64))));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.1f" e
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  table ~header:[ "Primitive"; "ns/op" ] (List.sort compare !rows)

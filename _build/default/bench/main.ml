@@ -1,0 +1,78 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (and the supporting analyses) against the
+   simulated machine.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, paper scale
+     dune exec bench/main.exe -- --quick      # 10x smaller workloads
+     dune exec bench/main.exe -- fig11 table5 # selected experiments
+     dune exec bench/main.exe -- --list       *)
+
+module Workload = Nvml_ycsb.Workload
+
+let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
+  [
+    ("table2", "HW structure storage cost", Experiments.table2);
+    ("table3", "benchmark inventory", Experiments.table3);
+    ("table4", "simulator parameters", Experiments.table4);
+    ("table5", "dynamic checks and conversions (SW)", Experiments.table5);
+    ("fig11", "execution time normalized to volatile", Experiments.fig11);
+    ("fig12", "translation-reuse codelet", Experiments.fig12);
+    ("fig9", "compiler-generated code sample", Experiments.fig9);
+    ("fig13", "branch mispredictions normalized", Experiments.fig13);
+    ("fig14", "VALB/VAW latency sensitivity", Experiments.fig14);
+    ("fig15", "translation-hardware access fractions", Experiments.fig15);
+    ("table6", "relocation overhead comparison", Experiments.table6);
+    ("knn", "KNN case study + productivity", Experiments.knn);
+    ("soundness", "mini-C corpus soundness runs", Experiments.soundness);
+    ("compiler", "pointer-property inference stats", Experiments.compiler);
+    ("productivity", "library migration cost table", Experiments.productivity);
+    ("ablation", "design-choice ablations", Experiments.ablation);
+    ("extended", "extended structure set", Experiments.extended);
+    ("multipool", "pool-count capacity sweep", Experiments.multipool);
+    ("txn", "transaction overhead", Experiments.txn_overhead);
+    ("sweep", "NVM latency and working-set sweeps", Experiments.sweep);
+    ("micro", "bechamel micro-benchmarks", Experiments.micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  if List.mem "--list" args then begin
+    List.iter
+      (fun (name, doc, _) -> Printf.printf "%-14s %s\n" name doc)
+      all_experiments;
+    exit 0
+  end;
+  let quick = List.mem "--quick" args in
+  let verbose = not (List.mem "--quiet" args) in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let spec =
+    if quick then Workload.scale Workload.paper_default 10
+    else Workload.paper_default
+  in
+  let ctx = { Experiments.spec; verbose } in
+  let chosen =
+    match selected with
+    | [] -> all_experiments
+    | names ->
+        List.map
+          (fun n ->
+            match
+              List.find_opt (fun (name, _, _) -> name = n) all_experiments
+            with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" n;
+                exit 1)
+          names
+  in
+  Printf.printf
+    "nvml benchmark harness — workload: %s%s\n"
+    (Fmt.str "%a" Workload.pp_spec spec)
+    (if quick then " [quick]" else "");
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, _, f) -> f ctx) chosen;
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

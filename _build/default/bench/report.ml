@@ -1,0 +1,59 @@
+(* Plain-text table rendering for the benchmark reports. *)
+
+let line = String.make 78 '-'
+
+let heading title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+(* Render rows of cells with left-aligned first column and right-aligned
+   numeric columns, sized to content. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Printf.printf "%-*s" w cell
+        else Printf.printf "  %*s" w cell)
+      row;
+    print_newline ()
+  in
+  render_row header;
+  List.iteri
+    (fun c _ ->
+      let w = List.nth widths c in
+      if c = 0 then print_string (String.make w '-')
+      else print_string ("  " ^ String.make w '-'))
+    header;
+  print_newline ();
+  List.iter render_row rows
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let pct x = Printf.sprintf "%.2f%%" (100. *. x)
+let int_ n = string_of_int n
+
+let with_commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+           /. float_of_int (List.length xs))

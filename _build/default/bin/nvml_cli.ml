@@ -1,0 +1,323 @@
+(* nvml — command-line driver for the user-transparent persistent
+   reference simulator.
+
+     nvml kv --structure RB --mode hw --records 10000 --ops 100000
+     nvml knn --mode sw
+     nvml soundness
+     nvml inference
+     nvml info *)
+
+open Cmdliner
+module Cpu = Nvml_arch.Cpu
+module Config = Nvml_arch.Config
+module Runtime = Nvml_runtime.Runtime
+module Harness = Nvml_kvstore.Harness
+module Workload = Nvml_ycsb.Workload
+module Iris = Nvml_mlkit.Iris
+module Knn = Nvml_mlkit.Knn
+module Corpus = Nvml_minic.Corpus
+module Interp = Nvml_minic.Interp
+module Inference = Nvml_comp.Inference
+
+(* --- shared argument converters ---------------------------------------- *)
+
+let mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "volatile" | "native" -> Ok Runtime.Volatile
+    | "sw" -> Ok Runtime.Sw
+    | "hw" -> Ok Runtime.Hw
+    | "explicit" -> Ok Runtime.Explicit
+    | _ -> Error (`Msg "expected volatile|sw|hw|explicit")
+  in
+  Arg.conv (parse, Runtime.pp_mode)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Runtime.Hw
+    & info [ "mode"; "m" ] ~docv:"MODE"
+        ~doc:"Execution mode: volatile, sw, hw or explicit.")
+
+let dist_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "uniform" -> Ok Workload.Uniform
+    | "zipfian" -> Ok Workload.Zipfian
+    | "scrambled" | "scrambled-zipfian" -> Ok Workload.Scrambled_zipfian
+    | "latest" -> Ok Workload.Latest
+    | _ -> Error (`Msg "expected uniform|zipfian|scrambled|latest")
+  in
+  let print ppf d =
+    Fmt.string ppf
+      (match d with
+      | Workload.Uniform -> "uniform"
+      | Workload.Zipfian -> "zipfian"
+      | Workload.Scrambled_zipfian -> "scrambled"
+      | Workload.Latest -> "latest")
+  in
+  Arg.conv (parse, print)
+
+(* --- kv ------------------------------------------------------------------ *)
+
+let print_result (r : Harness.result) =
+  let s = r.Harness.run in
+  Fmt.pr "benchmark    %s (%s)@." r.Harness.benchmark
+    (Runtime.mode_name r.Harness.mode);
+  Fmt.pr "cycles       %d (load phase: %d)@." s.Cpu.cycles
+    r.Harness.load.Cpu.cycles;
+  Fmt.pr "instructions %d  IPC %.3f@." s.Cpu.instrs
+    (float_of_int s.Cpu.instrs /. float_of_int (max 1 s.Cpu.cycles));
+  Fmt.pr "accesses     %d loads, %d stores (%d storeP, %d NVM)@." s.Cpu.loads
+    s.Cpu.stores s.Cpu.storeps s.Cpu.nvm_accesses;
+  Fmt.pr "branches     %d (%d mispredicted)@." s.Cpu.branches
+    s.Cpu.branch_mispredicts;
+  Fmt.pr "translation  POLB %d (miss %d), VALB %d (miss %d)@."
+    s.Cpu.polb_accesses s.Cpu.polb_misses s.Cpu.valb_accesses
+    s.Cpu.valb_misses;
+  Fmt.pr "checks       %d dynamic, %d abs->rel, %d rel->abs@."
+    r.Harness.checks.Harness.dynamic_checks r.Harness.checks.Harness.abs_to_rel
+    r.Harness.checks.Harness.rel_to_abs;
+  Fmt.pr "GETs         %d hits, %d misses@." r.Harness.hits r.Harness.misses
+
+let kv_cmd =
+  let structure =
+    Arg.(
+      value & opt string "RB"
+      & info [ "structure"; "s" ] ~docv:"NAME"
+          ~doc:"Index structure: LL, Hash, RB, Splay, AVL, SG, Skip, BTree or Radix.")
+  in
+  let records =
+    Arg.(value & opt int 10_000 & info [ "records" ] ~doc:"Initial records.")
+  in
+  let ops =
+    Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Run-phase operations.")
+  in
+  let dist =
+    Arg.(
+      value
+      & opt dist_conv Workload.Latest
+      & info [ "distribution"; "d" ] ~doc:"Key distribution.")
+  in
+  let run structure mode records ops dist =
+    let spec =
+      {
+        Workload.paper_default with
+        Workload.record_count = records;
+        operation_count = ops;
+        distribution = dist;
+      }
+    in
+    print_result (Harness.run_benchmark structure ~mode spec)
+  in
+  Cmd.v
+    (Cmd.info "kv" ~doc:"Run a YCSB workload against an index structure.")
+    Term.(const run $ structure $ mode_arg $ records $ ops $ dist)
+
+(* --- knn ------------------------------------------------------------------- *)
+
+let knn_cmd =
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Neighbours to consider.") in
+  let run mode k =
+    let rt = Runtime.create ~mode () in
+    let placement =
+      match mode with
+      | Runtime.Volatile -> Knn.all_dram
+      | _ ->
+          let pool = Runtime.create_pool rt ~name:"knn" ~size:(1 lsl 21) in
+          Knn.paper_placement ~pool
+    in
+    let data = Iris.generate () in
+    let t =
+      Knn.create rt placement ~n:Iris.total_samples
+        ~dims:Iris.features_per_sample ~k
+    in
+    Knn.load_input t data.Iris.features;
+    let s0 = Runtime.snapshot rt in
+    Knn.run rt t;
+    let s = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
+    Fmt.pr "KNN (k=%d, %s): %d cycles, %d memory accesses, accuracy %.1f%%@."
+      k (Runtime.mode_name mode) s.Cpu.cycles s.Cpu.mem_accesses
+      (100. *. Knn.accuracy t data.Iris.labels)
+  in
+  Cmd.v
+    (Cmd.info "knn" ~doc:"Run the KNN case study on the iris dataset.")
+    Term.(const run $ mode_arg $ k)
+
+(* --- soundness ---------------------------------------------------------------- *)
+
+let soundness_cmd =
+  let run () =
+    let failures = ref 0 in
+    List.iter
+      (fun (name, program) ->
+        let run_in mode persistent =
+          let rt = Runtime.create ~mode () in
+          let heap =
+            if persistent then
+              Runtime.Pool_region
+                (Runtime.create_pool rt ~name:"heap" ~size:(1 lsl 22))
+            else Runtime.Dram_region
+          in
+          (Interp.run rt ~heap program ~args:[]).Interp.output
+        in
+        let reference = run_in Runtime.Volatile false in
+        List.iter
+          (fun (mode, persistent) ->
+            let ok = run_in mode persistent = reference in
+            if not ok then incr failures;
+            Fmt.pr "%-14s %-8s heap=%-4s %s@." name (Runtime.mode_name mode)
+              (if persistent then "NVM" else "DRAM")
+              (if ok then "ok" else "MISMATCH"))
+          [ (Runtime.Sw, false); (Runtime.Sw, true); (Runtime.Hw, false);
+            (Runtime.Hw, true) ])
+      Corpus.all;
+    if !failures = 0 then Fmt.pr "all corpus runs sound@."
+    else Fmt.pr "%d mismatches@." !failures
+  in
+  Cmd.v
+    (Cmd.info "soundness"
+       ~doc:"Replay the mini-C corpus under every configuration.")
+    Term.(const run $ const ())
+
+(* --- inference ------------------------------------------------------------------ *)
+
+let inference_cmd =
+  let run () =
+    List.iter
+      (fun (name, program) ->
+        let r = Inference.infer program in
+        Fmt.pr "%-14s %3d pointer-op sites, %3d still checked (%.0f%%)@." name
+          r.Inference.total_sites r.Inference.checked_sites
+          (100. *. Inference.fraction_checked r))
+      Corpus.all
+  in
+  Cmd.v
+    (Cmd.info "inference"
+       ~doc:"Run the pointer-property inference over the corpus.")
+    Term.(const run $ const ())
+
+(* --- run / compile mini-C source files ---------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_file path =
+  try Nvml_minic.Parser.parse_program (read_file path) with
+  | Nvml_minic.Lexer.Lex_error (m, l, c) ->
+      Fmt.epr "%s:%d:%d: lexical error: %s@." path l c m;
+      exit 1
+  | Nvml_minic.Parser.Parse_error (m, l, c) ->
+      Fmt.epr "%s:%d:%d: syntax error: %s@." path l c m;
+      exit 1
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"A mini-C source file.")
+
+let run_cmd =
+  let persistent =
+    Arg.(
+      value & flag
+      & info [ "persistent"; "p" ]
+          ~doc:"Place the heap in a persistent pool (libvmmalloc-style).")
+  in
+  let run path mode persistent =
+    let program = parse_file path in
+    let rt = Runtime.create ~mode () in
+    let heap =
+      if persistent && mode <> Runtime.Volatile then
+        Runtime.Pool_region
+          (Runtime.create_pool rt ~name:"heap" ~size:(1 lsl 22))
+      else Runtime.Dram_region
+    in
+    let s0 = Runtime.snapshot rt in
+    (try
+       let outcome = Nvml_minic.Interp.run rt ~heap program ~args:[] in
+       List.iter (Fmt.pr "%Ld@.") outcome.Nvml_minic.Interp.output
+     with
+    | Nvml_minic.Types.Type_error m ->
+        Fmt.epr "type error: %s@." m;
+        exit 1
+    | Nvml_minic.Interp.Runtime_error m ->
+        Fmt.epr "runtime error: %s@." m;
+        exit 1);
+    let s = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
+    Fmt.epr "[%s, heap=%s] %d cycles, %d instructions, %d memory accesses@."
+      (Runtime.mode_name mode)
+      (if persistent then "NVM" else "DRAM")
+      s.Cpu.cycles s.Cpu.instrs s.Cpu.mem_accesses
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a mini-C source file on the simulator.")
+    Term.(const run $ file_arg $ mode_arg $ persistent)
+
+let compile_cmd =
+  let run path =
+    let program = parse_file path in
+    print_endline (Nvml_comp.Codegen.generated_source program)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Show the Fig. 9-style instrumented code the SW compiler pass \
+          generates for a mini-C source file.")
+    Term.(const run $ file_arg)
+
+(* --- shell ---------------------------------------------------------------------------- *)
+
+let shell_cmd =
+  let structure =
+    Arg.(
+      value & opt string "RB"
+      & info [ "structure"; "s" ] ~doc:"Index structure backing the store.")
+  in
+  let run mode structure =
+    let shell = Nvml_kvstore.Shell.create ~mode ~structure () in
+    Fmt.pr "persistent KV store (%s on %s) — 'help' for commands, 'quit' to \
+            leave@."
+      structure (Runtime.mode_name mode);
+    let rec loop () =
+      Fmt.pr "nvml> %!";
+      match In_channel.input_line stdin with
+      | None | Some "quit" | Some "exit" -> Fmt.pr "bye@."
+      | Some line ->
+          List.iter (Fmt.pr "%s@.") (Nvml_kvstore.Shell.exec shell line);
+          loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:"Interactive persistent key-value store with a crash command.")
+    Term.(const run $ mode_arg $ structure)
+
+(* --- info ------------------------------------------------------------------------- *)
+
+let info_cmd =
+  let run () =
+    Fmt.pr "simulated machine:@.";
+    List.iter
+      (fun (k, v) -> Fmt.pr "  %-18s %s@." k v)
+      (Config.rows Config.default);
+    Fmt.pr "benchmark structures: %s@."
+      (String.concat ", " Nvml_structures.Registry.benchmark_names)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print the simulated machine configuration.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "user-transparent persistent references on simulated NVM" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "nvml" ~version:"1.0.0" ~doc)
+          [ kv_cmd; knn_cmd; soundness_cmd; inference_cmd; run_cmd; compile_cmd; shell_cmd;
+            info_cmd ]))

@@ -1,0 +1,57 @@
+(* Crash recovery with a legacy container: a red-black tree built by
+   code with zero NVM awareness survives a machine crash inside a
+   persistent pool, is recovered through the pool root, and keeps its
+   full structural invariants — across several crash cycles, with the
+   pool landing at a different virtual base every time.
+
+     dune exec examples/crash_recovery.exe *)
+
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+module Rb = Nvml_structures.Rb_tree
+
+let site = Site.make ~static:true "crash_recovery"
+
+let () =
+  let rt = Runtime.create ~mode:Runtime.Hw () in
+  let pool = Runtime.create_pool rt ~name:"store" ~size:(1 lsl 22) in
+  let tree = Rb.create rt (Runtime.Pool_region pool) in
+  Runtime.set_root rt ~site ~pool (Rb.header tree);
+
+  let inserted = ref 0 in
+  let tree = ref tree in
+  for round = 1 to 4 do
+    (* Mutate the persistent tree. *)
+    for i = 1 to 250 do
+      let key = Int64.of_int ((round * 1000) + i) in
+      Rb.insert !tree ~key ~value:(Int64.mul key 2L);
+      incr inserted
+    done;
+    (* Delete some keys from a previous round, too. *)
+    if round > 1 then
+      for i = 1 to 50 do
+        let key = Int64.of_int (((round - 1) * 1000) + i) in
+        if Rb.remove !tree key then decr inserted
+      done;
+    Fmt.pr "round %d: tree has %d keys@." round (Rb.size !tree);
+
+    (* Power off. *)
+    Runtime.crash_and_restart rt;
+    ignore (Runtime.open_pool rt "store");
+    let root = Runtime.get_root rt ~site ~pool in
+    assert (not (Ptr.is_null root));
+    tree := Rb.attach rt root;
+
+    (* Everything is still there, and it is still a red-black tree. *)
+    Rb.check_invariants !tree;
+    assert (Rb.size !tree = !inserted);
+    Fmt.pr "  after crash %d: recovered %d keys, invariants hold@." round
+      (Rb.size !tree)
+  done;
+
+  (* Spot-check some values. *)
+  assert (Rb.find !tree 1200L = Some 2400L);
+  assert (Rb.find !tree 1001L = None);
+  Fmt.pr "@.4 crash/recovery cycles; the tree re-mapped at a different@.";
+  Fmt.pr "address each time and every relative pointer stayed valid.@."

@@ -1,0 +1,1 @@
+lib/arch/branch_predictor.ml: Bool Bytes Char Config

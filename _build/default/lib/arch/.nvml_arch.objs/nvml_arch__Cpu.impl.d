@@ -1,0 +1,1 @@
+lib/arch/cpu.ml: Branch_predictor Cache Config Int64 List Nvml_simmem Range_btree Storep_unit Valb

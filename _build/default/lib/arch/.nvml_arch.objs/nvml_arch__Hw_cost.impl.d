@@ -1,0 +1,1 @@
+lib/arch/hw_cost.ml: Config List

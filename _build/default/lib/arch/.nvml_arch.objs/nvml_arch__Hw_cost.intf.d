@@ -1,0 +1,1 @@
+lib/arch/hw_cost.mli: Config

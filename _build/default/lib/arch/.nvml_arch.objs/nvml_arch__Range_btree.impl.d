@@ -1,0 +1,1 @@
+lib/arch/range_btree.ml: Array Int64

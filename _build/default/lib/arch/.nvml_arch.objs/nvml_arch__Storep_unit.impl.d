@@ -1,0 +1,1 @@
+lib/arch/storep_unit.ml: Array

@@ -1,0 +1,106 @@
+(* A set-associative cache (or cache-like structure) with true-LRU
+   replacement, keyed by integer block addresses.  Used for all three
+   data-cache levels and, with a different index granularity, the TLBs.
+
+   Only presence is tracked, not contents — the functional memory is
+   elsewhere; this structure answers "would this access hit?" and keeps
+   hit/miss statistics. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  index_shift : int; (* address bits consumed before indexing *)
+  pow2 : bool; (* power-of-two set counts index by masking *)
+  tags : int array; (* sets * ways, -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~sets ~ways ~index_shift =
+  if sets <= 0 then invalid_arg "Cache.create: sets must be positive";
+  {
+    sets;
+    ways;
+    index_shift;
+    pow2 = sets land (sets - 1) = 0;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let set_of t block = if t.pow2 then block land (t.sets - 1) else block mod t.sets
+
+(* Build an L1-like cache from a size in KiB. *)
+let of_size ~kib ~ways ~line_shift =
+  let lines = kib * 1024 / (1 lsl line_shift) in
+  create ~sets:(lines / ways) ~ways ~index_shift:line_shift
+
+let block_of t addr = addr lsr t.index_shift
+
+(* Access the block containing [addr]; insert on miss; true on hit. *)
+let access t addr =
+  let block = block_of t addr in
+  let set = set_of t block in
+  let base = set * t.ways in
+  t.clock <- t.clock + 1;
+  let rec find i =
+    if i >= t.ways then None
+    else if t.tags.(base + i) = block then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      t.stamps.(base + i) <- t.clock;
+      t.hits <- t.hits + 1;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Evict the LRU way. *)
+      let victim = ref 0 in
+      for i = 1 to t.ways - 1 do
+        if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+      done;
+      t.tags.(base + !victim) <- block;
+      t.stamps.(base + !victim) <- t.clock;
+      false
+
+(* Probe without inserting (used by tests). *)
+let probe t addr =
+  let block = block_of t addr in
+  let set = set_of t block in
+  let base = set * t.ways in
+  let rec find i =
+    if i >= t.ways then false
+    else t.tags.(base + i) = block || find (i + 1)
+  in
+  find 0
+
+(* Invalidate the block containing [addr] if present (e.g. POLB entry
+   shootdown when a pool is detached). *)
+let invalidate t addr =
+  let block = block_of t addr in
+  let set = set_of t block in
+  let base = set * t.ways in
+  for i = 0 to t.ways - 1 do
+    if t.tags.(base + i) = block then t.tags.(base + i) <- -1
+  done
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let hit_rate t =
+  let total = accesses t in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,29 @@
+(** A set-associative cache (or cache-like structure) with true-LRU
+    replacement, keyed by integer block addresses.  Tracks presence
+    only — the functional memory lives elsewhere; this answers "would
+    this access hit?" and keeps hit/miss statistics.  Used for the data
+    caches, the TLBs and the POLB. *)
+
+type t
+
+val create : sets:int -> ways:int -> index_shift:int -> t
+(** Non-power-of-two set counts index by modulo. *)
+
+val of_size : kib:int -> ways:int -> line_shift:int -> t
+
+val access : t -> int -> bool
+(** Access the block containing the address; inserts on miss; [true] on
+    hit. *)
+
+val probe : t -> int -> bool
+(** Presence test without insertion. *)
+
+val invalidate : t -> int -> unit
+(** Drop the block if present (e.g. POLB shootdown on pool detach). *)
+
+val flush : t -> unit
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val hit_rate : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,281 @@
+(* The timing model: an interval-style in-order core in the spirit of
+   the paper's Snipersim setup.  The runtime narrates execution to this
+   module as a stream of micro-events (instructions, branches, memory
+   accesses, translations, storeP issues); the model accumulates cycles
+   and statistics.
+
+   Cycle accounting: every instruction costs one issue cycle, which
+   covers an L1-cache and L1-TLB hit; deeper levels, branch
+   mispredictions, POLB/VALB latencies on the address-generation path
+   and storeP structural stalls add stall cycles on top. *)
+
+module Mem = Nvml_simmem.Mem
+module Layout = Nvml_simmem.Layout
+module Physmem = Nvml_simmem.Physmem
+
+type t = {
+  cfg : Config.t;
+  mem : Mem.t;
+  bp : Branch_predictor.t;
+  l1_tlb : Cache.t;
+  l2_tlb : Cache.t;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  polb : Cache.t; (* keyed by pool id *)
+  valb : Valb.t;
+  vatb : Range_btree.t; (* kernel VATB, walked by the VAW on VALB miss *)
+  storep_unit : Storep_unit.t;
+  mutable cycles : int;
+  mutable instrs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable storeps : int;
+  mutable branches : int;
+  mutable dram_accesses : int;
+  mutable nvm_accesses : int;
+  mutable pow_walks : int;
+  mutable vaw_walks : int;
+  mutable vaw_nodes : int;
+}
+
+let create cfg mem =
+  {
+    cfg;
+    mem;
+    bp = Branch_predictor.of_config cfg;
+    l1_tlb =
+      Cache.create
+        ~sets:(cfg.l1_tlb_entries / cfg.l1_tlb_ways)
+        ~ways:cfg.l1_tlb_ways ~index_shift:Layout.page_shift;
+    l2_tlb =
+      Cache.create
+        ~sets:(cfg.l2_tlb_entries / cfg.l2_tlb_ways)
+        ~ways:cfg.l2_tlb_ways ~index_shift:Layout.page_shift;
+    l1 = Cache.create ~sets:cfg.l1_sets ~ways:cfg.l1_ways ~index_shift:cfg.line_shift;
+    l2 = Cache.of_size ~kib:cfg.l2_kib ~ways:cfg.l2_ways ~line_shift:cfg.line_shift;
+    l3 = Cache.of_size ~kib:cfg.l3_kib ~ways:cfg.l3_ways ~line_shift:cfg.line_shift;
+    polb = Cache.create ~sets:1 ~ways:cfg.polb_entries ~index_shift:0;
+    valb = Valb.create ~entries:cfg.valb_entries;
+    vatb = Range_btree.create ();
+    storep_unit = Storep_unit.create ~entries:cfg.storep_fsm_entries;
+    cycles = 0;
+    instrs = 0;
+    loads = 0;
+    stores = 0;
+    storeps = 0;
+    branches = 0;
+    dram_accesses = 0;
+    nvm_accesses = 0;
+    pow_walks = 0;
+    vaw_walks = 0;
+    vaw_nodes = 0;
+  }
+
+let config t = t.cfg
+
+(* --- plain instructions and branches --------------------------------- *)
+
+let instr t n =
+  t.instrs <- t.instrs + n;
+  t.cycles <- t.cycles + n
+
+let branch t ~pc ~taken =
+  t.instrs <- t.instrs + 1;
+  t.branches <- t.branches + 1;
+  let miss = Branch_predictor.branch t.bp ~pc ~taken in
+  t.cycles <- t.cycles + 1 + (if miss then t.cfg.branch_miss_penalty else 0)
+
+(* --- memory hierarchy -------------------------------------------------- *)
+
+let tlb_stall t va =
+  if Cache.access t.l1_tlb (Int64.to_int va) then 0
+  else if Cache.access t.l2_tlb (Int64.to_int va) then t.cfg.l2_tlb_hit_latency
+  else t.cfg.page_walk_latency
+
+let cache_stall t pa region =
+  if Cache.access t.l1 pa then 0
+  else if Cache.access t.l2 pa then t.cfg.l2_latency
+  else if Cache.access t.l3 pa then t.cfg.l3_latency
+  else
+    match region with
+    | Layout.Dram -> t.cfg.dram_latency
+    | Layout.Nvm -> t.cfg.nvm_latency
+
+let data_access t va =
+  let pa64 = Mem.phys_of_va t.mem va in
+  let pa = Int64.to_int pa64 in
+  let region = Physmem.region_of_frame (Physmem.frame_of_phys pa64) in
+  (match region with
+  | Layout.Dram -> t.dram_accesses <- t.dram_accesses + 1
+  | Layout.Nvm -> t.nvm_accesses <- t.nvm_accesses + 1);
+  let stall = tlb_stall t va + cache_stall t pa region in
+  t.cycles <- t.cycles + 1 + stall
+
+let load t va =
+  t.instrs <- t.instrs + 1;
+  t.loads <- t.loads + 1;
+  data_access t va
+
+let store t va =
+  t.instrs <- t.instrs + 1;
+  t.stores <- t.stores + 1;
+  data_access t va
+
+(* --- persistent-object translation hardware ----------------------------- *)
+
+(* POLB lookup (ra2va): returns the latency it contributes.  On a miss
+   the POW performs one POT access in kernel memory. *)
+let polb_latency t ~pool =
+  if Cache.access t.polb pool then t.cfg.polb_latency
+  else begin
+    t.pow_walks <- t.pow_walks + 1;
+    t.cfg.polb_latency + t.cfg.pow_latency
+  end
+
+(* A POLB translation on the address-generation path of a load/store
+   whose address register holds a relative pointer: the latency is
+   exposed. *)
+let polb_translate t ~pool = t.cycles <- t.cycles + polb_latency t ~pool
+
+(* VALB lookup (va2ra): on a miss the VAW walks the VATB B-tree, one
+   kernel access per node visited, then refills the VALB. *)
+let valb_latency t ~va =
+  match Valb.lookup t.valb va with
+  | Some _ -> t.cfg.valb_latency
+  | None ->
+      t.vaw_walks <- t.vaw_walks + 1;
+      let walk =
+        match Range_btree.lookup t.vatb va with
+        | Some (e, visited) ->
+            Valb.insert t.valb ~base:e.Range_btree.base ~size:e.size
+              ~pool:e.pool;
+            visited
+        | None -> Range_btree.height t.vatb (* walked to a leaf, no range *)
+      in
+      t.vaw_nodes <- t.vaw_nodes + walk;
+      t.cfg.valb_latency + (walk * t.cfg.vatb_node_latency)
+
+(* storeP: a store of a pointer value.  [xops] lists the address
+   conversions the instruction's two operands require: [`Polb pool] for
+   an ra2va through the POLB (Rd in relative format, or a relative Rs
+   destined for a DRAM cell) and [`Valb va] for a va2ra through the VALB
+   (a virtual Rs destined for an NVM cell).  Translations proceed
+   concurrently inside the FSM entry; only buffer-full conditions stall
+   the core.  [dst_va] is the resolved destination of the store. *)
+type xop = [ `Polb of int | `Valb of int64 ]
+
+let store_p t ~dst_va ~(xops : xop list) =
+  t.instrs <- t.instrs + 1;
+  t.storeps <- t.storeps + 1;
+  let latency_of = function
+    | `Polb pool -> polb_latency t ~pool
+    | `Valb va -> valb_latency t ~va
+  in
+  let unit_latency =
+    1 + List.fold_left (fun acc op -> max acc (latency_of op)) 0 xops
+  in
+  let stall = Storep_unit.issue t.storep_unit ~now:t.cycles ~latency:unit_latency in
+  t.cycles <- t.cycles + stall;
+  t.stores <- t.stores + 1;
+  data_access t dst_va
+
+(* --- kernel-table maintenance ------------------------------------------- *)
+
+let map_pool t ~base ~size ~pool =
+  Range_btree.insert t.vatb ~base ~size:(Int64.of_int size) ~pool
+
+let unmap_pool t ~base ~pool =
+  ignore (Range_btree.remove t.vatb base);
+  Valb.invalidate_pool t.valb pool;
+  Cache.invalidate t.polb pool
+
+(* Volatile microarchitectural state vanishes on crash/restart. *)
+let flush_volatile t =
+  Cache.flush t.l1_tlb;
+  Cache.flush t.l2_tlb;
+  Cache.flush t.l1;
+  Cache.flush t.l2;
+  Cache.flush t.l3;
+  Cache.flush t.polb;
+  Valb.flush t.valb;
+  Storep_unit.flush t.storep_unit
+
+(* --- statistics ----------------------------------------------------------- *)
+
+type snapshot = {
+  cycles : int;
+  instrs : int;
+  loads : int;
+  stores : int;
+  storeps : int;
+  mem_accesses : int;
+  branches : int;
+  branch_mispredicts : int;
+  polb_accesses : int;
+  polb_misses : int;
+  valb_accesses : int;
+  valb_misses : int;
+  pow_walks : int;
+  vaw_walks : int;
+  vaw_nodes : int;
+  dram_accesses : int;
+  nvm_accesses : int;
+  l1_hit_rate : float;
+  l2_hit_rate : float;
+  l3_hit_rate : float;
+  storep_stall_cycles : int;
+}
+
+let snapshot (t : t) : snapshot =
+  {
+    cycles = t.cycles;
+    instrs = t.instrs;
+    loads = t.loads;
+    stores = t.stores;
+    storeps = t.storeps;
+    mem_accesses = t.loads + t.stores;
+    branches = t.branches;
+    branch_mispredicts = Branch_predictor.mispredictions t.bp;
+    polb_accesses = Cache.accesses t.polb;
+    polb_misses = Cache.misses t.polb;
+    valb_accesses = Valb.accesses t.valb;
+    valb_misses = Valb.misses t.valb;
+    pow_walks = t.pow_walks;
+    vaw_walks = t.vaw_walks;
+    vaw_nodes = t.vaw_nodes;
+    dram_accesses = t.dram_accesses;
+    nvm_accesses = t.nvm_accesses;
+    l1_hit_rate = Cache.hit_rate t.l1;
+    l2_hit_rate = Cache.hit_rate t.l2;
+    l3_hit_rate = Cache.hit_rate t.l3;
+    storep_stall_cycles = Storep_unit.stall_cycles t.storep_unit;
+  }
+
+let cycles (t : t) = t.cycles
+
+let diff_snapshot (after : snapshot) (before : snapshot) =
+  {
+    cycles = after.cycles - before.cycles;
+    instrs = after.instrs - before.instrs;
+    loads = after.loads - before.loads;
+    stores = after.stores - before.stores;
+    storeps = after.storeps - before.storeps;
+    mem_accesses = after.mem_accesses - before.mem_accesses;
+    branches = after.branches - before.branches;
+    branch_mispredicts = after.branch_mispredicts - before.branch_mispredicts;
+    polb_accesses = after.polb_accesses - before.polb_accesses;
+    polb_misses = after.polb_misses - before.polb_misses;
+    valb_accesses = after.valb_accesses - before.valb_accesses;
+    valb_misses = after.valb_misses - before.valb_misses;
+    pow_walks = after.pow_walks - before.pow_walks;
+    vaw_walks = after.vaw_walks - before.vaw_walks;
+    vaw_nodes = after.vaw_nodes - before.vaw_nodes;
+    dram_accesses = after.dram_accesses - before.dram_accesses;
+    nvm_accesses = after.nvm_accesses - before.nvm_accesses;
+    l1_hit_rate = after.l1_hit_rate;
+    l2_hit_rate = after.l2_hit_rate;
+    l3_hit_rate = after.l3_hit_rate;
+    storep_stall_cycles =
+      after.storep_stall_cycles - before.storep_stall_cycles;
+  }

@@ -1,0 +1,73 @@
+(** The timing model: an interval-style in-order core in the spirit of
+    the paper's Snipersim setup.  The runtime narrates execution as
+    micro-events (instructions, branches, memory accesses, translations,
+    storeP issues); the model accumulates cycles and statistics.
+
+    Cycle accounting: every instruction costs one issue cycle, which
+    covers an L1-cache and L1-TLB hit; deeper levels, mispredictions,
+    exposed POLB/VALB latencies and storeP structural stalls add stall
+    cycles on top. *)
+
+type t
+
+val create : Config.t -> Nvml_simmem.Mem.t -> t
+val config : t -> Config.t
+
+val instr : t -> int -> unit
+val branch : t -> pc:int -> taken:bool -> unit
+val load : t -> int64 -> unit
+val store : t -> int64 -> unit
+
+val polb_translate : t -> pool:int -> unit
+(** An ra2va on the address-generation path (exposed latency; a miss
+    adds the POW walk). *)
+
+val valb_latency : t -> va:int64 -> int
+(** VALB lookup latency; a miss walks the VATB B-tree (one kernel
+    access per node) and refills the buffer. *)
+
+type xop = [ `Polb of int | `Valb of int64 ]
+
+val store_p : t -> dst_va:int64 -> xops:xop list -> unit
+(** A storeP instruction: the listed operand translations run
+    concurrently inside an FSM entry (stalling only when the unit is
+    full), then the store itself accesses memory. *)
+
+val map_pool : t -> base:int64 -> size:int -> pool:int -> unit
+(** Install the pool range in the VATB. *)
+
+val unmap_pool : t -> base:int64 -> pool:int -> unit
+(** Remove from the VATB and shoot down VALB/POLB entries. *)
+
+val flush_volatile : t -> unit
+(** Crash/restart: caches, TLBs, lookaside buffers and the storeP unit
+    lose their state. *)
+
+type snapshot = {
+  cycles : int;
+  instrs : int;
+  loads : int;
+  stores : int;
+  storeps : int;
+  mem_accesses : int;
+  branches : int;
+  branch_mispredicts : int;
+  polb_accesses : int;
+  polb_misses : int;
+  valb_accesses : int;
+  valb_misses : int;
+  pow_walks : int;
+  vaw_walks : int;
+  vaw_nodes : int;
+  dram_accesses : int;
+  nvm_accesses : int;
+  l1_hit_rate : float;
+  l2_hit_rate : float;
+  l3_hit_rate : float;
+  storep_stall_cycles : int;
+}
+
+val snapshot : t -> snapshot
+val cycles : t -> int
+val diff_snapshot : snapshot -> snapshot -> snapshot
+(** [diff_snapshot after before] — per-phase deltas. *)

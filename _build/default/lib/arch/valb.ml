@@ -1,0 +1,76 @@
+(* The VALB — virtual address lookaside buffer — of Section V-A: a small
+   fully-associative range CAM that maps a virtual address to the
+   persistent pool whose mapping covers it, accelerating va2ra in the
+   storeP unit.  Each entry holds (PMO starting address, PMO size,
+   PMO ID); a lookup finds the covering range, TCAM-style.  Misses are
+   served by the VAW walking the VATB B-tree kernel table; the walker
+   refills the buffer with the whole pool range. *)
+
+type entry = { mutable base : int64; mutable size : int64; mutable pool : int }
+
+type t = {
+  entries : entry array;
+  stamps : int array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries =
+  {
+    entries = Array.init entries (fun _ -> { base = 0L; size = 0L; pool = -1 });
+    stamps = Array.make entries 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let find t va =
+  let n = Array.length t.entries in
+  let rec scan i =
+    if i >= n then None
+    else
+      let e = t.entries.(i) in
+      if e.pool >= 0 && va >= e.base && va < Int64.add e.base e.size then
+        Some i
+      else scan (i + 1)
+  in
+  scan 0
+
+(* Look up [va]; returns the pool id on a hit. *)
+let lookup t va =
+  t.clock <- t.clock + 1;
+  match find t va with
+  | Some i ->
+      t.hits <- t.hits + 1;
+      t.stamps.(i) <- t.clock;
+      Some t.entries.(i).pool
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Refill after a VAW walk. *)
+let insert t ~base ~size ~pool =
+  t.clock <- t.clock + 1;
+  let victim = ref 0 in
+  for i = 1 to Array.length t.entries - 1 do
+    if t.stamps.(i) < t.stamps.(!victim) then victim := i
+  done;
+  let e = t.entries.(!victim) in
+  e.base <- base;
+  e.size <- size;
+  e.pool <- pool;
+  t.stamps.(!victim) <- t.clock
+
+(* Shootdown when a pool mapping disappears. *)
+let invalidate_pool t pool =
+  Array.iter (fun e -> if e.pool = pool then e.pool <- -1) t.entries
+
+let flush t = Array.iter (fun e -> e.pool <- -1) t.entries
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

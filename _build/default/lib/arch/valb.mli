@@ -1,0 +1,20 @@
+(** The VALB — virtual-address lookaside buffer (Section V-A): a small
+    fully-associative range CAM mapping a virtual address to the pool
+    whose mapping covers it, accelerating va2ra in the storeP unit.
+    Misses are served by the VAW walking the VATB B-tree; the walker
+    refills the buffer with the whole pool range. *)
+
+type t
+
+val create : entries:int -> t
+
+val lookup : t -> int64 -> int option
+(** The covering pool's ID on a hit. *)
+
+val insert : t -> base:int64 -> size:int64 -> pool:int -> unit
+val invalidate_pool : t -> int -> unit
+val flush : t -> unit
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/comp/codegen.ml: Hashtbl Inference List Nvml_minic Option Stdlib

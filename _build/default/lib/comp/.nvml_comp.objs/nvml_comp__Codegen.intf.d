@@ -1,0 +1,1 @@
+lib/comp/codegen.mli: Inference Nvml_minic

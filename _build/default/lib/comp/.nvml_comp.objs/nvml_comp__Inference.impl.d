@@ -1,0 +1,1 @@
+lib/comp/inference.ml: Fmt Hashtbl List Nvml_minic Option Stdlib

@@ -1,0 +1,1 @@
+lib/comp/inference.mli: Fmt Hashtbl Nvml_minic

@@ -1,0 +1,167 @@
+(* The code-generation half of the compiler pass: rewrite every
+   pointer-operation site into the explicit runtime calls the LLVM pass
+   of the paper emits (Fig. 9) — [determineY]/[ra2va] conditionals at
+   dynamically checked sites, bare [ra2va] where inference proved the
+   operand relative, and [pointerAssignment] calls at unresolved
+   pointer stores.
+
+   The output is a *display* program: it shows, in C syntax, exactly
+   what the SW version executes (and what the interpreter charges for),
+   for inspection and for the Fig. 9 reproduction in the bench
+   harness. *)
+
+module Ast = Nvml_minic.Ast
+module Types = Nvml_minic.Types
+module Pretty = Nvml_minic.Pretty
+open Ast
+
+let ( = ) = Stdlib.( = )
+let ( && ) = Stdlib.( && )
+let ( || ) = Stdlib.( || )
+
+(* determineY(e) == Relative ? ra2va(e) : e *)
+let checked_resolve (e : expr) : expr =
+  cond
+    (binop Eq (call "determineY" [ e ]) (var "Relative"))
+    (call "ra2va" [ e ])
+    e
+
+let direct_resolve (e : expr) : expr = call "ra2va" [ e ]
+
+type decision = Keep | Convert | Check
+
+(* What the inference decided for the pointer operand of site [id]. *)
+let decision_for (r : Inference.result) (operand : expr) id =
+  match Hashtbl.find_opt r.Inference.needs_check id with
+  | Some true -> Check
+  | Some false -> (
+      match Hashtbl.find_opt r.Inference.expr_props operand.id with
+      | Some Inference.Rel -> Convert
+      | _ -> Keep)
+  | None -> Keep
+
+let apply_decision r ~site_id (operand : expr) =
+  match decision_for r operand site_id with
+  | Keep -> operand
+  | Convert -> direct_resolve operand
+  | Check -> checked_resolve operand
+
+(* Rewrite an expression tree bottom-up. *)
+let rec rewrite_expr (r : Inference.result) tenv (e : expr) : expr =
+  let rw = rewrite_expr r tenv in
+  match e.e with
+  | EInt _ | ENull | EVar _ | ESizeof _ -> e
+  | EUnop (op, a) -> unop op (rw a)
+  | EDeref a -> deref (apply_decision r ~site_id:e.id (rw a))
+  | EAddr a -> addr (rw a)
+  | EIndex (a, i) ->
+      if Types.is_ptr (Types.type_of tenv a) then
+        index (apply_decision r ~site_id:e.id (rw a)) (rw i)
+      else index (rw a) (rw i)
+  | EArrow (a, f) -> arrow (apply_decision r ~site_id:e.id (rw a)) f
+  | EAssign (lv, rhs) ->
+      if
+        Types.is_ptr (Types.lvalue_type tenv lv)
+        && Hashtbl.find_opt r.Inference.needs_check e.id = Some true
+      then
+        (* The unresolved pointer store becomes the shared helper call
+           of Fig. 9: pointerAssignment(&lv, rhs). *)
+        call "pointerAssignment" [ addr (rewrite_lvalue r tenv lv); rw rhs ]
+      else assign (rewrite_lvalue r tenv lv) (rw rhs)
+  | ECall (f, args) -> call f (List.map rw args)
+  | ECallPtr (callee, args) ->
+      call_ptr (apply_decision r ~site_id:e.id (rw callee)) (List.map rw args)
+  | ECast (ty, a) ->
+      if
+        ty = Tint
+        && Types.is_ptr (Types.type_of tenv a)
+        && Hashtbl.find_opt r.Inference.needs_check e.id = Some true
+      then cast ty (checked_resolve (rw a))
+      else cast ty (rw a)
+  | ECond (c, a, b) -> cond (rw c) (rw a) (rw b)
+  | EBinop (op, a, b) -> (
+      match op with
+      | Lt | Gt | Le | Ge | Eq | Ne | Sub
+        when Types.is_ptr (Types.type_of tenv a)
+             || Types.is_ptr (Types.type_of tenv b) ->
+          let fix operand =
+            if Types.is_ptr (Types.type_of tenv operand) then
+              apply_decision r ~site_id:e.id (rw operand)
+            else rw operand
+          in
+          binop op (fix a) (fix b)
+      | _ -> binop op (rw a) (rw b))
+  | EIncr { pre; up; lv } ->
+      let lv' = rewrite_lvalue r tenv lv in
+      mk (EIncr { pre; up; lv = lv' })
+
+(* Lvalues keep their shape; only embedded addresses are resolved. *)
+and rewrite_lvalue r tenv (e : expr) : expr =
+  match e.e with
+  | EVar _ -> e
+  | EDeref a ->
+      deref (apply_decision r ~site_id:e.id (rewrite_expr r tenv a))
+  | EIndex (a, i) ->
+      index
+        (apply_decision r ~site_id:e.id (rewrite_expr r tenv a))
+        (rewrite_expr r tenv i)
+  | EArrow (a, f) ->
+      arrow (apply_decision r ~site_id:e.id (rewrite_expr r tenv a)) f
+  | _ -> rewrite_expr r tenv e
+
+let rec rewrite_stmts r tenv_ref stmts =
+  List.map
+    (fun s ->
+      let tenv = !tenv_ref in
+      match s with
+      | SExpr e -> SExpr (rewrite_expr r tenv e)
+      | SDecl (v, ty, init) ->
+          let init' = Option.map (rewrite_expr r tenv) init in
+          tenv_ref := { tenv with Types.vars = (v, ty) :: tenv.Types.vars };
+          SDecl (v, ty, init')
+      | SIf (c, a, b) ->
+          let c' = rewrite_expr r tenv c in
+          let saved = !tenv_ref in
+          let a' = rewrite_stmts r tenv_ref a in
+          tenv_ref := saved;
+          let b' = rewrite_stmts r tenv_ref b in
+          tenv_ref := saved;
+          SIf (c', a', b')
+      | SWhile (c, body) ->
+          let c' = rewrite_expr r tenv c in
+          let saved = !tenv_ref in
+          let body' = rewrite_stmts r tenv_ref body in
+          tenv_ref := saved;
+          SWhile (c', body')
+      | SFor (init, c, step, body) ->
+          let init' =
+            Option.map (fun s -> List.hd (rewrite_stmts r tenv_ref [ s ])) init
+          in
+          let tenv = !tenv_ref in
+          let c' = Option.map (rewrite_expr r tenv) c in
+          let step' = Option.map (rewrite_expr r tenv) step in
+          let saved = !tenv_ref in
+          let body' = rewrite_stmts r tenv_ref body in
+          tenv_ref := saved;
+          SFor (init', c', step', body')
+      | SBreak -> SBreak
+      | SContinue -> SContinue
+      | SReturn e -> SReturn (Option.map (rewrite_expr r tenv) e))
+    stmts
+
+(* Instrument a whole program according to an inference result. *)
+let instrument (r : Inference.result) (p : program) : program =
+  let env = Types.check_program p in
+  let funcs =
+    List.map
+      (fun (f : func) ->
+        let tenv_ref = ref { env with Types.vars = f.params } in
+        { f with body = rewrite_stmts r tenv_ref f.body })
+      p.funcs
+  in
+  { p with funcs }
+
+(* Convenience: infer + instrument + pretty-print. *)
+let generated_source ?(heap_relative = true) (p : program) : string =
+  let r = Inference.infer ~heap_relative p in
+  Pretty.program_text (instrument r p)

@@ -1,0 +1,13 @@
+(** The code-generation half of the compiler pass (paper, Fig. 9):
+    rewrite every pointer-operation site into the explicit runtime calls
+    the SW version executes — [determineY]/[ra2va] conditionals at
+    dynamically checked sites, bare [ra2va] where inference proved the
+    operand relative, and [pointerAssignment] at unresolved pointer
+    stores.  The output is a display program in C syntax. *)
+
+module Ast = Nvml_minic.Ast
+
+val instrument : Inference.result -> Ast.program -> Ast.program
+
+val generated_source : ?heap_relative:bool -> Ast.program -> string
+(** Infer, instrument and pretty-print in one step. *)

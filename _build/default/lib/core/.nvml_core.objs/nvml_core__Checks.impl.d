@@ -1,0 +1,1 @@
+lib/core/checks.ml: Nvml_simmem Ptr Xlate

@@ -1,0 +1,1 @@
+lib/core/ptr.ml: Fmt Int64 Nvml_simmem

@@ -1,0 +1,1 @@
+lib/core/ptr.mli: Fmt Nvml_simmem

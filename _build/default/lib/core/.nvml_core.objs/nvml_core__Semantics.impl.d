@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Checks Fmt Int64 Ptr Xlate

@@ -1,0 +1,1 @@
+lib/core/xlate.ml: Int64 Nvml_simmem Ptr

@@ -1,0 +1,1 @@
+lib/kvstore/harness.ml: Array Int64 List Nvml_arch Nvml_core Nvml_runtime Nvml_simmem Nvml_structures Nvml_ycsb Random String

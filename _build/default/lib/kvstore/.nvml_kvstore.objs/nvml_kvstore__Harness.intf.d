@@ -1,0 +1,1 @@
+lib/kvstore/harness.mli: Nvml_arch Nvml_core Nvml_runtime Nvml_structures Nvml_ycsb

@@ -1,0 +1,1 @@
+lib/kvstore/shell.ml: Fmt Int64 List Nvml_arch Nvml_core Nvml_runtime Nvml_structures String

@@ -1,0 +1,1 @@
+lib/kvstore/shell.mli: Nvml_runtime

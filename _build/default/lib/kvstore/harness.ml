@@ -1,0 +1,156 @@
+(* The key-value store harness of Section VII-A, in the mold of the
+   PMDK mapcli example: a driver that maps 8-byte keys to 8-byte values
+   through a pluggable index structure, loads an initial population and
+   then replays a YCSB operation stream, measuring the run phase in the
+   timing model.
+
+   The driver itself is ordinary volatile application code: its key
+   buffer lives in simulated DRAM and is read on every operation, so
+   volatile accesses interleave with the library's persistent accesses
+   exactly as in a real run. *)
+
+module Layout = Nvml_simmem.Layout
+module Mem = Nvml_simmem.Mem
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+module Cpu = Nvml_arch.Cpu
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Intf = Nvml_structures.Intf
+module Linked_list = Nvml_structures.Linked_list
+module Workload = Nvml_ycsb.Workload
+
+(* Harness sites: the driver is compiled with the application, where
+   inference sees the allocation sites — static. *)
+let s_driver = Site.make ~static:true "harness.driver"
+
+type counter_delta = {
+  dynamic_checks : int;
+  abs_to_rel : int; (* va2ra conversions *)
+  rel_to_abs : int; (* ra2va conversions *)
+  volatile_escapes : int;
+}
+
+let counter_diff (after : Xlate.counters) (before : Xlate.counters) =
+  {
+    dynamic_checks = after.Xlate.dynamic_checks - before.Xlate.dynamic_checks;
+    abs_to_rel = after.Xlate.va2ra - before.Xlate.va2ra;
+    rel_to_abs = after.Xlate.ra2va - before.Xlate.ra2va;
+    volatile_escapes = after.Xlate.volatile_escapes - before.Xlate.volatile_escapes;
+  }
+
+let copy_counters (c : Xlate.counters) =
+  {
+    Xlate.ra2va = c.Xlate.ra2va;
+    va2ra = c.Xlate.va2ra;
+    dynamic_checks = c.Xlate.dynamic_checks;
+    volatile_escapes = c.Xlate.volatile_escapes;
+  }
+
+type result = {
+  benchmark : string;
+  mode : Runtime.mode;
+  load : Cpu.snapshot; (* load-phase deltas *)
+  run : Cpu.snapshot; (* run-phase deltas — what the figures report *)
+  checks : counter_delta; (* run-phase conversion/check counts *)
+  hits : int; (* GETs that found their key (sanity) *)
+  misses : int;
+}
+
+let pool_size = 1 lsl 26 (* frames are lazily backed, so a roomy pool is free *)
+
+let region_for rt mode =
+  match mode with
+  | Runtime.Volatile -> Runtime.Dram_region
+  | _ -> Runtime.Pool_region (Runtime.create_pool rt ~name:"kv" ~size:pool_size)
+
+(* Run one YCSB spec against one index structure in one mode. *)
+let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default)
+    (spec : Workload.spec) : result =
+  let rt = Runtime.create ~cfg ~mode () in
+  let region = region_for rt mode in
+  let m = M.create rt region in
+  (* Pre-generate the op stream and stage the keys in a DRAM buffer the
+     driver reads back during the run. *)
+  let ops = ref [] in
+  Workload.iter_ops spec (fun op -> ops := op :: !ops);
+  let ops = Array.of_list (List.rev !ops) in
+  let key_buf =
+    Mem.map_fresh (Runtime.mem rt) Layout.Dram (Array.length ops * 8)
+  in
+  Array.iteri
+    (fun i op ->
+      let key =
+        match op with
+        | Workload.Read k | Workload.Update (k, _) | Workload.Insert (k, _) ->
+            k
+      in
+      Mem.write_word (Runtime.mem rt) (Int64.add key_buf (Int64.of_int (i * 8))) key)
+    ops;
+  (* Load phase. *)
+  for i = 0 to spec.Workload.record_count - 1 do
+    M.insert m ~key:(Workload.key_of_index i) ~value:(Int64.of_int i)
+  done;
+  let load = Runtime.snapshot rt in
+  let c0 = copy_counters (Runtime.counters rt) in
+  (* Run phase. *)
+  let hits = ref 0 and misses = ref 0 in
+  Array.iteri
+    (fun i op ->
+      (* Driver work: fetch the key from the request buffer, dispatch. *)
+      let key = Runtime.load_word rt ~site:s_driver key_buf ~off:(i * 8) in
+      Runtime.instr rt 10;
+      match op with
+      | Workload.Read _ -> (
+          match M.find m key with
+          | Some _ -> incr hits
+          | None -> incr misses)
+      | Workload.Update (_, v) | Workload.Insert (_, v) ->
+          M.insert m ~key ~value:v)
+    ops;
+  let after = Runtime.snapshot rt in
+  {
+    benchmark = M.name;
+    mode;
+    load;
+    run = Cpu.diff_snapshot after load;
+    checks = counter_diff (Runtime.counters rt) c0;
+    hits = !hits;
+    misses = !misses;
+  }
+
+(* The separate LL harness: build [nodes] nodes of two pointers and a
+   16-byte value, then iterate the list accumulating the values. *)
+let run_ll ~mode ?(cfg = Nvml_arch.Config.default) ?(nodes = 10_000)
+    ?(iterations = 10) () : result =
+  let rt = Runtime.create ~cfg ~mode () in
+  let region = region_for rt mode in
+  let l = Linked_list.create rt region in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to nodes do
+    Linked_list.append l
+      ~v0:(Random.State.int64 rng Int64.max_int)
+      ~v1:(Random.State.int64 rng Int64.max_int)
+  done;
+  let load = Runtime.snapshot rt in
+  let c0 = copy_counters (Runtime.counters rt) in
+  let sum = ref 0L in
+  for _ = 1 to iterations do
+    sum := Linked_list.iterate_sum l
+  done;
+  let after = Runtime.snapshot rt in
+  {
+    benchmark = "LL";
+    mode;
+    load;
+    run = Cpu.diff_snapshot after load;
+    checks = counter_diff (Runtime.counters rt) c0;
+    hits = nodes;
+    misses = 0;
+  }
+
+(* Run a named benchmark (Table III) in a mode. *)
+let run_benchmark name ~mode ?cfg (spec : Workload.spec) : result =
+  if String.lowercase_ascii name = "ll" then
+    run_ll ~mode ?cfg ~nodes:spec.Workload.record_count ()
+  else run_map (Nvml_structures.Registry.find_map name) ~mode ?cfg spec

@@ -1,0 +1,55 @@
+(** The key-value store harness of Section VII-A: a driver mapping
+    8-byte keys to 8-byte values through a pluggable index structure,
+    loading an initial population and replaying a YCSB operation stream,
+    measuring the run phase in the timing model.  The driver's key
+    buffer lives in simulated DRAM, so volatile accesses interleave with
+    the library's persistent accesses as in a real run. *)
+
+module Cpu = Nvml_arch.Cpu
+module Xlate = Nvml_core.Xlate
+module Runtime = Nvml_runtime.Runtime
+module Workload = Nvml_ycsb.Workload
+
+type counter_delta = {
+  dynamic_checks : int;
+  abs_to_rel : int;
+  rel_to_abs : int;
+  volatile_escapes : int;
+}
+
+type result = {
+  benchmark : string;
+  mode : Runtime.mode;
+  load : Cpu.snapshot;  (** load-phase deltas *)
+  run : Cpu.snapshot;  (** run-phase deltas — what the figures report *)
+  checks : counter_delta;  (** run-phase conversion/check counts *)
+  hits : int;
+  misses : int;
+}
+
+val pool_size : int
+
+val run_map :
+  Nvml_structures.Intf.ordered_map ->
+  mode:Runtime.mode ->
+  ?cfg:Nvml_arch.Config.t ->
+  Workload.spec ->
+  result
+
+val run_ll :
+  mode:Runtime.mode ->
+  ?cfg:Nvml_arch.Config.t ->
+  ?nodes:int ->
+  ?iterations:int ->
+  unit ->
+  result
+(** The separate LL harness: build [nodes] nodes, iterate accumulating
+    the values. *)
+
+val run_benchmark :
+  string ->
+  mode:Runtime.mode ->
+  ?cfg:Nvml_arch.Config.t ->
+  Workload.spec ->
+  result
+(** Run a Table III benchmark by name ("LL" routes to {!run_ll}). *)

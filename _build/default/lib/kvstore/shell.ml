@@ -1,0 +1,136 @@
+(* An interactive persistent key-value store: the "aha" demo of the
+   whole stack.  A session owns a simulated machine with one pool and an
+   index structure anchored at the pool root; commands mutate it, and
+   `crash` power-cycles the machine — everything committed to the pool
+   survives, relocated to a fresh mapping.
+
+   Commands (one per line):
+     put <key> <value>      insert or update (integers)
+     get <key>              look up
+     del <key>              remove
+     size                   number of keys
+     keys                   list keys in order
+     crash                  power-cycle; recover from the pool root
+     stats                  timing-model counters so far
+     help                   this list
+
+   The command interpreter is a plain function over strings so tests can
+   drive a session without a terminal. *)
+
+module Cpu = Nvml_arch.Cpu
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Intf = Nvml_structures.Intf
+
+let site = Site.make ~static:true "shell"
+
+type t = {
+  rt : Runtime.t;
+  pool : int;
+  structure : Intf.ordered_map;
+  mutable map_header : Nvml_core.Ptr.t;
+  mutable crashes : int;
+}
+
+let pool_size = 1 lsl 22
+
+let create ?(mode = Runtime.Hw) ?(structure = "RB") () =
+  let rt = Runtime.create ~mode () in
+  let pool = Runtime.create_pool rt ~name:"shell" ~size:pool_size in
+  let structure = Nvml_structures.Registry.find_map structure in
+  let module M = (val structure : Intf.ORDERED_MAP) in
+  let m = M.create rt (Runtime.Pool_region pool) in
+  Runtime.set_root rt ~site ~pool (M.header m);
+  { rt; pool; structure; map_header = M.header m; crashes = 0 }
+
+(* Monomorphic operation record over the existentially typed map. *)
+type ops = {
+  insert : key:int64 -> value:int64 -> unit;
+  find : int64 -> int64 option;
+  remove : int64 -> bool;
+  size : unit -> int;
+  iter : (key:int64 -> value:int64 -> unit) -> unit;
+  check : unit -> unit;
+}
+
+let ops t : ops =
+  let module M = (val t.structure : Intf.ORDERED_MAP) in
+  let m = M.attach t.rt t.map_header in
+  {
+    insert = (fun ~key ~value -> M.insert m ~key ~value);
+    find = (fun k -> M.find m k);
+    remove = (fun k -> M.remove m k);
+    size = (fun () -> M.size m);
+    iter = (fun f -> M.iter m f);
+    check = (fun () -> M.check_invariants m);
+  }
+
+(* One command in, list of reply lines out. *)
+let exec t (line : string) : string list =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  let int_arg s =
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Fmt.str "not an integer: %S" s)
+  in
+  match words with
+  | [] -> []
+  | [ "help" ] ->
+      [
+        "put <key> <value>   insert or update";
+        "get <key>           look up";
+        "del <key>           remove";
+        "size                number of keys";
+        "keys                list keys in order";
+        "crash               power-cycle the machine";
+        "stats               timing-model counters";
+        "quit                leave";
+      ]
+  | [ "put"; k; v ] -> (
+      match (int_arg k, int_arg v) with
+      | Ok key, Ok value ->
+          (ops t).insert ~key ~value;
+          [ "ok" ]
+      | Error e, _ | _, Error e -> [ "error: " ^ e ])
+  | [ "get"; k ] -> (
+      match int_arg k with
+      | Ok key -> (
+          match (ops t).find key with
+          | Some v -> [ Int64.to_string v ]
+          | None -> [ "(not found)" ])
+      | Error e -> [ "error: " ^ e ])
+  | [ "del"; k ] -> (
+      match int_arg k with
+      | Ok key -> if (ops t).remove key then [ "ok" ] else [ "(not found)" ]
+      | Error e -> [ "error: " ^ e ])
+  | [ "size" ] -> [ string_of_int ((ops t).size ()) ]
+  | [ "keys" ] -> (
+      let acc = ref [] in
+      (ops t).iter (fun ~key ~value:_ -> acc := Int64.to_string key :: !acc);
+      match List.rev !acc with [] -> [ "(empty)" ] | keys -> keys)
+  | [ "crash" ] ->
+      t.crashes <- t.crashes + 1;
+      Runtime.crash_and_restart t.rt;
+      ignore (Runtime.open_pool t.rt "shell");
+      t.map_header <- Runtime.get_root t.rt ~site ~pool:t.pool;
+      let o = ops t in
+      o.check ();
+      [
+        Fmt.str "crashed and recovered (%d keys intact, crash #%d)"
+          (o.size ()) t.crashes;
+      ]
+  | [ "stats" ] ->
+      let s = Runtime.snapshot t.rt in
+      [
+        Fmt.str "cycles       %d" s.Cpu.cycles;
+        Fmt.str "instructions %d" s.Cpu.instrs;
+        Fmt.str "accesses     %d (%d NVM, %d storeP)" s.Cpu.mem_accesses
+          s.Cpu.nvm_accesses s.Cpu.storeps;
+        Fmt.str "POLB         %d accesses, %d misses" s.Cpu.polb_accesses
+          s.Cpu.polb_misses;
+        Fmt.str "crashes      %d" t.crashes;
+      ]
+  | cmd :: _ -> [ Fmt.str "unknown command %S (try help)" cmd ]

@@ -1,0 +1,15 @@
+(** An interactive persistent key-value store over the simulator: one
+    pool, one index structure anchored at the pool root, a line-oriented
+    command interpreter ([put]/[get]/[del]/[size]/[keys]/[crash]/
+    [stats]/[help]) and a [crash] command that power-cycles the machine
+    — committed data survives, relocated to a fresh mapping. *)
+
+module Runtime = Nvml_runtime.Runtime
+
+type t
+
+val create : ?mode:Runtime.mode -> ?structure:string -> unit -> t
+(** [structure] names any registry structure (default "RB"). *)
+
+val exec : t -> string -> string list
+(** Execute one command line; returns the reply lines. *)

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Ast Fmt Hashtbl Int64 List Nvml_core Nvml_runtime Nvml_simmem Option Stdlib Types

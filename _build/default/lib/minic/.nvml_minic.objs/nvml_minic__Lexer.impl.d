@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Fmt Int64 List String

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Fmt Int64 Lexer List

@@ -1,0 +1,1 @@
+lib/minic/types.ml: Ast Fmt Hashtbl List Option Stdlib

@@ -1,0 +1,169 @@
+(* Mini-C: a small C-like language covering the full pointer-operation
+   repertoire of the paper's Fig. 4 — casts, unary operators, pointer
+   assignment, pointer arithmetic and difference, relational/equality
+   and logical operators, conditional expressions, indexing, member
+   access through pointers, and address-of.
+
+   The soundness experiments of Section VII-B are reproduced by running
+   corpus programs under the volatile allocator and under
+   pmalloc-everything (the libvmmalloc setup) and comparing outputs;
+   the compiler experiments run the pointer-property inference over the
+   same ASTs. *)
+
+type ty =
+  | Tint (* 64-bit *)
+  | Tptr of ty
+  | Tstruct of string
+  | Tarray of ty * int
+  | Tvoid
+  | Tfunptr (* opaque pointer-to-function; calls return int *)
+
+let rec pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_ty t
+  | Tstruct s -> Fmt.pf ppf "struct %s" s
+  | Tarray (t, n) -> Fmt.pf ppf "%a[%d]" pp_ty t n
+  | Tvoid -> Fmt.string ppf "void"
+  | Tfunptr -> Fmt.string ppf "fnptr"
+
+type struct_def = { sname : string; fields : (string * ty) list }
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | And | Or
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Neg | Not | Bnot
+
+(* Every expression node carries a unique id assigned by the builder;
+   the compiler pass keys its check-elimination decisions on these ids
+   and the interpreter keys branch-predictor PCs on them. *)
+type expr = { id : int; e : expr_desc }
+
+and expr_desc =
+  | EInt of int64
+  | ENull
+  | EVar of string
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | EAssign of expr * expr (* lvalue = value *)
+  | EDeref of expr
+  | EAddr of expr (* &lvalue *)
+  | EIndex of expr * expr (* pointer[index] *)
+  | EArrow of expr * string (* pointer->field *)
+  | ECall of string * expr list
+  | ECallPtr of expr * expr list (* call through a function pointer *)
+  | ECast of ty * expr
+  | ECond of expr * expr * expr
+  | ESizeof of ty
+  | EIncr of { pre : bool; up : bool; lv : expr } (* ++/-- pre/post *)
+
+type stmt =
+  | SExpr of expr
+  | SDecl of string * ty * expr option
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SFor of stmt option * expr option * expr option * stmt list
+      (* for (init; cond; step) body — native so continue skips to step *)
+  | SBreak
+  | SContinue
+  | SReturn of expr option
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty;
+  body : stmt list;
+}
+
+type program = { structs : struct_def list; funcs : func list }
+
+(* --- builders -------------------------------------------------------- *)
+
+let next_id = ref 0
+
+let mk e =
+  incr next_id;
+  { id = !next_id; e }
+
+let int_ i = mk (EInt (Int64.of_int i))
+let i64 i = mk (EInt i)
+let null = mk ENull
+let var v = mk (EVar v)
+let unop op e = mk (EUnop (op, e))
+let binop op a b = mk (EBinop (op, a, b))
+let assign lv e = mk (EAssign (lv, e))
+let deref e = mk (EDeref e)
+let addr e = mk (EAddr e)
+let index a i = mk (EIndex (a, i))
+let arrow p f = mk (EArrow (p, f))
+let call f args = mk (ECall (f, args))
+let call_ptr f args = mk (ECallPtr (f, args))
+let cast ty e = mk (ECast (ty, e))
+let cond c a b = mk (ECond (c, a, b))
+let sizeof ty = mk (ESizeof ty)
+let pre_incr lv = mk (EIncr { pre = true; up = true; lv })
+let post_incr lv = mk (EIncr { pre = false; up = true; lv })
+let pre_decr lv = mk (EIncr { pre = true; up = false; lv })
+let post_decr lv = mk (EIncr { pre = false; up = false; lv })
+
+let ( + ) a b = binop Add a b
+let ( - ) a b = binop Sub a b
+let ( * ) a b = binop Mul a b
+let ( < ) a b = binop Lt a b
+let ( > ) a b = binop Gt a b
+let ( <= ) a b = binop Le a b
+let ( >= ) a b = binop Ge a b
+let ( == ) a b = binop Eq a b
+let ( != ) a b = binop Ne a b
+let ( && ) a b = binop And a b
+let ( || ) a b = binop Or a b
+
+let fn fname ?(params = []) ?(ret = Tint) body = { fname; params; ret; body }
+let prog ?(structs = []) funcs = { structs; funcs }
+
+(* --- generic traversal ------------------------------------------------ *)
+
+let rec iter_expr f (e : expr) =
+  f e;
+  match e.e with
+  | EInt _ | ENull | EVar _ | ESizeof _ -> ()
+  | EUnop (_, a) | EDeref a | EAddr a | ECast (_, a) | EArrow (a, _) ->
+      iter_expr f a
+  | EBinop (_, a, b) | EAssign (a, b) | EIndex (a, b) ->
+      iter_expr f a;
+      iter_expr f b
+  | ECond (a, b, c) ->
+      iter_expr f a;
+      iter_expr f b;
+      iter_expr f c
+  | ECall (_, args) -> List.iter (iter_expr f) args
+  | ECallPtr (callee, args) ->
+      iter_expr f callee;
+      List.iter (iter_expr f) args
+  | EIncr { lv; _ } -> iter_expr f lv
+
+let rec iter_stmt ~expr ~stmt (s : stmt) =
+  stmt s;
+  match s with
+  | SExpr e -> iter_expr expr e
+  | SDecl (_, _, Some e) -> iter_expr expr e
+  | SDecl (_, _, None) -> ()
+  | SIf (c, a, b) ->
+      iter_expr expr c;
+      List.iter (iter_stmt ~expr ~stmt) a;
+      List.iter (iter_stmt ~expr ~stmt) b
+  | SWhile (c, body) ->
+      iter_expr expr c;
+      List.iter (iter_stmt ~expr ~stmt) body
+  | SFor (init, c, step, body) ->
+      Option.iter (iter_stmt ~expr ~stmt) init;
+      Option.iter (iter_expr expr) c;
+      Option.iter (iter_expr expr) step;
+      List.iter (iter_stmt ~expr ~stmt) body
+  | SBreak | SContinue -> ()
+  | SReturn (Some e) -> iter_expr expr e
+  | SReturn None -> ()
+
+let iter_func ~expr ~stmt (f : func) = List.iter (iter_stmt ~expr ~stmt) f.body

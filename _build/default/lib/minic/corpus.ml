@@ -1,0 +1,801 @@
+(* The soundness corpus: mini-C programs collectively covering every
+   pointer-operation row of Fig. 4 — casts, unary operators, pointer
+   assignment in all location/format combinations, pointer arithmetic
+   and difference, relational/equality/logical operators, conditional
+   expressions, indexing, member access and calls through pointers.
+
+   Section VII-B's experiment is reproduced by running each program
+   twice — heap in DRAM (native) and heap in a pool (libvmmalloc) — and
+   comparing outputs. *)
+
+open Ast
+
+
+
+let print e = SExpr (call "print" [ e ])
+
+(* --- 1: array fill/sum via indexing and pointer increment -------------- *)
+
+let array_sum =
+  prog
+    [
+      fn "main"
+        [
+          SDecl ("a", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 80 ])));
+          SDecl ("i", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 10,
+              [
+                SExpr (assign (index (var "a") (var "i")) (var "i" * var "i"));
+                SExpr (pre_incr (var "i"));
+              ] );
+          (* Sum with a moving pointer and pointer comparison. *)
+          SDecl ("p", Tptr Tint, Some (var "a"));
+          SDecl ("last", Tptr Tint, Some (var "a" + int_ 10));
+          SDecl ("sum", Tint, Some (int_ 0));
+          SWhile
+            ( binop Lt (var "p") (var "last"),
+              [
+                SExpr (assign (var "sum") (var "sum" + deref (var "p")));
+                SExpr (post_incr (var "p"));
+              ] );
+          print (var "sum");
+          (* Pointer difference: p - a = 10 elements. *)
+          print (var "p" - var "a");
+          SExpr (call "free" [ var "a" ]);
+          SReturn (Some (var "sum"));
+        ];
+    ]
+
+(* --- 2: singly linked list build, traverse, in-place reverse ------------ *)
+
+let node_struct =
+  { sname = "node"; fields = [ ("value", Tint); ("next", Tptr (Tstruct "node")) ] }
+
+let linked_list =
+  prog ~structs:[ node_struct ]
+    [
+      fn "main"
+        [
+          SDecl ("head", Tptr (Tstruct "node"), Some null);
+          SDecl ("i", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 8,
+              [
+                SDecl
+                  ( "n",
+                    Tptr (Tstruct "node"),
+                    Some
+                      (cast (Tptr (Tstruct "node"))
+                         (call "malloc" [ sizeof (Tstruct "node") ])) );
+                SExpr (assign (arrow (var "n") "value") (var "i"));
+                SExpr (assign (arrow (var "n") "next") (var "head"));
+                SExpr (assign (var "head") (var "n"));
+                SExpr (pre_incr (var "i"));
+              ] );
+          (* Traverse and sum. *)
+          SDecl ("p", Tptr (Tstruct "node"), Some (var "head"));
+          SDecl ("sum", Tint, Some (int_ 0));
+          SWhile
+            ( binop Ne (var "p") null,
+              [
+                SExpr (assign (var "sum") (var "sum" + arrow (var "p") "value"));
+                SExpr (assign (var "p") (arrow (var "p") "next"));
+              ] );
+          print (var "sum");
+          (* In-place reverse. *)
+          SDecl ("prev", Tptr (Tstruct "node"), Some null);
+          SExpr (assign (var "p") (var "head"));
+          SWhile
+            ( binop Ne (var "p") null,
+              [
+                SDecl ("nx", Tptr (Tstruct "node"), Some (arrow (var "p") "next"));
+                SExpr (assign (arrow (var "p") "next") (var "prev"));
+                SExpr (assign (var "prev") (var "p"));
+                SExpr (assign (var "p") (var "nx"));
+              ] );
+          (* First element after reversal should be 0. *)
+          print (arrow (var "prev") "value");
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 3: swap through pointer parameters (opaque to inference) ---------- *)
+
+let swap =
+  prog
+    [
+      fn "do_swap"
+        ~params:[ ("x", Tptr Tint); ("y", Tptr Tint) ]
+        ~ret:Tvoid
+        [
+          SDecl ("tmp", Tint, Some (deref (var "x")));
+          SExpr (assign (deref (var "x")) (deref (var "y")));
+          SExpr (assign (deref (var "y")) (var "tmp"));
+          SReturn None;
+        ];
+      fn "main"
+        [
+          SDecl ("a", Tint, Some (int_ 3));
+          SDecl ("b", Tint, Some (int_ 9));
+          (* Stack addresses into a function — the pdy/pxv cases. *)
+          SExpr (call "do_swap" [ addr (var "a"); addr (var "b") ]);
+          print (var "a");
+          print (var "b");
+          (* Heap addresses through the same function. *)
+          SDecl ("h", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 16 ])));
+          SExpr (assign (index (var "h") (int_ 0)) (int_ 100));
+          SExpr (assign (index (var "h") (int_ 1)) (int_ 200));
+          SExpr
+            (call "do_swap"
+               [ addr (deref (var "h")); addr (index (var "h") (int_ 1)) ]);
+          print (index (var "h") (int_ 0));
+          print (index (var "h") (int_ 1));
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 4: pointer arithmetic in every direction --------------------------- *)
+
+let pointer_arith =
+  prog
+    [
+      fn "main"
+        [
+          SDecl ("a", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 64 ])));
+          SDecl ("i", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 8,
+              [
+                SExpr (assign (index (var "a") (var "i")) (int_ 10 * var "i"));
+                SExpr (pre_incr (var "i"));
+              ] );
+          SDecl ("p", Tptr Tint, Some (var "a" + int_ 3)); (* p + i *)
+          print (deref (var "p"));
+          SDecl ("q", Tptr Tint, Some (binop Add (int_ 2) (var "a"))); (* i + p *)
+          print (deref (var "q"));
+          SExpr (assign (var "p") (var "p" - int_ 1)); (* p - i *)
+          print (deref (var "p"));
+          print (var "p" - var "q"); (* pointer difference: 0 *)
+          print (binop Eq (var "p") (var "q")); (* equality across copies *)
+          print (binop Le (var "a") (var "p"));
+          print (binop Gt (var "p") (var "a"));
+          (* p[i] with a moved base *)
+          print (index (var "p") (int_ 4));
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 5: casts between integers and pointers ------------------------------ *)
+
+let casts =
+  prog
+    [
+      fn "main"
+        [
+          SDecl ("a", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 32 ])));
+          SExpr (assign (index (var "a") (int_ 2)) (int_ 77));
+          (* (I)p, integer arithmetic on the address, back to (T* )i. *)
+          SDecl ("raw", Tint, Some (cast Tint (var "a")));
+          SDecl ("p", Tptr Tint, Some (cast (Tptr Tint) (var "raw" + int_ 16)));
+          print (deref (var "p"));
+          (* Addresses via (I) of two pointers differ by 16 bytes. *)
+          print (cast Tint (var "p") - cast Tint (var "a"));
+          (* NULL round-trips. *)
+          SDecl ("z", Tptr Tint, Some (cast (Tptr Tint) (int_ 0)));
+          print (unop Not (var "z"));
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 6: logical and conditional operators on pointers -------------------- *)
+
+let cond_logic =
+  prog
+    [
+      fn "main"
+        [
+          SDecl ("a", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 8 ])));
+          SDecl ("z", Tptr Tint, Some null);
+          SExpr (assign (deref (var "a")) (int_ 5));
+          (* p ? e : e *)
+          print (cond (var "a") (int_ 1) (int_ 0));
+          print (cond (var "z") (int_ 1) (int_ 0));
+          (* !p, p && q, p || q *)
+          print (unop Not (var "a"));
+          print (unop Not (var "z"));
+          print (var "a" && var "a");
+          print (var "z" || var "a");
+          print (var "z" && var "a");
+          (* Deref guarded by the pointer itself. *)
+          print (cond (var "a") (deref (var "a")) (int_ (-1)));
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 7: binary search tree through an opaque insert function ------------- *)
+
+let tree_struct =
+  {
+    sname = "tnode";
+    fields =
+      [
+        ("key", Tint);
+        ("left", Tptr (Tstruct "tnode"));
+        ("right", Tptr (Tstruct "tnode"));
+      ];
+  }
+
+let binary_tree =
+  prog ~structs:[ tree_struct ]
+    [
+      fn "insert"
+        ~params:[ ("root", Tptr (Tstruct "tnode")); ("key", Tint) ]
+        ~ret:(Tptr (Tstruct "tnode"))
+        [
+          SIf
+            ( binop Eq (var "root") null,
+              [
+                SDecl
+                  ( "n",
+                    Tptr (Tstruct "tnode"),
+                    Some
+                      (cast (Tptr (Tstruct "tnode"))
+                         (call "malloc" [ sizeof (Tstruct "tnode") ])) );
+                SExpr (assign (arrow (var "n") "key") (var "key"));
+                SExpr (assign (arrow (var "n") "left") null);
+                SExpr (assign (arrow (var "n") "right") null);
+                SReturn (Some (var "n"));
+              ],
+              [] );
+          SIf
+            ( var "key" < arrow (var "root") "key",
+              [
+                SExpr
+                  (assign (arrow (var "root") "left")
+                     (call "insert" [ arrow (var "root") "left"; var "key" ]));
+              ],
+              [
+                SExpr
+                  (assign (arrow (var "root") "right")
+                     (call "insert" [ arrow (var "root") "right"; var "key" ]));
+              ] );
+          SReturn (Some (var "root"));
+        ];
+      fn "sum"
+        ~params:[ ("root", Tptr (Tstruct "tnode")) ]
+        [
+          SIf (binop Eq (var "root") null, [ SReturn (Some (int_ 0)) ], []);
+          SReturn
+            (Some
+               (arrow (var "root") "key"
+               + call "sum" [ arrow (var "root") "left" ]
+               + call "sum" [ arrow (var "root") "right" ]));
+        ];
+      fn "main"
+        [
+          SDecl ("root", Tptr (Tstruct "tnode"), Some null);
+          SDecl ("i", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 16,
+              [
+                SExpr
+                  (assign (var "root")
+                     (call "insert" [ var "root"; binop Mod (var "i" * int_ 7) (int_ 16) ]));
+                SExpr (pre_incr (var "i"));
+              ] );
+          print (call "sum" [ var "root" ]);
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 8: pointer-to-pointer (matrix as array of row pointers) ------------- *)
+
+let ptr_to_ptr =
+  prog
+    [
+      fn "main"
+        [
+          SDecl
+            ( "rows",
+              Tptr (Tptr Tint),
+              Some (cast (Tptr (Tptr Tint)) (call "malloc" [ int_ 32 ])) );
+          SDecl ("r", Tint, Some (int_ 0));
+          SWhile
+            ( var "r" < int_ 4,
+              [
+                SExpr
+                  (assign (index (var "rows") (var "r"))
+                     (cast (Tptr Tint) (call "malloc" [ int_ 32 ])));
+                SDecl ("c", Tint, Some (int_ 0));
+                SWhile
+                  ( var "c" < int_ 4,
+                    [
+                      SExpr
+                        (assign
+                           (index (index (var "rows") (var "r")) (var "c"))
+                           (var "r" * int_ 4 + var "c"));
+                      SExpr (pre_incr (var "c"));
+                    ] );
+                SExpr (pre_incr (var "r"));
+              ] );
+          (* Trace: sum of diagonal. *)
+          SDecl ("i", Tint, Some (int_ 0));
+          SDecl ("acc", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 4,
+              [
+                SExpr
+                  (assign (var "acc")
+                     (var "acc" + index (index (var "rows") (var "i")) (var "i")));
+                SExpr (pre_incr (var "i"));
+              ] );
+          print (var "acc");
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 9: increments and decrements, pre and post, on both kinds ----------- *)
+
+let incr_ops =
+  prog
+    [
+      fn "main"
+        [
+          SDecl ("a", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 40 ])));
+          SDecl ("i", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 5,
+              [
+                SExpr (assign (index (var "a") (var "i")) (var "i" + int_ 1));
+                SExpr (post_incr (var "i"));
+              ] );
+          SDecl ("p", Tptr Tint, Some (var "a"));
+          print (deref (post_incr (var "p"))); (* 1, then p moves *)
+          print (deref (var "p")); (* 2 *)
+          print (deref (pre_incr (var "p"))); (* 3 *)
+          SExpr (pre_decr (var "p"));
+          print (deref (var "p")); (* 2 *)
+          SDecl ("n", Tint, Some (int_ 10));
+          print (post_decr (var "n")); (* 10 *)
+          print (pre_decr (var "n")); (* 8 *)
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 10: a struct graph with cross and self references ------------------- *)
+
+let graph_struct =
+  {
+    sname = "gnode";
+    fields =
+      [
+        ("id", Tint);
+        ("peer", Tptr (Tstruct "gnode"));
+        ("self", Tptr (Tstruct "gnode"));
+      ];
+  }
+
+let struct_graph =
+  prog ~structs:[ graph_struct ]
+    [
+      fn "main"
+        [
+          SDecl
+            ( "a",
+              Tptr (Tstruct "gnode"),
+              Some (cast (Tptr (Tstruct "gnode"))
+                      (call "malloc" [ sizeof (Tstruct "gnode") ])) );
+          SDecl
+            ( "b",
+              Tptr (Tstruct "gnode"),
+              Some (cast (Tptr (Tstruct "gnode"))
+                      (call "malloc" [ sizeof (Tstruct "gnode") ])) );
+          SExpr (assign (arrow (var "a") "id") (int_ 1));
+          SExpr (assign (arrow (var "b") "id") (int_ 2));
+          SExpr (assign (arrow (var "a") "peer") (var "b"));
+          SExpr (assign (arrow (var "b") "peer") (var "a"));
+          SExpr (assign (arrow (var "a") "self") (var "a"));
+          (* Chase: a->peer->peer->self->id = 1 *)
+          print (arrow (arrow (arrow (arrow (var "a") "peer") "peer") "self") "id");
+          (* Self-reference equality. *)
+          print (binop Eq (arrow (var "a") "self") (var "a"));
+          print (binop Eq (arrow (var "a") "peer") (var "a"));
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 11: deep call chains keep pointers opaque ---------------------------- *)
+
+let call_chain =
+  prog
+    [
+      fn "read3" ~params:[ ("p", Tptr Tint) ] [ SReturn (Some (deref (var "p"))) ];
+      fn "read2" ~params:[ ("p", Tptr Tint) ]
+        [ SReturn (Some (call "read3" [ var "p" ])) ];
+      fn "read1" ~params:[ ("p", Tptr Tint) ]
+        [ SReturn (Some (call "read2" [ var "p" ])) ];
+      fn "main"
+        [
+          SDecl ("h", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 8 ])));
+          SExpr (assign (deref (var "h")) (int_ 1234));
+          print (call "read1" [ var "h" ]);
+          SDecl ("s", Tint, Some (int_ 777));
+          print (call "read1" [ addr (var "s") ]);
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 12: recursion with only scalars (control-flow reference) ------------- *)
+
+let fibonacci =
+  prog
+    [
+      fn "fib" ~params:[ ("n", Tint) ]
+        [
+          SIf (var "n" < int_ 2, [ SReturn (Some (var "n")) ], []);
+          SReturn (Some (call "fib" [ var "n" - int_ 1 ] + call "fib" [ var "n" - int_ 2 ]));
+        ];
+      fn "main" [ print (call "fib" [ int_ 15 ]); SReturn (Some (int_ 0)) ];
+    ]
+
+(* --- 13: mixed volatile/persistent stores through one helper -------------- *)
+
+let mixed_stores =
+  prog
+    [
+      fn "put" ~params:[ ("dst", Tptr Tint); ("v", Tint) ] ~ret:Tvoid
+        [ SExpr (assign (deref (var "dst")) (var "v")); SReturn None ];
+      fn "main"
+        [
+          SDecl ("heap", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 8 ])));
+          SDecl ("stack", Tint, Some (int_ 0));
+          (* Same store site hits NVM heap and DRAM stack alternately —
+             the case that defeats static inference. *)
+          SDecl ("i", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 10,
+              [
+                SIf
+                  ( binop Mod (var "i") (int_ 2) == int_ 0,
+                    [ SExpr (call "put" [ var "heap"; var "i" ]) ],
+                    [ SExpr (call "put" [ addr (var "stack"); var "i" ]) ] );
+                SExpr (pre_incr (var "i"));
+              ] );
+          print (deref (var "heap"));
+          print (var "stack");
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 14: doubly linked list, forward and backward traversal --------------- *)
+
+let dnode_struct =
+  {
+    sname = "dnode";
+    fields =
+      [
+        ("value", Tint);
+        ("next", Tptr (Tstruct "dnode"));
+        ("prev", Tptr (Tstruct "dnode"));
+      ];
+  }
+
+let dlist_walk =
+  prog ~structs:[ dnode_struct ]
+    [
+      fn "main"
+        [
+          SDecl ("head", Tptr (Tstruct "dnode"), Some null);
+          SDecl ("tail", Tptr (Tstruct "dnode"), Some null);
+          SDecl ("i", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 10,
+              [
+                SDecl
+                  ( "n",
+                    Tptr (Tstruct "dnode"),
+                    Some
+                      (cast (Tptr (Tstruct "dnode"))
+                         (call "malloc" [ sizeof (Tstruct "dnode") ])) );
+                SExpr (assign (arrow (var "n") "value") (var "i" * int_ 3));
+                SExpr (assign (arrow (var "n") "next") null);
+                SExpr (assign (arrow (var "n") "prev") (var "tail"));
+                SIf
+                  ( binop Eq (var "tail") null,
+                    [ SExpr (assign (var "head") (var "n")) ],
+                    [ SExpr (assign (arrow (var "tail") "next") (var "n")) ] );
+                SExpr (assign (var "tail") (var "n"));
+                SExpr (pre_incr (var "i"));
+              ] );
+          (* Forward sum through loaded next pointers. *)
+          SDecl ("p", Tptr (Tstruct "dnode"), Some (var "head"));
+          SDecl ("fwd", Tint, Some (int_ 0));
+          SWhile
+            ( binop Ne (var "p") null,
+              [
+                SExpr (assign (var "fwd") (var "fwd" + arrow (var "p") "value"));
+                SExpr (assign (var "p") (arrow (var "p") "next"));
+              ] );
+          print (var "fwd");
+          (* Backward sum through loaded prev pointers. *)
+          SExpr (assign (var "p") (var "tail"));
+          SDecl ("bwd", Tint, Some (int_ 0));
+          SWhile
+            ( binop Ne (var "p") null,
+              [
+                SExpr (assign (var "bwd") (var "bwd" + arrow (var "p") "value"));
+                SExpr (assign (var "p") (arrow (var "p") "prev"));
+              ] );
+          print (var "bwd");
+          print (binop Eq (var "fwd") (var "bwd"));
+          (* Link symmetry: head->next->prev == head *)
+          print
+            (binop Eq
+               (arrow (arrow (var "head") "next") "prev")
+               (var "head"));
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 15: sorted insertion into a list through loaded pointers ------------- *)
+
+let sorted_insert =
+  prog ~structs:[ node_struct ]
+    [
+      (* Insert preserving ascending order; head passed and returned. *)
+      fn "ins"
+        ~params:[ ("head", Tptr (Tstruct "node")); ("v", Tint) ]
+        ~ret:(Tptr (Tstruct "node"))
+        [
+          SDecl
+            ( "n",
+              Tptr (Tstruct "node"),
+              Some
+                (cast (Tptr (Tstruct "node"))
+                   (call "malloc" [ sizeof (Tstruct "node") ])) );
+          SExpr (assign (arrow (var "n") "value") (var "v"));
+          SIf
+            ( binop Eq (var "head") null
+              || var "v" < arrow (var "head") "value",
+              [
+                SExpr (assign (arrow (var "n") "next") (var "head"));
+                SReturn (Some (var "n"));
+              ],
+              [] );
+          SDecl ("p", Tptr (Tstruct "node"), Some (var "head"));
+          SWhile
+            ( binop Ne (arrow (var "p") "next") null
+              && arrow (arrow (var "p") "next") "value" < var "v",
+              [ SExpr (assign (var "p") (arrow (var "p") "next")) ] );
+          SExpr (assign (arrow (var "n") "next") (arrow (var "p") "next"));
+          SExpr (assign (arrow (var "p") "next") (var "n"));
+          SReturn (Some (var "head"));
+        ];
+      fn "main"
+        [
+          SDecl ("head", Tptr (Tstruct "node"), Some null);
+          SDecl ("i", Tint, Some (int_ 0));
+          SWhile
+            ( var "i" < int_ 12,
+              [
+                SExpr
+                  (assign (var "head")
+                     (call "ins" [ var "head"; binop Mod (var "i" * int_ 5) (int_ 13) ]));
+                SExpr (pre_incr (var "i"));
+              ] );
+          (* Verify sortedness and emit the sequence. *)
+          SDecl ("p", Tptr (Tstruct "node"), Some (var "head"));
+          SDecl ("sorted", Tint, Some (int_ 1));
+          SWhile
+            ( binop Ne (var "p") null,
+              [
+                print (arrow (var "p") "value");
+                SIf
+                  ( binop Ne (arrow (var "p") "next") null
+                    && arrow (arrow (var "p") "next") "value"
+                       < arrow (var "p") "value",
+                    [ SExpr (assign (var "sorted") (int_ 0)) ],
+                    [] );
+                SExpr (assign (var "p") (arrow (var "p") "next"));
+              ] );
+          print (var "sorted");
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 16: tree with parent pointers, walking up from a leaf ---------------- *)
+
+let pnode_struct =
+  {
+    sname = "pnode";
+    fields =
+      [
+        ("key", Tint);
+        ("left", Tptr (Tstruct "pnode"));
+        ("right", Tptr (Tstruct "pnode"));
+        ("up", Tptr (Tstruct "pnode"));
+      ];
+  }
+
+let parent_walk =
+  prog ~structs:[ pnode_struct ]
+    [
+      fn "main"
+        [
+          (* Build a left spine of 6 nodes with parent links. *)
+          SDecl
+            ( "root",
+              Tptr (Tstruct "pnode"),
+              Some
+                (cast (Tptr (Tstruct "pnode"))
+                   (call "malloc" [ sizeof (Tstruct "pnode") ])) );
+          SExpr (assign (arrow (var "root") "key") (int_ 0));
+          SExpr (assign (arrow (var "root") "left") null);
+          SExpr (assign (arrow (var "root") "right") null);
+          SExpr (assign (arrow (var "root") "up") null);
+          SDecl ("cur", Tptr (Tstruct "pnode"), Some (var "root"));
+          SDecl ("i", Tint, Some (int_ 1));
+          SWhile
+            ( var "i" < int_ 6,
+              [
+                SDecl
+                  ( "n",
+                    Tptr (Tstruct "pnode"),
+                    Some
+                      (cast (Tptr (Tstruct "pnode"))
+                         (call "malloc" [ sizeof (Tstruct "pnode") ])) );
+                SExpr (assign (arrow (var "n") "key") (var "i"));
+                SExpr (assign (arrow (var "n") "left") null);
+                SExpr (assign (arrow (var "n") "right") null);
+                SExpr (assign (arrow (var "n") "up") (var "cur"));
+                SExpr (assign (arrow (var "cur") "left") (var "n"));
+                SExpr (assign (var "cur") (var "n"));
+                SExpr (pre_incr (var "i"));
+              ] );
+          (* Walk back up, accumulating keys and counting depth. *)
+          SDecl ("depth", Tint, Some (int_ 0));
+          SDecl ("acc", Tint, Some (int_ 0));
+          SWhile
+            ( binop Ne (var "cur") null,
+              [
+                SExpr (assign (var "acc") (var "acc" + arrow (var "cur") "key"));
+                SExpr (assign (var "cur") (arrow (var "cur") "up"));
+                SExpr (pre_incr (var "depth"));
+              ] );
+          print (var "acc");
+          print (var "depth");
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 17: function pointers, including persistent ones (pxr(args)) --------- *)
+
+let op_struct =
+  {
+    sname = "op";
+    fields = [ ("f", Tfunptr); ("next", Tptr (Tstruct "op")) ];
+  }
+
+let function_pointers =
+  prog ~structs:[ op_struct ]
+    [
+      fn "add2" ~params:[ ("x", Tint) ] [ SReturn (Some (var "x" + int_ 2)) ];
+      fn "triple" ~params:[ ("x", Tint) ] [ SReturn (Some (var "x" * int_ 3)) ];
+      fn "main"
+        [
+          (* A function pointer in a local. *)
+          SDecl ("g", Tfunptr, Some (var "add2"));
+          print (call "g" [ int_ 5 ]);
+          (* Function pointers stored inside persistent structs: a
+             pipeline of operations applied in order. *)
+          SDecl
+            ( "first",
+              Tptr (Tstruct "op"),
+              Some
+                (cast (Tptr (Tstruct "op"))
+                   (call "malloc" [ sizeof (Tstruct "op") ])) );
+          SDecl
+            ( "second",
+              Tptr (Tstruct "op"),
+              Some
+                (cast (Tptr (Tstruct "op"))
+                   (call "malloc" [ sizeof (Tstruct "op") ])) );
+          SExpr (assign (arrow (var "first") "f") (var "triple"));
+          SExpr (assign (arrow (var "first") "next") (var "second"));
+          SExpr (assign (arrow (var "second") "f") (var "add2"));
+          SExpr (assign (arrow (var "second") "next") null);
+          SDecl ("acc", Tint, Some (int_ 7));
+          SDecl ("p", Tptr (Tstruct "op"), Some (var "first"));
+          SWhile
+            ( binop Ne (var "p") null,
+              [
+                (* pxr(argument list): the pointer loaded from the
+                   (possibly persistent) struct is resolved, then
+                   called. *)
+                SExpr
+                  (assign (var "acc") (call_ptr (arrow (var "p") "f") [ var "acc" ]));
+                SExpr (assign (var "p") (arrow (var "p") "next"));
+              ] );
+          print (var "acc"); (* (7*3)+2 = 23 *)
+          (* Function pointer equality. *)
+          print (binop Eq (var "g") (var "add2"));
+          print (binop Eq (var "g") (var "triple"));
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- 18: for loops with break and continue --------------------------------- *)
+
+let loops =
+  prog
+    [
+      fn "main"
+        [
+          SDecl ("a", Tptr Tint, Some (cast (Tptr Tint) (call "malloc" [ int_ 80 ])));
+          (* for (i = 0; i < 10; ++i) a[i] = i * i; *)
+          SFor
+            ( Some (SDecl ("i", Tint, Some (int_ 0))),
+              Some (var "i" < int_ 10),
+              Some (pre_incr (var "i")),
+              [ SExpr (assign (index (var "a") (var "i")) (var "i" * var "i")) ]
+            );
+          (* Sum even-indexed squares, stopping at the first > 40. *)
+          SDecl ("sum", Tint, Some (int_ 0));
+          SFor
+            ( Some (SDecl ("j", Tint, Some (int_ 0))),
+              Some (var "j" < int_ 10),
+              Some (pre_incr (var "j")),
+              [
+                SIf
+                  (binop Mod (var "j") (int_ 2) == int_ 1, [ SContinue ], []);
+                SIf (index (var "a") (var "j") > int_ 40, [ SBreak ], []);
+                SExpr
+                  (assign (var "sum") (var "sum" + index (var "a") (var "j")));
+              ] );
+          print (var "sum"); (* 0 + 4 + 16 = 20, breaks at j=8 (64) *)
+          (* break/continue inside while. *)
+          SDecl ("k", Tint, Some (int_ 0));
+          SDecl ("count", Tint, Some (int_ 0));
+          SWhile
+            ( int_ 1,
+              [
+                SExpr (pre_incr (var "k"));
+                SIf (var "k" > int_ 100, [ SBreak ], []);
+                SIf
+                  (binop Mod (var "k") (int_ 7) != int_ 0, [ SContinue ], []);
+                SExpr (pre_incr (var "count"));
+              ] );
+          print (var "count"); (* multiples of 7 up to 100: 14 *)
+          SReturn (Some (int_ 0));
+        ];
+    ]
+
+(* --- the corpus ------------------------------------------------------------ *)
+
+let all : (string * program) list =
+  [
+    ("array_sum", array_sum);
+    ("linked_list", linked_list);
+    ("swap", swap);
+    ("pointer_arith", pointer_arith);
+    ("casts", casts);
+    ("cond_logic", cond_logic);
+    ("binary_tree", binary_tree);
+    ("ptr_to_ptr", ptr_to_ptr);
+    ("incr_ops", incr_ops);
+    ("struct_graph", struct_graph);
+    ("call_chain", call_chain);
+    ("fibonacci", fibonacci);
+    ("mixed_stores", mixed_stores);
+    ("dlist_walk", dlist_walk);
+    ("sorted_insert", sorted_insert);
+    ("parent_walk", parent_walk);
+    ("function_pointers", function_pointers);
+    ("loops", loops);
+  ]
+
+let find name =
+  match List.assoc_opt name all with
+  | Some p -> p
+  | None -> Fmt.invalid_arg "Corpus: unknown program %S" name

@@ -1,0 +1,9 @@
+(** The soundness corpus: mini-C programs collectively covering every
+    pointer-operation row of the paper's Fig. 4.  Section VII-B's
+    experiment replays each under native and pmalloc-everything heaps
+    and compares outputs. *)
+
+val all : (string * Ast.program) list
+
+val find : string -> Ast.program
+(** @raise Invalid_argument on unknown names. *)

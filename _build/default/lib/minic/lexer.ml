@@ -1,0 +1,286 @@
+(* Lexer for mini-C surface syntax.  Supports decimal and hex integer
+   literals, identifiers and keywords, the full operator set of the
+   Fig. 4 repertoire, and both comment styles. *)
+
+type token =
+  | INT_LIT of int64
+  | IDENT of string
+  (* keywords *)
+  | KW_INT
+  | KW_VOID
+  | KW_STRUCT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_FNPTR
+  | KW_RETURN
+  | KW_SIZEOF
+  | KW_NULL
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | QUESTION
+  | COLON
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | ASSIGN
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | SHL
+  | SHR
+  | ARROW
+  | PLUSPLUS
+  | MINUSMINUS
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keyword_of = function
+  | "int" -> Some KW_INT
+  | "void" -> Some KW_VOID
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "fnptr" -> Some KW_FNPTR
+  | "return" -> Some KW_RETURN
+  | "sizeof" -> Some KW_SIZEOF
+  | "NULL" -> Some KW_NULL
+  | _ -> None
+
+let token_name = function
+  | INT_LIT v -> Fmt.str "integer %Ld" v
+  | IDENT s -> Fmt.str "identifier %S" s
+  | KW_INT -> "'int'"
+  | KW_VOID -> "'void'"
+  | KW_STRUCT -> "'struct'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'"
+  | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'"
+  | KW_FNPTR -> "'fnptr'"
+  | KW_RETURN -> "'return'"
+  | KW_SIZEOF -> "'sizeof'"
+  | KW_NULL -> "'NULL'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | QUESTION -> "'?'"
+  | COLON -> "':'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | TILDE -> "'~'"
+  | BANG -> "'!'"
+  | ASSIGN -> "'='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | ARROW -> "'->'"
+  | PLUSPLUS -> "'++'"
+  | MINUSMINUS -> "'--'"
+  | EOF -> "end of input"
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let col st = st.pos - st.bol + 1
+
+let error st fmt =
+  Fmt.kstr (fun s -> raise (Lex_error (s, st.line, col st))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' -> (
+      match peek2 st with
+      | Some '/' ->
+          while peek st <> None && peek st <> Some '\n' do
+            advance st
+          done;
+          skip_trivia st
+      | Some '*' ->
+          advance st;
+          advance st;
+          let rec close () =
+            match (peek st, peek2 st) with
+            | Some '*', Some '/' ->
+                advance st;
+                advance st
+            | None, _ -> error st "unterminated comment"
+            | _ ->
+                advance st;
+                close ()
+          in
+          close ();
+          skip_trivia st
+      | _ -> ())
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done
+  end
+  else
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+  let text = String.sub st.src start (st.pos - start) in
+  match Int64.of_string_opt text with
+  | Some v -> INT_LIT v
+  | None -> error st "bad integer literal %S" text
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match keyword_of text with Some kw -> kw | None -> IDENT text
+
+let next_token st : located =
+  skip_trivia st;
+  let line = st.line and c0 = col st in
+  let mk token = { token; line; col = c0 } in
+  match peek st with
+  | None -> mk EOF
+  | Some c when is_digit c -> mk (lex_number st)
+  | Some c when is_ident_start c -> mk (lex_ident st)
+  | Some c ->
+      let two tok =
+        advance st;
+        advance st;
+        mk tok
+      in
+      let one tok =
+        advance st;
+        mk tok
+      in
+      (match (c, peek2 st) with
+      | '-', Some '>' -> two ARROW
+      | '-', Some '-' -> two MINUSMINUS
+      | '+', Some '+' -> two PLUSPLUS
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '<', Some '<' -> two SHL
+      | '>', Some '>' -> two SHR
+      | '=', Some '=' -> two EQ
+      | '!', Some '=' -> two NE
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '?', _ -> one QUESTION
+      | ':', _ -> one COLON
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '!', _ -> one BANG
+      | '=', _ -> one ASSIGN
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | _ -> error st "unexpected character %C" c)
+
+(* Tokenize a whole source string. *)
+let tokenize src : located list =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.token = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

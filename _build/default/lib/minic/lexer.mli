@@ -1,0 +1,67 @@
+(** Lexer for mini-C surface syntax: decimal and hex integer literals,
+    identifiers and keywords, the full operator set of the Fig. 4
+    repertoire, and both C comment styles. *)
+
+type token =
+  | INT_LIT of int64
+  | IDENT of string
+  | KW_INT
+  | KW_VOID
+  | KW_STRUCT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_FNPTR
+  | KW_RETURN
+  | KW_SIZEOF
+  | KW_NULL
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | QUESTION
+  | COLON
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | ASSIGN
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | SHL
+  | SHR
+  | ARROW
+  | PLUSPLUS
+  | MINUSMINUS
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** message, line, column *)
+
+val token_name : token -> string
+(** Human-readable token description for error messages. *)
+
+val tokenize : string -> located list
+(** Tokenize a whole source string; the result always ends with [EOF].
+    @raise Lex_error on stray characters or unterminated comments. *)

@@ -1,0 +1,435 @@
+(* Recursive-descent parser for mini-C surface syntax, producing the
+   same AST the embedded builders produce.
+
+   Grammar sketch:
+
+     program   := (struct_def | func)*
+     struct_def:= "struct" IDENT "{" (type IDENT ";")* "}" ";"
+     type      := ("int" | "void" | "struct" IDENT) "*"*
+     func      := type IDENT "(" param,* ")" "{" stmt* "}"
+     stmt      := type IDENT ("[" INT "]")? ("=" expr)? ";"
+                | "if" "(" expr ")" block ("else" block)?
+                | "while" "(" expr ")" block
+                | "return" expr? ";"  |  expr ";"
+     expr      := assignment; standard C precedence below that, with
+                  casts, unary * & ! ~ - ++ --, postfix [] -> ++ --
+                  and calls. *)
+
+open Lexer
+
+exception Parse_error of string * int * int
+
+type state = { mutable tokens : located list }
+
+let fail (t : located) fmt =
+  Fmt.kstr (fun s -> raise (Parse_error (s, t.line, t.col))) fmt
+
+let current st =
+  match st.tokens with t :: _ -> t | [] -> assert false (* EOF is kept *)
+
+let peek st = (current st).token
+
+let peek2 st =
+  match st.tokens with _ :: t :: _ -> t.token | _ -> EOF
+
+let advance st =
+  match st.tokens with
+  | _ :: (_ :: _ as rest) -> st.tokens <- rest
+  | _ -> ()
+
+let expect st token =
+  let t = current st in
+  if t.token = token then advance st
+  else fail t "expected %s, found %s" (token_name token) (token_name t.token)
+
+let expect_ident st =
+  let t = current st in
+  match t.token with
+  | IDENT name ->
+      advance st;
+      name
+  | other -> fail t "expected identifier, found %s" (token_name other)
+
+(* --- types ------------------------------------------------------------ *)
+
+let starts_type = function
+  | KW_INT | KW_VOID | KW_STRUCT | KW_FNPTR -> true
+  | _ -> false
+
+let parse_base_type st : Ast.ty =
+  let t = current st in
+  match t.token with
+  | KW_INT ->
+      advance st;
+      Ast.Tint
+  | KW_VOID ->
+      advance st;
+      Ast.Tvoid
+  | KW_STRUCT ->
+      advance st;
+      Ast.Tstruct (expect_ident st)
+  | KW_FNPTR ->
+      advance st;
+      Ast.Tfunptr
+  | other -> fail t "expected a type, found %s" (token_name other)
+
+let parse_type st : Ast.ty =
+  let base = parse_base_type st in
+  let rec stars ty =
+    if peek st = STAR then begin
+      advance st;
+      stars (Ast.Tptr ty)
+    end
+    else ty
+  in
+  stars base
+
+(* --- expressions -------------------------------------------------------- *)
+
+(* Binary operator precedence (higher binds tighter). *)
+let binop_of = function
+  | OROR -> Some (Ast.Or, 1)
+  | ANDAND -> Some (Ast.And, 2)
+  | PIPE -> Some (Ast.Bor, 3)
+  | CARET -> Some (Ast.Bxor, 4)
+  | AMP -> Some (Ast.Band, 5)
+  | EQ -> Some (Ast.Eq, 6)
+  | NE -> Some (Ast.Ne, 6)
+  | LT -> Some (Ast.Lt, 7)
+  | GT -> Some (Ast.Gt, 7)
+  | LE -> Some (Ast.Le, 7)
+  | GE -> Some (Ast.Ge, 7)
+  | SHL -> Some (Ast.Shl, 8)
+  | SHR -> Some (Ast.Shr, 8)
+  | PLUS -> Some (Ast.Add, 9)
+  | MINUS -> Some (Ast.Sub, 9)
+  | STAR -> Some (Ast.Mul, 10)
+  | SLASH -> Some (Ast.Div, 10)
+  | PERCENT -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st : Ast.expr = parse_assignment st
+
+and parse_assignment st =
+  let lhs = parse_conditional st in
+  if peek st = ASSIGN then begin
+    advance st;
+    let rhs = parse_assignment st in
+    Ast.assign lhs rhs
+  end
+  else lhs
+
+and parse_conditional st =
+  let c = parse_binary st 1 in
+  if peek st = QUESTION then begin
+    advance st;
+    let a = parse_expr st in
+    expect st COLON;
+    let b = parse_conditional st in
+    Ast.cond c a b
+  end
+  else c
+
+and parse_binary st min_prec =
+  let rec loop lhs =
+    match binop_of (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        loop (Ast.binop op lhs rhs)
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  let t = current st in
+  match t.token with
+  | BANG ->
+      advance st;
+      Ast.unop Ast.Not (parse_unary st)
+  | TILDE ->
+      advance st;
+      Ast.unop Ast.Bnot (parse_unary st)
+  | MINUS ->
+      advance st;
+      Ast.unop Ast.Neg (parse_unary st)
+  | STAR ->
+      advance st;
+      Ast.deref (parse_unary st)
+  | AMP ->
+      advance st;
+      Ast.addr (parse_unary st)
+  | PLUSPLUS ->
+      advance st;
+      Ast.pre_incr (parse_unary st)
+  | MINUSMINUS ->
+      advance st;
+      Ast.pre_decr (parse_unary st)
+  | KW_SIZEOF ->
+      advance st;
+      expect st LPAREN;
+      let ty = parse_type st in
+      expect st RPAREN;
+      Ast.sizeof ty
+  | LPAREN when starts_type (peek2 st) ->
+      (* cast: "(" type ")" unary *)
+      advance st;
+      let ty = parse_type st in
+      expect st RPAREN;
+      Ast.cast ty (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    match peek st with
+    | LBRACKET ->
+        advance st;
+        let i = parse_expr st in
+        expect st RBRACKET;
+        loop (Ast.index e i)
+    | ARROW ->
+        advance st;
+        loop (Ast.arrow e (expect_ident st))
+    | PLUSPLUS ->
+        advance st;
+        loop (Ast.post_incr e)
+    | MINUSMINUS ->
+        advance st;
+        loop (Ast.post_decr e)
+    | LPAREN ->
+        (* call through a computed function pointer *)
+        advance st;
+        let rec args acc =
+          if peek st = RPAREN then List.rev acc
+          else
+            let a = parse_expr st in
+            if peek st = COMMA then begin
+              advance st;
+              args (a :: acc)
+            end
+            else List.rev (a :: acc)
+        in
+        let arguments = args [] in
+        expect st RPAREN;
+        loop (Ast.call_ptr e arguments)
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  let t = current st in
+  match t.token with
+  | INT_LIT v ->
+      advance st;
+      Ast.i64 v
+  | KW_NULL ->
+      advance st;
+      Ast.null
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | LPAREN ->
+          advance st;
+          let rec args acc =
+            if peek st = RPAREN then List.rev acc
+            else
+              let a = parse_expr st in
+              if peek st = COMMA then begin
+                advance st;
+                args (a :: acc)
+              end
+              else List.rev (a :: acc)
+          in
+          let arguments = args [] in
+          expect st RPAREN;
+          Ast.call name arguments
+      | _ -> Ast.var name)
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | other -> fail t "expected an expression, found %s" (token_name other)
+
+(* --- statements ------------------------------------------------------------ *)
+
+let rec parse_stmt st : Ast.stmt =
+  let t = current st in
+  match t.token with
+  | KW_IF ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      let then_body = parse_block st in
+      let else_body =
+        if peek st = KW_ELSE then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      Ast.SIf (c, then_body, else_body)
+  | KW_WHILE ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      Ast.SWhile (c, parse_block st)
+  | KW_FOR ->
+      advance st;
+      expect st LPAREN;
+      let init =
+        if peek st = SEMI then begin
+          advance st;
+          None
+        end
+        else Some (parse_stmt st) (* consumes its own ';' *)
+      in
+      let c =
+        if peek st = SEMI then None else Some (parse_expr st)
+      in
+      expect st SEMI;
+      let step = if peek st = RPAREN then None else Some (parse_expr st) in
+      expect st RPAREN;
+      Ast.SFor (init, c, step, parse_block st)
+  | KW_BREAK ->
+      advance st;
+      expect st SEMI;
+      Ast.SBreak
+  | KW_CONTINUE ->
+      advance st;
+      expect st SEMI;
+      Ast.SContinue
+  | KW_RETURN ->
+      advance st;
+      if peek st = SEMI then begin
+        advance st;
+        Ast.SReturn None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st SEMI;
+        Ast.SReturn (Some e)
+      end
+  | tok when starts_type tok ->
+      let ty = parse_type st in
+      let name = expect_ident st in
+      let ty =
+        if peek st = LBRACKET then begin
+          advance st;
+          let n =
+            match peek st with
+            | INT_LIT v ->
+                advance st;
+                Int64.to_int v
+            | other -> fail (current st) "expected array size, found %s" (token_name other)
+          in
+          expect st RBRACKET;
+          Ast.Tarray (ty, n)
+        end
+        else ty
+      in
+      let init =
+        if peek st = ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st SEMI;
+      Ast.SDecl (name, ty, init)
+  | _ ->
+      let e = parse_expr st in
+      expect st SEMI;
+      Ast.SExpr e
+
+and parse_block st : Ast.stmt list =
+  if peek st = LBRACE then begin
+    advance st;
+    let rec stmts acc =
+      if peek st = RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else stmts (parse_stmt st :: acc)
+    in
+    stmts []
+  end
+  else [ parse_stmt st ]
+
+(* --- top level ---------------------------------------------------------------- *)
+
+let parse_struct_def st : Ast.struct_def =
+  expect st KW_STRUCT;
+  let sname = expect_ident st in
+  expect st LBRACE;
+  let rec fields acc =
+    if peek st = RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let ty = parse_type st in
+      let name = expect_ident st in
+      expect st SEMI;
+      fields ((name, ty) :: acc)
+    end
+  in
+  let fields = fields [] in
+  expect st SEMI;
+  { Ast.sname; fields }
+
+let parse_func st ~ret ~fname : Ast.func =
+  expect st LPAREN;
+  let rec params acc =
+    if peek st = RPAREN then List.rev acc
+    else begin
+      let ty = parse_type st in
+      let name = expect_ident st in
+      let acc = (name, ty) :: acc in
+      if peek st = COMMA then begin
+        advance st;
+        params acc
+      end
+      else List.rev acc
+    end
+  in
+  let params = params [] in
+  expect st RPAREN;
+  expect st LBRACE;
+  let rec body acc =
+    if peek st = RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else body (parse_stmt st :: acc)
+  in
+  { Ast.fname; params; ret; body = body [] }
+
+let parse_program (src : string) : Ast.program =
+  let st = { tokens = Lexer.tokenize src } in
+  let rec toplevel structs funcs =
+    match peek st with
+    | EOF -> { Ast.structs = List.rev structs; funcs = List.rev funcs }
+    | KW_STRUCT when (match peek2 st with IDENT _ -> true | _ -> false)
+                     && (match st.tokens with
+                        | _ :: _ :: t :: _ -> t.token = LBRACE
+                        | _ -> false) ->
+        let s = parse_struct_def st in
+        toplevel (s :: structs) funcs
+    | tok when starts_type tok ->
+        let ret = parse_type st in
+        let fname = expect_ident st in
+        let f = parse_func st ~ret ~fname in
+        toplevel structs (f :: funcs)
+    | other ->
+        fail (current st) "expected a declaration, found %s" (token_name other)
+  in
+  toplevel [] []
+
+let parse_expr_string (src : string) : Ast.expr =
+  let st = { tokens = Lexer.tokenize src } in
+  let e = parse_expr st in
+  expect st EOF;
+  e

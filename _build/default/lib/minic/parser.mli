@@ -1,0 +1,10 @@
+(** Recursive-descent parser for mini-C surface syntax, producing the
+    same AST the embedded builders produce.  Covers the full Fig. 4
+    pointer-operation repertoire plus [for]/[break]/[continue] and
+    [fnptr] function-pointer declarations. *)
+
+exception Parse_error of string * int * int
+(** message, line, column *)
+
+val parse_program : string -> Ast.program
+val parse_expr_string : string -> Ast.expr

@@ -1,0 +1,195 @@
+(* Pretty-printer: mini-C AST back to C-like surface syntax, with
+   precedence-aware parenthesization so that parse(print(p)) is
+   structurally identical to p.  Also used to display the Fig. 9-style
+   instrumented code the compiler pass produces. *)
+
+open Ast
+
+(* [Ast] redefines arithmetic symbols as expression builders; restore
+   the integer operators for this module's own computations. *)
+let ( + ) = Stdlib.( + )
+let ( * ) = Stdlib.( * )
+let ( < ) = Stdlib.( < )
+let ( > ) = Stdlib.( > )
+let ( && ) = Stdlib.( && )
+let ( - ) = Stdlib.( - )
+
+let binop_text = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+(* Mirrors the parser's precedence table. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Bor -> 3
+  | Bxor -> 4
+  | Band -> 5
+  | Eq | Ne -> 6
+  | Lt | Gt | Le | Ge -> 7
+  | Shl | Shr -> 8
+  | Add | Sub -> 9
+  | Mul | Div | Mod -> 10
+
+let prec_assign = 0
+let prec_cond = 1 (* conditional binds tighter than assignment *)
+let prec_unary = 11
+let prec_postfix = 12
+let prec_primary = 13
+
+let rec ty_text = function
+  | Tint -> "int"
+  | Tvoid -> "void"
+  | Tfunptr -> "fnptr"
+  | Tstruct s -> "struct " ^ s
+  | Tptr t -> ty_text t ^ "*"
+  | Tarray (t, n) -> Fmt.str "%s[%d]" (ty_text t) n
+
+(* Precedence of an expression's own production. *)
+let expr_prec (e : expr) =
+  match e.e with
+  | EInt _ | ENull | EVar _ | ECall _ -> prec_primary
+  | EIndex _ | EArrow _ | ECallPtr _ -> prec_postfix
+  | EIncr { pre; _ } -> if pre then prec_unary else prec_postfix
+  | EUnop _ | EDeref _ | EAddr _ | ECast _ | ESizeof _ -> prec_unary
+  | EBinop (op, _, _) -> binop_prec op
+  | ECond _ -> prec_cond
+  | EAssign _ -> prec_assign
+
+let rec expr_text (e : expr) = at_prec 0 e
+
+(* Prefix an operator, inserting a space when the operand's first
+   character would glue into a different token ("&" before "&x" must
+   not become "&&x"). *)
+and prefix op text =
+  let glues =
+    String.length text > 0
+    &&
+    match (op.[String.length op - 1], text.[0]) with
+    | '&', '&' | '-', '-' | '+', '+' -> true
+    | _ -> false
+  in
+  if glues then op ^ " " ^ text else op ^ text
+
+(* Render [e], parenthesizing when its precedence is below [min]. *)
+and at_prec min (e : expr) =
+  let body =
+    match e.e with
+    | EInt v -> Int64.to_string v
+    | ENull -> "NULL"
+    | EVar v -> v
+    | EUnop (Not, a) -> prefix "!" (at_prec prec_unary a)
+    | EUnop (Bnot, a) -> prefix "~" (at_prec prec_unary a)
+    | EUnop (Neg, a) -> prefix "-" (at_prec prec_unary a)
+    | EDeref a -> prefix "*" (at_prec prec_unary a)
+    | EAddr a -> prefix "&" (at_prec prec_unary a)
+    | ECast (ty, a) -> Fmt.str "(%s)%s" (ty_text ty) (at_prec prec_unary a)
+    | ESizeof ty -> Fmt.str "sizeof(%s)" (ty_text ty)
+    | EIncr { pre = true; up; lv } ->
+        prefix (if up then "++" else "--") (at_prec prec_unary lv)
+    | EIncr { pre = false; up; lv } ->
+        at_prec prec_postfix lv ^ if up then "++" else "--"
+    | EIndex (a, i) -> Fmt.str "%s[%s]" (at_prec prec_postfix a) (at_prec 0 i)
+    | EArrow (a, f) -> Fmt.str "%s->%s" (at_prec prec_postfix a) f
+    | ECall (f, args) ->
+        Fmt.str "%s(%s)" f (String.concat ", " (List.map (at_prec 0) args))
+    | ECallPtr (callee, args) ->
+        Fmt.str "%s(%s)"
+          (at_prec prec_postfix callee)
+          (String.concat ", " (List.map (at_prec 0) args))
+    | EBinop (op, a, b) ->
+        let p = binop_prec op in
+        (* left-associative: right operand needs strictly higher prec *)
+        Fmt.str "%s %s %s" (at_prec p a) (binop_text op) (at_prec (p + 1) b)
+    | ECond (c, a, b) ->
+        (* condition: above ?:; then-arm: any expression; else-arm:
+           conditional-expression (assignments need parens, as in C) *)
+        Fmt.str "%s ? %s : %s" (at_prec 2 c) (at_prec 0 a) (at_prec prec_cond b)
+    | EAssign (lv, rhs) ->
+        Fmt.str "%s = %s" (at_prec prec_unary lv) (at_prec prec_assign rhs)
+  in
+  if expr_prec e < min then "(" ^ body ^ ")" else body
+
+let indent n = String.make (n * 2) ' '
+
+(* A declaration renders array types C-style: "int a[5]". *)
+let decl_text name ty =
+  match ty with
+  | Tarray (t, n) -> Fmt.str "%s %s[%d]" (ty_text t) name n
+  | _ -> Fmt.str "%s %s" (ty_text ty) name
+
+let rec stmt_lines depth (s : stmt) : string list =
+  let pad = indent depth in
+  match s with
+  | SExpr e -> [ pad ^ expr_text e ^ ";" ]
+  | SDecl (name, ty, None) -> [ pad ^ decl_text name ty ^ ";" ]
+  | SDecl (name, ty, Some e) ->
+      [ Fmt.str "%s%s = %s;" pad (decl_text name ty) (expr_text e) ]
+  | SReturn None -> [ pad ^ "return;" ]
+  | SReturn (Some e) -> [ Fmt.str "%sreturn %s;" pad (expr_text e) ]
+  | SWhile (c, body) ->
+      (Fmt.str "%swhile (%s) {" pad (expr_text c))
+      :: List.concat_map (stmt_lines (depth + 1)) body
+      @ [ pad ^ "}" ]
+  | SIf (c, then_body, []) ->
+      (Fmt.str "%sif (%s) {" pad (expr_text c))
+      :: List.concat_map (stmt_lines (depth + 1)) then_body
+      @ [ pad ^ "}" ]
+  | SIf (c, then_body, else_body) ->
+      (Fmt.str "%sif (%s) {" pad (expr_text c))
+      :: List.concat_map (stmt_lines (depth + 1)) then_body
+      @ [ pad ^ "} else {" ]
+      @ List.concat_map (stmt_lines (depth + 1)) else_body
+      @ [ pad ^ "}" ]
+  | SBreak -> [ pad ^ "break;" ]
+  | SContinue -> [ pad ^ "continue;" ]
+  | SFor (init, c, step, body) ->
+      let init_text =
+        match init with
+        | None -> ""
+        | Some s -> (
+            (* render the init statement inline, without its newline *)
+            match stmt_lines 0 s with
+            | [ line ] -> String.sub line 0 (String.length line - 1)
+            | _ -> failwith "for-init must be a simple statement")
+      in
+      let cond_text = match c with None -> "" | Some e -> expr_text e in
+      let step_text = match step with None -> "" | Some e -> expr_text e in
+      (Fmt.str "%sfor (%s; %s; %s) {" pad init_text cond_text step_text)
+      :: List.concat_map (stmt_lines (depth + 1)) body
+      @ [ pad ^ "}" ]
+
+let func_text (f : func) =
+  let params =
+    String.concat ", " (List.map (fun (n, ty) -> decl_text n ty) f.params)
+  in
+  let header = Fmt.str "%s %s(%s) {" (ty_text f.ret) f.fname params in
+  String.concat "\n"
+    ((header :: List.concat_map (stmt_lines 1) f.body) @ [ "}" ])
+
+let struct_text (s : struct_def) =
+  let fields =
+    List.map (fun (n, ty) -> Fmt.str "  %s;" (decl_text n ty)) s.fields
+  in
+  String.concat "\n"
+    ((Fmt.str "struct %s {" s.sname :: fields) @ [ "};" ])
+
+let program_text (p : program) =
+  String.concat "\n\n"
+    (List.map struct_text p.structs @ List.map func_text p.funcs)

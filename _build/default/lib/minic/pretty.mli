@@ -1,0 +1,10 @@
+(** Pretty-printer: mini-C AST back to C-like surface syntax, with
+    precedence-aware parenthesization so that [parse (print p)] is
+    structurally identical to [p].  Also displays the Fig. 9-style
+    instrumented code the compiler pass produces. *)
+
+val ty_text : Ast.ty -> string
+val expr_text : Ast.expr -> string
+val func_text : Ast.func -> string
+val struct_text : Ast.struct_def -> string
+val program_text : Ast.program -> string

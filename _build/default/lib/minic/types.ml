@@ -1,0 +1,178 @@
+(* Static typing for mini-C: sizes, struct layouts, expression typing.
+   Every scalar is one 64-bit word, so sizeof(int) = sizeof(T* ) = 8 and
+   struct fields are word-aligned — matching the simulated machine. *)
+
+open Ast
+
+(* [Ast] redefines arithmetic symbols as expression builders; restore
+   the integer operators for this module's own computations. *)
+let ( + ) = Stdlib.( + )
+let ( * ) = Stdlib.( * )
+let ( = ) = Stdlib.( = )
+
+exception Type_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+type env = {
+  structs : (string, struct_def) Hashtbl.t;
+  funcs : (string, func) Hashtbl.t;
+  mutable vars : (string * ty) list; (* innermost scope first *)
+}
+
+let make_env (p : program) =
+  let structs = Hashtbl.create 8 and funcs = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace structs s.sname s) p.structs;
+  List.iter (fun f -> Hashtbl.replace funcs f.fname f) p.funcs;
+  { structs; funcs; vars = [] }
+
+let struct_def env name =
+  match Hashtbl.find_opt env.structs name with
+  | Some s -> s
+  | None -> err "unknown struct %s" name
+
+let rec sizeof env = function
+  | Tint | Tptr _ | Tfunptr -> 8
+  | Tvoid -> err "sizeof void"
+  | Tarray (t, n) -> n * sizeof env t
+  | Tstruct name ->
+      List.fold_left
+        (fun acc (_, ty) -> acc + sizeof env ty)
+        0 (struct_def env name).fields
+
+(* Byte offset and type of a struct field. *)
+let field_info env sname fname =
+  let rec scan off = function
+    | [] -> err "struct %s has no field %s" sname fname
+    | (f, ty) :: rest ->
+        if f = fname then (off, ty) else scan (off + sizeof env ty) rest
+  in
+  scan 0 (struct_def env sname).fields
+
+(* Variables shadow functions; a bare function name is a function
+   pointer constant. *)
+let var_type env v =
+  match List.assoc_opt v env.vars with
+  | Some ty -> ty
+  | None ->
+      if Hashtbl.mem env.funcs v then Tfunptr
+      else err "unbound variable %s" v
+
+let is_ptr = function
+  | Tptr _ | Tfunptr -> true
+  | Tint | Tstruct _ | Tarray _ | Tvoid -> false
+
+let elem_ty = function
+  | Tptr t -> t
+  | Tarray (t, _) -> t
+  | ty -> err "dereference of non-pointer %a" pp_ty ty
+
+let is_funptr = function Tfunptr -> true | _ -> false
+
+(* The type of an expression under [env].  Arrays decay to pointers in
+   value contexts, as in C. *)
+let rec type_of env (e : expr) : ty =
+  match e.e with
+  | EInt _ -> Tint
+  | ENull -> Tptr Tvoid
+  | ESizeof _ -> Tint
+  | EVar v -> (
+      match var_type env v with Tarray (t, _) -> Tptr t | ty -> ty)
+  | EUnop ((Neg | Not | Bnot), _) -> Tint
+  | EBinop (op, a, b) -> (
+      match op with
+      | Lt | Gt | Le | Ge | Eq | Ne | And | Or -> Tint
+      | Add | Sub -> (
+          let ta = type_of env a and tb = type_of env b in
+          match (ta, tb, op) with
+          | Tptr t, Tint, _ -> Tptr t
+          | Tint, Tptr t, Add -> Tptr t
+          | Tptr _, Tptr _, Sub -> Tint
+          | Tint, Tint, _ -> Tint
+          | _ -> err "ill-typed additive operands")
+      | Mul | Div | Mod | Band | Bor | Bxor | Shl | Shr -> Tint)
+  | EAssign (lv, _) -> lvalue_type env lv
+  | EDeref p -> elem_ty (type_of env p)
+  | EAddr lv -> Tptr (lvalue_type env lv)
+  | EIndex (p, _) -> elem_ty (type_of env p)
+  | EArrow (p, f) -> (
+      match type_of env p with
+      | Tptr (Tstruct s) -> snd (field_info env s f)
+      | ty -> err "-> on %a" pp_ty ty)
+  | ECallPtr (callee, _) ->
+      if not (is_funptr (type_of env callee)) then
+        err "call through non-function-pointer %a" pp_ty (type_of env callee);
+      Tint
+  | ECall (name, _) -> (
+      (* A variable of function-pointer type shadows functions and may
+         be called by name. *)
+      match List.assoc_opt name env.vars with
+      | Some Tfunptr -> Tint
+      | Some ty -> err "%s (of type %a) is not callable" name pp_ty ty
+      | None -> (
+          match name with
+          | "malloc" | "pmalloc" -> Tptr Tvoid
+          | "free" | "pfree" | "print" -> Tvoid
+          | _ -> (
+              match Hashtbl.find_opt env.funcs name with
+              | Some f -> f.ret
+              | None -> err "unknown function %s" name)))
+  | ECast (ty, _) -> ty
+  | ECond (_, a, b) ->
+      let ta = type_of env a in
+      let tb = type_of env b in
+      if is_ptr ta then ta else if is_ptr tb then tb else ta
+  | EIncr { lv; _ } -> lvalue_type env lv
+
+(* The type of an lvalue (no array decay). *)
+and lvalue_type env (e : expr) : ty =
+  match e.e with
+  | EVar v -> var_type env v
+  | EDeref p -> elem_ty (type_of env p)
+  | EIndex (p, _) -> elem_ty (type_of env p)
+  | EArrow (p, f) -> (
+      match type_of env p with
+      | Tptr (Tstruct s) -> snd (field_info env s f)
+      | ty -> err "-> on %a" pp_ty ty)
+  | _ -> err "not an lvalue"
+
+(* A light well-formedness pass: every expression in the program types,
+   declared initializers match scalar-ness, conditions are scalars. *)
+let check_program (p : program) =
+  let env = make_env p in
+  let check_func (f : func) =
+    let saved = env.vars in
+    env.vars <- f.params @ env.vars;
+    let rec check_stmt = function
+      | SExpr e -> ignore (type_of env e)
+      | SDecl (v, ty, init) ->
+          (match init with Some e -> ignore (type_of env e) | None -> ());
+          env.vars <- (v, ty) :: env.vars
+      | SIf (c, a, b) ->
+          ignore (type_of env c);
+          let s = env.vars in
+          List.iter check_stmt a;
+          env.vars <- s;
+          List.iter check_stmt b;
+          env.vars <- s
+      | SWhile (c, body) ->
+          ignore (type_of env c);
+          let s = env.vars in
+          List.iter check_stmt body;
+          env.vars <- s
+      | SFor (init, c, step, body) ->
+          let s = env.vars in
+          Option.iter check_stmt init;
+          Option.iter (fun e -> ignore (type_of env e)) c;
+          Option.iter (fun e -> ignore (type_of env e)) step;
+          List.iter check_stmt body;
+          env.vars <- s
+      | SBreak | SContinue -> ()
+      | SReturn (Some e) -> ignore (type_of env e)
+      | SReturn None -> ()
+    in
+    List.iter check_stmt f.body;
+    env.vars <- saved
+  in
+  List.iter check_func p.funcs;
+  env

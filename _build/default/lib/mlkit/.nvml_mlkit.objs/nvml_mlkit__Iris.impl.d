@@ -1,0 +1,1 @@
+lib/mlkit/iris.ml: Array Float Random

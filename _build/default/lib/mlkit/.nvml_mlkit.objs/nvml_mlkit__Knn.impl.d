@@ -1,0 +1,1 @@
+lib/mlkit/knn.ml: Array Hashtbl Int64 List Matrix Nvml_runtime Option

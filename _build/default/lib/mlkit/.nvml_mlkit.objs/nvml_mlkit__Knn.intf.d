@@ -1,0 +1,1 @@
+lib/mlkit/knn.mli: Matrix Nvml_runtime

@@ -1,0 +1,1 @@
+lib/mlkit/matrix.ml: Array Int64 Nvml_core Nvml_runtime

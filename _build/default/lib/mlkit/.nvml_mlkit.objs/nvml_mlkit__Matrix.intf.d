@@ -1,0 +1,1 @@
+lib/mlkit/matrix.mli: Nvml_core Nvml_runtime

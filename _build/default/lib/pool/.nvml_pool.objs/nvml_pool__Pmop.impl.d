@@ -1,0 +1,1 @@
+lib/pool/pmop.ml: Array Fmt Freelist Hashtbl Int64 List Nvml_core Nvml_simmem

@@ -1,0 +1,1 @@
+lib/pool/pmop.mli: Nvml_core Nvml_simmem

@@ -1,0 +1,1 @@
+lib/pool/valloc.ml: Freelist Int64 Nvml_core Nvml_simmem

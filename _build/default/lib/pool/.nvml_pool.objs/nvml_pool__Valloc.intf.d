@@ -1,0 +1,1 @@
+lib/pool/valloc.mli: Nvml_core Nvml_simmem

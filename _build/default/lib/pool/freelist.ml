@@ -1,0 +1,181 @@
+(* A first-fit free-list allocator whose metadata lives entirely inside
+   the arena it manages, addressed by byte offsets.  Used both for the
+   persistent allocator (arena = a pool's NVM memory, so the heap state
+   survives crashes by construction) and the volatile DRAM allocator.
+
+   Arena layout (byte offsets):
+     0   magic
+     8   capacity (bytes)
+     16  offset of first free block (0 = none)
+     24  bytes currently allocated (payload + headers)
+     32  root-object slot (application anchor, like pmemobj's root)
+     40  allocation count (stats)
+     48  free count (stats)
+     56  reserved
+     64  start of heap
+
+   Block layout: a 16-byte header (word 0: block size in bytes including
+   the header, with bit 0 = allocated flag; word 1: next free offset,
+   meaningful when free) followed by the payload.  Sizes are multiples
+   of 16 so payloads are 16-aligned. *)
+
+type access = {
+  read : int64 -> int64; (* read the word at a byte offset in the arena *)
+  write : int64 -> int64 -> unit;
+}
+
+let magic = 0x504D4F50L (* "PMOP" *)
+let off_magic = 0L
+let off_capacity = 8L
+let off_free_head = 16L
+let off_allocated = 24L
+let off_root = 32L
+let off_alloc_count = 40L
+let off_free_count = 48L
+let heap_start = 64L
+let header_size = 16L
+let min_block = 32L
+
+exception Corrupt_arena of string
+exception Out_of_memory
+
+let ( +! ) = Int64.add
+let ( -! ) = Int64.sub
+
+let block_size_word a b = a.read b
+let block_size a b = Int64.logand (block_size_word a b) (Int64.lognot 1L)
+let block_allocated a b = Int64.logand (block_size_word a b) 1L = 1L
+let set_block a b ~size ~allocated =
+  a.write b (if allocated then Int64.logor size 1L else size)
+let block_next a b = a.read (b +! 8L)
+let set_block_next a b next = a.write (b +! 8L) next
+
+let capacity a = a.read off_capacity
+let allocated_bytes a = a.read off_allocated
+let alloc_count a = Int64.to_int (a.read off_alloc_count)
+let free_count a = Int64.to_int (a.read off_free_count)
+let get_root a = a.read off_root
+let set_root a v = a.write off_root v
+
+let is_initialized a = Int64.equal (a.read off_magic) magic
+
+let init a ~capacity =
+  let capacity = Int64.logand capacity (Int64.lognot 15L) in
+  if capacity < heap_start +! min_block then
+    invalid_arg "Freelist.init: arena too small";
+  a.write off_magic magic;
+  a.write off_capacity capacity;
+  a.write off_allocated 0L;
+  a.write off_root 0L;
+  a.write off_alloc_count 0L;
+  a.write off_free_count 0L;
+  set_block a heap_start ~size:(capacity -! heap_start) ~allocated:false;
+  set_block_next a heap_start 0L;
+  a.write off_free_head heap_start
+
+let round_to_16 n = Int64.logand (n +! 15L) (Int64.lognot 15L)
+
+(* First-fit allocation.  Returns the payload offset. *)
+let alloc a (size : int64) : int64 =
+  if size <= 0L then invalid_arg "Freelist.alloc: non-positive size";
+  let need = round_to_16 size +! header_size in
+  let rec walk ~prev cur =
+    if Int64.equal cur 0L then raise Out_of_memory
+    else
+      let cur_size = block_size a cur in
+      if cur_size >= need then begin
+        let next = block_next a cur in
+        let taken =
+          if cur_size -! need >= min_block then begin
+            (* Split: remainder becomes a free block in place of [cur]. *)
+            let rem = cur +! need in
+            set_block a rem ~size:(cur_size -! need) ~allocated:false;
+            set_block_next a rem next;
+            (match prev with
+            | None -> a.write off_free_head rem
+            | Some p -> set_block_next a p rem);
+            need
+          end
+          else begin
+            (match prev with
+            | None -> a.write off_free_head next
+            | Some p -> set_block_next a p next);
+            cur_size
+          end
+        in
+        set_block a cur ~size:taken ~allocated:true;
+        a.write off_allocated (allocated_bytes a +! taken);
+        a.write off_alloc_count (a.read off_alloc_count +! 1L);
+        cur +! header_size
+      end
+      else walk ~prev:(Some cur) (block_next a cur)
+  in
+  walk ~prev:None (a.read off_free_head)
+
+(* Free with coalescing of adjacent blocks; the free list is kept sorted
+   by offset so neighbours are found during insertion. *)
+let free a (payload : int64) : unit =
+  let b = payload -! header_size in
+  if b < heap_start || b >= capacity a then
+    raise (Corrupt_arena (Fmt.str "free: offset %Ld out of arena" payload));
+  if not (block_allocated a b) then
+    raise (Corrupt_arena (Fmt.str "double free at offset %Ld" payload));
+  let size = block_size a b in
+  a.write off_allocated (allocated_bytes a -! size);
+  a.write off_free_count (a.read off_free_count +! 1L);
+  set_block a b ~size ~allocated:false;
+  (* Find insertion point: prev < b < cur. *)
+  let rec find ~prev cur =
+    if Int64.equal cur 0L || cur > b then (prev, cur)
+    else find ~prev:(Some cur) (block_next a cur)
+  in
+  let prev, next = find ~prev:None (a.read off_free_head) in
+  (* Link in. *)
+  set_block_next a b next;
+  (match prev with
+  | None -> a.write off_free_head b
+  | Some p -> set_block_next a p b);
+  (* Coalesce with successor. *)
+  (if not (Int64.equal next 0L) && Int64.equal (b +! block_size a b) next then begin
+     set_block a b ~size:(block_size a b +! block_size a next)
+       ~allocated:false;
+     set_block_next a b (block_next a next)
+   end);
+  (* Coalesce with predecessor. *)
+  match prev with
+  | Some p when Int64.equal (p +! block_size a p) b ->
+      set_block a p ~size:(block_size a p +! block_size a b) ~allocated:false;
+      set_block_next a p (block_next a b)
+  | Some _ | None -> ()
+
+(* Walk the free list and verify structural invariants; returns the
+   total free bytes.  Used by tests and by the quickcheck suite. *)
+let check_invariants a : int64 =
+  if not (is_initialized a) then raise (Corrupt_arena "bad magic");
+  let cap = capacity a in
+  let rec walk prev cur total =
+    if Int64.equal cur 0L then total
+    else begin
+      if cur < heap_start || cur >= cap then
+        raise (Corrupt_arena (Fmt.str "free block %Ld out of arena" cur));
+      (match prev with
+      | Some p ->
+          if cur <= p then raise (Corrupt_arena "free list not sorted");
+          if p +! block_size a p > cur then
+            raise (Corrupt_arena "overlapping free blocks")
+      | None -> ());
+      if block_allocated a cur then
+        raise (Corrupt_arena "allocated block on free list");
+      let size = block_size a cur in
+      if size < min_block || Int64.rem size 16L <> 0L then
+        raise (Corrupt_arena "bad free block size");
+      walk (Some cur) (block_next a cur) (total +! size)
+    end
+  in
+  let free_total = walk None (a.read off_free_head) 0L in
+  if free_total +! allocated_bytes a <> cap -! heap_start then
+    raise
+      (Corrupt_arena
+         (Fmt.str "accounting mismatch: free %Ld + allocated %Ld <> heap %Ld"
+            free_total (allocated_bytes a) (cap -! heap_start)));
+  free_total

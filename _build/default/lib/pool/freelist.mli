@@ -1,0 +1,44 @@
+(** A first-fit free-list allocator whose metadata lives entirely
+    inside the arena it manages, addressed by byte offsets.  Used for
+    both the persistent allocator (arena = a pool's NVM memory, so the
+    heap state survives crashes by construction) and the volatile DRAM
+    allocator. *)
+
+type access = {
+  read : int64 -> int64;  (** read the word at a byte offset *)
+  write : int64 -> int64 -> unit;
+}
+
+exception Corrupt_arena of string
+exception Out_of_memory
+
+val magic : int64
+val off_root : int64
+(** Byte offset of the root-object slot inside the arena header. *)
+
+val heap_start : int64
+val header_size : int64
+val min_block : int64
+
+val is_initialized : access -> bool
+val init : access -> capacity:int64 -> unit
+
+val alloc : access -> int64 -> int64
+(** First-fit allocation; returns the payload offset (16-aligned).
+    @raise Out_of_memory when no block fits. *)
+
+val free : access -> int64 -> unit
+(** Free a payload offset, coalescing adjacent free blocks.
+    @raise Corrupt_arena on double free or foreign offsets. *)
+
+val capacity : access -> int64
+val allocated_bytes : access -> int64
+val alloc_count : access -> int
+val free_count : access -> int
+val get_root : access -> int64
+val set_root : access -> int64 -> unit
+
+val check_invariants : access -> int64
+(** Verify free-list ordering, bounds, non-overlap and byte accounting;
+    returns total free bytes.
+    @raise Corrupt_arena on any violation. *)

@@ -1,0 +1,198 @@
+(* Persistent memory object pool (PMOP) manager — the OS/kernel side of
+   the design: pool creation, opening (mapping into the NVM half of the
+   address space), detaching, and the two kernel tables the hardware
+   lookaside buffers are backed by:
+
+     POT  (persistent object table) : pool id -> current virtual base
+     VAT  (virtual address table)   : virtual range -> pool id
+
+   Pools are long-lived: their physical NVM frames and registry entries
+   survive a simulated crash; their mappings do not.  On re-open after a
+   restart the manager deliberately maps pools at *different* virtual
+   bases, exercising the relocatability persistent pointers exist for. *)
+
+module Mem = Nvml_simmem.Mem
+module Layout = Nvml_simmem.Layout
+module Vspace = Nvml_simmem.Vspace
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+
+type pool = {
+  id : int;
+  name : string;
+  size : int; (* bytes, page-rounded *)
+  frames : int list; (* persistent physical NVM frames *)
+  mutable base : int64 option; (* POT entry: None when detached *)
+}
+
+type t = {
+  mem : Mem.t;
+  pools : (int, pool) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+  mutable next_id : int;
+  mutable restarts : int;
+  mutable vat : (int64 * int64 * int) array;
+      (* mapped pools sorted by base: (base, size, id) *)
+}
+
+exception Unknown_pool of string
+exception Already_open of string
+
+let create mem =
+  {
+    mem;
+    pools = Hashtbl.create 16;
+    by_name = Hashtbl.create 16;
+    next_id = 1;
+    restarts = 0;
+    vat = [||];
+  }
+
+let mem t = t.mem
+
+let rebuild_vat t =
+  let entries =
+    Hashtbl.fold
+      (fun _ p acc ->
+        match p.base with
+        | Some base -> (base, Int64.of_int p.size, p.id) :: acc
+        | None -> acc)
+      t.pools []
+  in
+  t.vat <-
+    Array.of_list
+      (List.sort (fun (a, _, _) (b, _, _) -> Int64.compare a b) entries)
+
+let find_pool t id =
+  match Hashtbl.find_opt t.pools id with
+  | Some p -> p
+  | None -> raise (Unknown_pool (string_of_int id))
+
+let find_pool_by_name t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> find_pool t id
+  | None -> raise (Unknown_pool name)
+
+let pool_base t id = (find_pool t id).base
+let pool_id_of_name t name = (find_pool_by_name t name).id
+let pool_size t id = (find_pool t id).size
+let pool_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.pools [] |> List.sort compare
+
+(* Arena accessor for an open pool: reads/writes by intra-pool offset. *)
+let arena_access t (p : pool) : Freelist.access =
+  match p.base with
+  | None -> raise (Already_open (p.name ^ ": not mapped"))
+  | Some base ->
+      {
+        Freelist.read = (fun off -> Mem.read_word t.mem (Int64.add base off));
+        write = (fun off v -> Mem.write_word t.mem (Int64.add base off) v);
+      }
+
+(* Create a pool: allocate its NVM frames, map it, initialize its
+   embedded allocator, and return its system-wide unique id. *)
+let create_pool t ~name ~size =
+  if Hashtbl.mem t.by_name name then
+    Fmt.invalid_arg "Pmop.create_pool: pool %S already exists" name;
+  let size = Layout.pages_of_bytes size * Layout.page_size in
+  if Int64.of_int size > Ptr.max_pool_size then
+    Fmt.invalid_arg "Pmop.create_pool: %d bytes exceeds 4 GiB pool limit" size;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let frames =
+    Nvml_simmem.Physmem.alloc_frames (Mem.phys t.mem) Layout.Nvm
+      (Layout.pages_of_bytes size)
+  in
+  let base = Mem.map_existing t.mem Layout.Nvm frames in
+  let pool = { id; name; size; frames; base = Some base } in
+  Hashtbl.replace t.pools id pool;
+  Hashtbl.replace t.by_name name id;
+  Freelist.init (arena_access t pool) ~capacity:(Int64.of_int size);
+  rebuild_vat t;
+  id
+
+(* Open (map) an existing pool, e.g. after a restart.  The manager skews
+   the mapping base by a restart-dependent number of pages so that a
+   pool never lands at the address it had in the previous run. *)
+let open_pool t name =
+  let p = find_pool_by_name t name in
+  (match p.base with
+  | Some _ -> raise (Already_open name)
+  | None -> ());
+  Vspace.skew_nvm_brk (Mem.vspace t.mem) (1 + ((t.restarts * 31 + p.id * 7) mod 61));
+  let base = Mem.map_existing t.mem Layout.Nvm p.frames in
+  p.base <- Some base;
+  rebuild_vat t;
+  if not (Freelist.is_initialized (arena_access t p)) then
+    raise (Freelist.Corrupt_arena (name ^ ": pool image lost its header"));
+  base
+
+let detach_pool t id =
+  let p = find_pool t id in
+  match p.base with
+  | None -> ()
+  | Some base ->
+      Mem.unmap t.mem ~base ~bytes:p.size;
+      p.base <- None;
+      rebuild_vat t
+
+(* Simulated machine crash: volatile memory and all mappings vanish;
+   pool frames and the registry survive. *)
+let crash t =
+  Mem.crash t.mem;
+  Hashtbl.iter (fun _ p -> p.base <- None) t.pools;
+  t.vat <- [||];
+  t.restarts <- t.restarts + 1
+
+let restarts t = t.restarts
+
+(* VAT lookup: binary search the mapped ranges for one covering [va]. *)
+let pool_of_va t (va : int64) =
+  let vat = t.vat in
+  let rec search lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let base, size, id = vat.(mid) in
+      if va < base then search lo (mid - 1)
+      else if va >= Int64.add base size then search (mid + 1) hi
+      else Some (id, base)
+  in
+  search 0 (Array.length vat - 1)
+
+(* The translation provider handed to [Nvml_core.Xlate]. *)
+let provider t : Xlate.provider =
+  {
+    Xlate.pool_base = (fun id ->
+      match Hashtbl.find_opt t.pools id with
+      | Some p -> p.base
+      | None -> None);
+    pool_of_va = (fun va -> pool_of_va t va);
+  }
+
+(* --- persistent allocation (pmalloc / pfree) ------------------------- *)
+
+(* pmalloc returns a *relative-format* pointer, per the paper's marking
+   of allocator functions as returning relative addresses. *)
+let pmalloc t ~pool size : Ptr.t =
+  let p = find_pool t pool in
+  let payload = Freelist.alloc (arena_access t p) (Int64.of_int size) in
+  Ptr.make_relative ~pool ~offset:payload
+
+let pfree t (ptr : Ptr.t) =
+  if not (Ptr.is_relative ptr) then
+    invalid_arg "Pmop.pfree: not a persistent pointer";
+  let p = find_pool t (Ptr.pool_of ptr) in
+  Freelist.free (arena_access t p) (Ptr.offset_of ptr)
+
+(* The per-pool root-object slot: the only well-known anchor an
+   application needs to re-find its data after restart.  Values stored
+   here are raw words; pointer-typed roots should be stored in relative
+   format (the runtime's store-pointer path does that automatically). *)
+let get_root t ~pool = Freelist.get_root (arena_access t (find_pool t pool))
+let set_root t ~pool v = Freelist.set_root (arena_access t (find_pool t pool)) v
+
+let allocated_bytes t ~pool =
+  Freelist.allocated_bytes (arena_access t (find_pool t pool))
+
+let check_pool_invariants t ~pool =
+  Freelist.check_invariants (arena_access t (find_pool t pool))

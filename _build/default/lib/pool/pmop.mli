@@ -1,0 +1,55 @@
+(** Persistent memory object pool (PMOP) manager — the OS side of the
+    design: pool creation, mapping into the NVM half of the address
+    space, detaching, the POT/VAT kernel tables behind the hardware
+    lookaside buffers, and the persistent allocator.
+
+    Pools are long-lived: their physical frames and registry entries
+    survive a simulated crash; their mappings do not.  Re-opening after
+    a restart maps at a {e different} base, exercising relocatability. *)
+
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+
+type t
+
+exception Unknown_pool of string
+exception Already_open of string
+
+val create : Nvml_simmem.Mem.t -> t
+val mem : t -> Nvml_simmem.Mem.t
+
+val create_pool : t -> name:string -> size:int -> int
+(** Create, map and initialize a pool (allocator metadata lives in the
+    pool's own memory); returns its system-wide unique ID.
+    @raise Invalid_argument on duplicate names or sizes over 4 GiB. *)
+
+val open_pool : t -> string -> int64
+(** Map an existing pool at a fresh, restart-dependent base; returns
+    the base.  @raise Already_open if it is currently mapped. *)
+
+val detach_pool : t -> int -> unit
+
+val crash : t -> unit
+(** Machine crash: volatile memory and all mappings vanish; pool frames
+    and the registry survive. *)
+
+val restarts : t -> int
+val pool_base : t -> int -> int64 option
+val pool_id_of_name : t -> string -> int
+val pool_size : t -> int -> int
+val pool_ids : t -> int list
+
+val pool_of_va : t -> int64 -> (int * int64) option
+(** VAT lookup: the (pool, base) whose mapping covers an address. *)
+
+val provider : t -> Xlate.provider
+(** The POT/VAT view handed to {!Nvml_core.Xlate}. *)
+
+val pmalloc : t -> pool:int -> int -> Ptr.t
+(** Allocate inside a pool; returns a {e relative-format} pointer. *)
+
+val pfree : t -> Ptr.t -> unit
+val get_root : t -> pool:int -> int64
+val set_root : t -> pool:int -> int64 -> unit
+val allocated_bytes : t -> pool:int -> int64
+val check_pool_invariants : t -> pool:int -> int64

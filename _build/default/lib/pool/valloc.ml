@@ -1,0 +1,35 @@
+(* The volatile (DRAM) allocator — the ordinary malloc of the simulated
+   process.  Shares the free-list implementation with the persistent
+   allocator; the arena lives in a DRAM mapping, so its contents are
+   lost on crash, exactly like a real heap. *)
+
+module Mem = Nvml_simmem.Mem
+module Layout = Nvml_simmem.Layout
+module Ptr = Nvml_core.Ptr
+
+type t = { mem : Mem.t; base : int64; access : Freelist.access }
+
+let create mem ~capacity =
+  let base = Mem.map_fresh mem Layout.Dram capacity in
+  let access =
+    {
+      Freelist.read = (fun off -> Mem.read_word mem (Int64.add base off));
+      write = (fun off v -> Mem.write_word mem (Int64.add base off) v);
+    }
+  in
+  Freelist.init access ~capacity:(Int64.of_int capacity);
+  { mem; base; access }
+
+let base t = t.base
+
+(* malloc returns an ordinary virtual address (bit 63 = 0, bit 47 = 0). *)
+let malloc t size : Ptr.t =
+  let payload = Freelist.alloc t.access (Int64.of_int size) in
+  Int64.add t.base payload
+
+let free t (ptr : Ptr.t) =
+  if Ptr.is_relative ptr then invalid_arg "Valloc.free: persistent pointer";
+  Freelist.free t.access (Int64.sub ptr t.base)
+
+let allocated_bytes t = Freelist.allocated_bytes t.access
+let check_invariants t = Freelist.check_invariants t.access

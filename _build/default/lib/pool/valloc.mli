@@ -1,0 +1,15 @@
+(** The volatile (DRAM) allocator — the ordinary malloc of the
+    simulated process.  Shares the free-list implementation with the
+    persistent allocator; contents are lost on crash. *)
+
+type t
+
+val create : Nvml_simmem.Mem.t -> capacity:int -> t
+val base : t -> int64
+
+val malloc : t -> int -> Nvml_core.Ptr.t
+(** Returns an ordinary DRAM virtual address. *)
+
+val free : t -> Nvml_core.Ptr.t -> unit
+val allocated_bytes : t -> int64
+val check_invariants : t -> int64

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Fmt Hashtbl Int64 List Nvml_arch Nvml_core Nvml_pool Nvml_simmem Option Queue Site

@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Fmt Nvml_arch Nvml_core Nvml_pool Nvml_simmem Site

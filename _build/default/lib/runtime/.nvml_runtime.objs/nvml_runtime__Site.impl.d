@@ -1,0 +1,1 @@
+lib/runtime/site.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/runtime/site.mli: Fmt

@@ -1,0 +1,1 @@
+lib/runtime/txn.ml: Int64 Nvml_core Runtime Site

@@ -1,0 +1,1 @@
+lib/runtime/txn.mli: Nvml_core Runtime Site

@@ -1,0 +1,487 @@
+(* The execution runtime: one memory-access API with four behaviours,
+   matching the four versions the paper evaluates (Section VII-A):
+
+     Volatile — native pointers, everything in DRAM; the overhead-free
+                reference point.
+     Sw       — user-transparent persistent references implemented by
+                compiler-inserted software checks: at every site the
+                inference could not resolve statically, the generated
+                code branches on the pointer format and calls software
+                ra2va/va2ra, whose instructions, kernel-table loads and
+                branches are all modeled.
+     Hw       — user-transparent persistent references with the storeP
+                instruction, POLB and VALB: conversions ride the
+                address-generation path (POLB) or the storeP unit
+                (POLB/VALB, latency hidden unless the FSM fills up).
+                A loaded relative pointer is converted once when
+                materialized and the virtual address is reused — the
+                Fig. 12 effect.
+     Explicit — the explicit-persistent-reference baseline [26]: object
+                handles stay relative everywhere, so *every* access to a
+                persistent object pays a translation plus API overhead.
+
+   Data structures and applications are written once against this API;
+   the mode is picked at runtime creation. *)
+
+module Layout = Nvml_simmem.Layout
+module Mem = Nvml_simmem.Mem
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+module Checks = Nvml_core.Checks
+module Semantics = Nvml_core.Semantics
+module Pmop = Nvml_pool.Pmop
+module Valloc = Nvml_pool.Valloc
+module Freelist = Nvml_pool.Freelist
+module Cpu = Nvml_arch.Cpu
+module Config = Nvml_arch.Config
+
+type mode = Volatile | Sw | Hw | Explicit
+
+let mode_name = function
+  | Volatile -> "volatile"
+  | Sw -> "SW"
+  | Hw -> "HW"
+  | Explicit -> "explicit"
+
+let pp_mode ppf m = Fmt.string ppf (mode_name m)
+
+let all_modes = [ Volatile; Sw; Hw; Explicit ]
+
+type t = {
+  mode : mode;
+  cfg : Config.t;
+  mem : Mem.t;
+  pm : Pmop.t;
+  mutable valloc : Valloc.t;
+  x : Xlate.t;
+  cpu : Cpu.t;
+  mutable pot_table_va : int64; (* software POT, read by SW ra2va *)
+  mutable vat_table_va : int64; (* software VAT, read by SW va2ra *)
+  dram_capacity : int;
+  (* The "opportunistically kept relative form" of Section IV: when the
+     HW version converts a loaded relative pointer to a virtual address,
+     the compiler keeps the original relative value live in a register
+     for a while; storing the pointer back into NVM shortly after needs
+     no VALB translation.  Modeled as a small FIFO of recent
+     (virtual address -> relative form) pairs standing in for the live
+     register set. *)
+  reg_rel : (int64, int64) Hashtbl.t;
+  reg_rel_fifo : int64 Queue.t;
+}
+
+let reg_rel_capacity = 32
+
+let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ~mode () =
+  let mem = Mem.create () in
+  let pm = Pmop.create mem in
+  {
+    mode;
+    cfg;
+    mem;
+    pm;
+    valloc = Valloc.create mem ~capacity:dram_capacity;
+    x = Xlate.make (Pmop.provider pm);
+    cpu = Cpu.create cfg mem;
+    pot_table_va = Mem.map_fresh mem Layout.Dram 65536;
+    vat_table_va = Mem.map_fresh mem Layout.Dram 65536;
+    dram_capacity;
+    reg_rel = Hashtbl.create 64;
+    reg_rel_fifo = Queue.create ();
+  }
+
+(* Remember that the virtual address [va] was materialized from the
+   relative pointer [rel] (both forms live in registers). *)
+let remember_rel t ~va ~rel =
+  if t.cfg.Config.keep_relative_opt && not (Hashtbl.mem t.reg_rel va) then begin
+    if Queue.length t.reg_rel_fifo >= reg_rel_capacity then
+      Hashtbl.remove t.reg_rel (Queue.pop t.reg_rel_fifo);
+    Hashtbl.replace t.reg_rel va rel;
+    Queue.push va t.reg_rel_fifo
+  end
+
+let recall_rel t ~va = Hashtbl.find_opt t.reg_rel va
+
+let mode t = t.mode
+let cpu t = t.cpu
+let mem t = t.mem
+let pmop t = t.pm
+let xlate t = t.x
+let config t = t.cfg
+let counters t = Xlate.counters t.x
+let snapshot t = Cpu.snapshot t.cpu
+
+(* --- pool management -------------------------------------------------- *)
+
+let create_pool t ~name ~size =
+  let pool = Pmop.create_pool t.pm ~name ~size in
+  let base = Option.get (Pmop.pool_base t.pm pool) in
+  Cpu.map_pool t.cpu ~base ~size:(Pmop.pool_size t.pm pool) ~pool;
+  pool
+
+let open_pool t name =
+  let base = Pmop.open_pool t.pm name in
+  let pool = Pmop.pool_id_of_name t.pm name in
+  Cpu.map_pool t.cpu ~base ~size:(Pmop.pool_size t.pm pool) ~pool;
+  base
+
+let detach_pool t pool =
+  (match Pmop.pool_base t.pm pool with
+  | Some base -> Cpu.unmap_pool t.cpu ~base ~pool
+  | None -> ());
+  Pmop.detach_pool t.pm pool
+
+(* Crash the machine: volatile memory, mappings and microarchitectural
+   state vanish; pools survive but must be re-opened by the caller. *)
+let crash_and_restart t =
+  List.iter
+    (fun pool ->
+      match Pmop.pool_base t.pm pool with
+      | Some base -> Cpu.unmap_pool t.cpu ~base ~pool
+      | None -> ())
+    (Pmop.pool_ids t.pm);
+  Pmop.crash t.pm;
+  Cpu.flush_volatile t.cpu;
+  t.valloc <- Valloc.create t.mem ~capacity:t.dram_capacity;
+  t.pot_table_va <- Mem.map_fresh t.mem Layout.Dram 65536;
+  t.vat_table_va <- Mem.map_fresh t.mem Layout.Dram 65536;
+  Hashtbl.reset t.reg_rel;
+  Queue.clear t.reg_rel_fifo
+
+(* --- generic event helpers --------------------------------------------- *)
+
+let instr t n = Cpu.instr t.cpu n
+
+(* A conditional branch in application/library control flow. *)
+let branch t ~site taken =
+  Cpu.branch t.cpu ~pc:(Site.pc site) ~taken;
+  taken
+
+(* --- software check/conversion cost models (SW mode) ------------------- *)
+
+let count_dynamic_check t =
+  let c = Xlate.counters t.x in
+  c.Xlate.dynamic_checks <- c.Xlate.dynamic_checks + 1
+
+(* The dynamic check the compiler emits at an unresolved site.  Per
+   Fig. 9, the generated code *calls* the shared runtime helpers
+   (determineY / determineX / pointerAssignment), so the check branches
+   live at fixed PCs shared by every call site; operands of different
+   formats arriving from different sites interleave at those PCs, which
+   is what makes these branches hard to predict. *)
+let pc_determine_y = 8
+let pc_determine_x = 16
+
+let sw_check t ~site ~pc_offset:_ (v : Ptr.t) =
+  if not (Site.is_static site) then begin
+    count_dynamic_check t;
+    Cpu.instr t.cpu t.cfg.sw_check_instrs;
+    Cpu.branch t.cpu ~pc:pc_determine_y ~taken:(Ptr.is_relative v);
+    if t.cfg.sw_check_branches > 1 then
+      Cpu.branch t.cpu ~pc:pc_determine_x
+        ~taken:(Checks.determine_x v = Layout.Nvm)
+  end
+
+(* Software ra2va: a call that hashes the pool id into the in-memory
+   POT and reads the base, then adds the offset. *)
+let sw_ra2va t (p : Ptr.t) : int64 =
+  if not (Ptr.is_relative p) then p
+  else begin
+    Cpu.instr t.cpu t.cfg.sw_ra2va_instrs;
+    let slot = Ptr.pool_of p land 4095 in
+    for i = 0 to t.cfg.sw_ra2va_loads - 1 do
+      Cpu.load t.cpu
+        (Int64.add t.pot_table_va (Int64.of_int ((slot * 16) + (i * 8))))
+    done;
+    Xlate.ra2va t.x p
+  end
+
+(* Software va2ra: a call that searches the in-memory VAT range table. *)
+let sw_va2ra t (p : Ptr.t) : Ptr.t =
+  if Ptr.is_relative p || Ptr.is_null p then p
+  else begin
+    Cpu.instr t.cpu t.cfg.sw_va2ra_instrs;
+    for i = 0 to t.cfg.sw_va2ra_loads - 1 do
+      Cpu.load t.cpu (Int64.add t.vat_table_va (Int64.of_int (i * 64)))
+    done;
+    Xlate.va2ra t.x p
+  end
+
+(* --- address resolution -------------------------------------------------- *)
+
+(* Resolve the pointer [p] to the virtual address issued to the memory
+   system, charging the mode-appropriate conversion cost. *)
+let resolve t ~site (p : Ptr.t) : int64 =
+  match t.mode with
+  | Volatile -> p
+  | Sw ->
+      sw_check t ~site ~pc_offset:0 p;
+      if Ptr.is_relative p then sw_ra2va t p else p
+  | Hw ->
+      if Ptr.is_relative p then begin
+        Cpu.polb_translate t.cpu ~pool:(Ptr.pool_of p);
+        Xlate.ra2va t.x p
+      end
+      else p
+  | Explicit ->
+      if Ptr.is_relative p then begin
+        (* Handle-based API: dereference overhead at every access. *)
+        Cpu.instr t.cpu 2;
+        Cpu.polb_translate t.cpu ~pool:(Ptr.pool_of p);
+        Xlate.ra2va t.x p
+      end
+      else p
+
+(* --- data accesses --------------------------------------------------------- *)
+
+let addr p off = Ptr.add p (Int64.of_int off)
+
+let load_word t ~site (p : Ptr.t) ~off : int64 =
+  let va = resolve t ~site (addr p off) in
+  Cpu.load t.cpu va;
+  Mem.read_word t.mem va
+
+let store_word t ~site (p : Ptr.t) ~off (v : int64) : unit =
+  let va = resolve t ~site (addr p off) in
+  Cpu.store t.cpu va;
+  Mem.write_word t.mem va v
+
+let load_f64 t ~site p ~off = Int64.float_of_bits (load_word t ~site p ~off)
+let store_f64 t ~site p ~off v = store_word t ~site p ~off (Int64.bits_of_float v)
+
+(* Load a *pointer-typed* field.  On top of the plain load, the loaded
+   value is materialized into a local, which is where the
+   user-transparent schemes convert a relative value to a reusable
+   virtual address (SW: inlined check + software ra2va; HW: one POLB
+   translation).  The Explicit baseline keeps the raw handle and pays
+   per-access translation later instead. *)
+let load_ptr t ~site (p : Ptr.t) ~off : Ptr.t =
+  let va = resolve t ~site (addr p off) in
+  Cpu.load t.cpu va;
+  let raw = Mem.read_word t.mem va in
+  match t.mode with
+  | Volatile | Explicit -> raw
+  | Sw ->
+      sw_check t ~site ~pc_offset:8 raw;
+      if Ptr.is_relative raw then sw_ra2va t raw else raw
+  | Hw ->
+      if Ptr.is_relative raw then begin
+        Cpu.polb_translate t.cpu ~pool:(Ptr.pool_of raw);
+        let va = Xlate.ra2va t.x raw in
+        remember_rel t ~va ~rel:raw;
+        va
+      end
+      else raw
+
+(* Store a *pointer-typed* value into the cell at [p + off], applying
+   the Fig. 3 pointerAssignment semantics: the stored representation is
+   dictated by where the destination cell lives. *)
+let store_ptr t ~site (p : Ptr.t) ~off (value : Ptr.t) : unit =
+  let cell = addr p off in
+  match t.mode with
+  | Volatile ->
+      Cpu.store t.cpu cell;
+      Mem.write_word t.mem cell value
+  | Sw ->
+      let va = resolve t ~site cell in
+      (* Inlined pointerAssignment: checks on destination and source. *)
+      sw_check t ~site ~pc_offset:16 cell;
+      sw_check t ~site ~pc_offset:24 value;
+      let stored =
+        match Checks.determine_x cell with
+        | Layout.Nvm -> sw_va2ra t value
+        | Layout.Dram -> if Ptr.is_relative value then sw_ra2va t value else value
+      in
+      Cpu.store t.cpu va;
+      Mem.write_word t.mem va stored
+  | Hw ->
+      let dst_va = Xlate.ra2va t.x cell in
+      let cell_loc = Checks.determine_x cell in
+      let rd_ops =
+        if Ptr.is_relative cell then [ `Polb (Ptr.pool_of cell) ] else []
+      in
+      let stored, rs_ops =
+        match (cell_loc, Ptr.format value) with
+        | Layout.Nvm, Ptr.Relative -> (value, [])
+        | Layout.Nvm, Ptr.Virtual -> (
+            if Ptr.is_null value then (value, [])
+            else
+              (* If this virtual address was materialized from a
+                 relative pointer still live in a register, the compiler
+                 stores that relative form directly — no VALB needed
+                 (the Section IV "keep relative opportunistically"
+                 optimization). *)
+              match recall_rel t ~va:value with
+              | Some rel -> (rel, [])
+              | None -> (Xlate.va2ra t.x value, [ `Valb value ]))
+        | Layout.Dram, Ptr.Relative ->
+            (Xlate.ra2va t.x value, [ `Polb (Ptr.pool_of value) ])
+        | Layout.Dram, Ptr.Virtual -> (value, [])
+      in
+      Cpu.store_p t.cpu ~dst_va ~xops:(rd_ops @ rs_ops);
+      Mem.write_word t.mem dst_va stored
+  | Explicit ->
+      (* Handles are stored as-is; only the destination access needs a
+         translation. *)
+      let va = resolve t ~site cell in
+      Cpu.store t.cpu va;
+      Mem.write_word t.mem va value
+
+(* --- pointer predicates ----------------------------------------------------- *)
+
+(* Charge the mode-appropriate cost for [conversions] ra2va
+   translations performed inside a pointer-valued operation. *)
+let charge_conversions t ~conversions ~pool =
+  match t.mode with
+  | Volatile | Explicit -> ()
+  | Sw ->
+      if conversions > 0 then
+        Cpu.instr t.cpu (conversions * t.cfg.sw_ra2va_instrs)
+  | Hw ->
+      for _ = 1 to conversions do
+        Cpu.polb_translate t.cpu ~pool:(pool ())
+      done
+
+(* Lazy: only forced when a conversion actually happened, in which case
+   at least one operand is relative. *)
+let some_pool p q () = if Ptr.is_relative p then Ptr.pool_of p else Ptr.pool_of q
+
+(* p op q for relational/equality operators.  Conversion costs follow
+   Fig. 4: mixed-format operands are normalized, same-pool relative
+   pairs and NULL tests are translation-free. *)
+let ptr_compare t ~site op (p : Ptr.t) (q : Ptr.t) : bool =
+  Cpu.instr t.cpu 1;
+  (match t.mode with
+  | Volatile | Explicit -> ()
+  | Sw ->
+      sw_check t ~site ~pc_offset:0 p;
+      sw_check t ~site ~pc_offset:8 q
+  | Hw -> ());
+  let before = (Xlate.counters t.x).Xlate.ra2va in
+  let result = Semantics.compare_ptr t.x op p q in
+  let conversions = (Xlate.counters t.x).Xlate.ra2va - before in
+  charge_conversions t ~conversions ~pool:(some_pool p q);
+  result
+
+let ptr_eq t ~site (p : Ptr.t) (q : Ptr.t) : bool =
+  ptr_compare t ~site Semantics.Eq p q
+
+(* p - q in elements (Fig. 4 additive operators). *)
+let ptr_diff t ~site (p : Ptr.t) (q : Ptr.t) ~elem_size : int64 =
+  Cpu.instr t.cpu 2;
+  (match t.mode with
+  | Volatile | Explicit -> ()
+  | Sw ->
+      sw_check t ~site ~pc_offset:0 p;
+      sw_check t ~site ~pc_offset:8 q
+  | Hw -> ());
+  let before = (Xlate.counters t.x).Xlate.ra2va in
+  let result = Semantics.diff t.x p q ~elem_size in
+  let conversions = (Xlate.counters t.x).Xlate.ra2va - before in
+  charge_conversions t ~conversions ~pool:(some_pool p q);
+  result
+
+(* (I)p — pointer-to-integer cast: a relative pointer exposes its
+   virtual address (Fig. 4 cast operators). *)
+let ptr_to_int t ~site (p : Ptr.t) : int64 =
+  Cpu.instr t.cpu 1;
+  match t.mode with
+  | Volatile -> p
+  | Explicit -> Xlate.ra2va t.x p
+  | Sw ->
+      sw_check t ~site ~pc_offset:0 p;
+      if Ptr.is_relative p then sw_ra2va t p else p
+  | Hw ->
+      if Ptr.is_relative p then begin
+        Cpu.polb_translate t.cpu ~pool:(Ptr.pool_of p);
+        Xlate.ra2va t.x p
+      end
+      else p
+
+let ptr_is_null t ~site (p : Ptr.t) : bool =
+  Cpu.instr t.cpu 1;
+  (match t.mode with
+  | Sw -> sw_check t ~site ~pc_offset:0 p
+  | Volatile | Hw | Explicit -> ());
+  Ptr.is_null p
+
+(* --- allocation --------------------------------------------------------------- *)
+
+(* Cost model for an allocator call: some bookkeeping instructions plus
+   free-list traffic against the arena header. *)
+let charge_alloc t ~arena_va =
+  Cpu.instr t.cpu 40;
+  Cpu.load t.cpu arena_va;
+  Cpu.load t.cpu (Int64.add arena_va 16L);
+  Cpu.store t.cpu (Int64.add arena_va 16L)
+
+let valloc_arena_va t = Valloc.base t.valloc
+
+let pool_arena_va t pool =
+  match Pmop.pool_base t.pm pool with
+  | Some base -> base
+  | None -> invalid_arg "Runtime: pool not mapped"
+
+(* Allocate [size] bytes.  [persistent] requests pool memory; in the
+   Volatile configuration there is no NVM, so everything lands in DRAM
+   (that version "cannot work on real NVM systems" but is the clean
+   reference point).  Persistent allocations return relative-format
+   pointers, as pmalloc is defined to. *)
+let alloc t ?pool ~persistent size : Ptr.t =
+  match (t.mode, persistent) with
+  | Volatile, _ | _, false ->
+      charge_alloc t ~arena_va:(valloc_arena_va t);
+      Valloc.malloc t.valloc size
+  | (Sw | Hw | Explicit), true ->
+      let pool =
+        match pool with
+        | Some p -> p
+        | None -> invalid_arg "Runtime.alloc: persistent alloc needs a pool"
+      in
+      charge_alloc t ~arena_va:(pool_arena_va t pool);
+      Pmop.pmalloc t.pm ~pool size
+
+(* Where a data structure's nodes live.  [Pool_region] degrades to DRAM
+   in the Volatile configuration (that version has no NVM at all). *)
+type region = Dram_region | Pool_region of int
+
+let alloc_in t region size =
+  match region with
+  | Dram_region -> alloc t ~persistent:false size
+  | Pool_region pool -> alloc t ~pool ~persistent:true size
+
+(* The region an existing object lives in — how a re-attached structure
+   discovers where to allocate new nodes. *)
+let region_of_ptr t (p : Ptr.t) : region =
+  if Ptr.is_relative p then Pool_region (Ptr.pool_of p)
+  else if Layout.is_nvm_va p then
+    match Pmop.pool_of_va t.pm p with
+    | Some (pool, _) -> Pool_region pool
+    | None -> Dram_region
+  else Dram_region
+
+let dealloc t (p : Ptr.t) : unit =
+  (* pfree is one of the functions marked as accepting relative
+     addresses: a virtual address into the NVM half is converted before
+     the call (the compiler inserts the va2ra). *)
+  let p =
+    if Ptr.is_virtual p && Layout.is_nvm_va p then Xlate.va2ra t.x p else p
+  in
+  if Ptr.is_relative p then begin
+    charge_alloc t ~arena_va:(pool_arena_va t (Ptr.pool_of p));
+    Pmop.pfree t.pm p
+  end
+  else begin
+    charge_alloc t ~arena_va:(valloc_arena_va t);
+    Valloc.free t.valloc p
+  end
+
+(* --- pool roots ----------------------------------------------------------------- *)
+
+(* The root slot is an ordinary NVM cell inside the pool header, so the
+   usual pointer store/load semantics apply to it. *)
+let root_cell ~pool = Ptr.make_relative ~pool ~offset:Freelist.off_root
+
+let set_root t ~site ~pool (p : Ptr.t) =
+  store_ptr t ~site (root_cell ~pool) ~off:0 p
+
+let get_root t ~site ~pool : Ptr.t = load_ptr t ~site (root_cell ~pool) ~off:0

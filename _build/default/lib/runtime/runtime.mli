@@ -1,0 +1,123 @@
+(** The execution runtime: one memory-access API with four behaviours,
+    matching the four versions the paper evaluates (Section VII-A).
+
+    - {b Volatile} — native pointers, everything in DRAM; the
+      overhead-free reference point.
+    - {b Sw} — user-transparent persistent references by
+      compiler-inserted software checks; check instructions,
+      kernel-table loads and branches are all modeled.
+    - {b Hw} — user-transparent persistent references with the storeP
+      instruction, POLB and VALB; a loaded relative pointer is converted
+      once when materialized and the virtual address is reused (the
+      Fig. 12 effect), and recently materialized relative forms are kept
+      live so store-backs need no VALB translation (the Section IV
+      "keep relative opportunistically" optimization).
+    - {b Explicit} — the explicit-persistent-reference baseline: object
+      handles stay relative everywhere, so every access to a persistent
+      object pays a translation plus handle-API overhead.
+
+    Data structures and applications are written once against this API;
+    the mode is chosen at runtime creation, and the same code produces
+    bit-identical results in every mode. *)
+
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+module Cpu = Nvml_arch.Cpu
+module Config = Nvml_arch.Config
+
+type mode = Volatile | Sw | Hw | Explicit
+
+val mode_name : mode -> string
+val pp_mode : mode Fmt.t
+val all_modes : mode list
+
+type t
+
+val create : ?cfg:Config.t -> ?dram_capacity:int -> mode:mode -> unit -> t
+
+val mode : t -> mode
+val cpu : t -> Cpu.t
+val mem : t -> Nvml_simmem.Mem.t
+val pmop : t -> Nvml_pool.Pmop.t
+val xlate : t -> Xlate.t
+val config : t -> Config.t
+val counters : t -> Xlate.counters
+val snapshot : t -> Cpu.snapshot
+
+(** {1 Pool management} *)
+
+val create_pool : t -> name:string -> size:int -> int
+(** Create, map and register a pool; returns its ID. *)
+
+val open_pool : t -> string -> int64
+(** Re-open a pool after a crash; returns its (fresh) base address. *)
+
+val detach_pool : t -> int -> unit
+
+val crash_and_restart : t -> unit
+(** Volatile memory, mappings, caches and registers vanish; pools
+    survive and must be re-opened by the caller. *)
+
+(** {1 Event helpers} *)
+
+val instr : t -> int -> unit
+(** Account [n] non-memory instructions. *)
+
+val branch : t -> site:Site.t -> bool -> bool
+(** Record a conditional branch at [site] with the given outcome;
+    returns the outcome for use in [if]. *)
+
+(** {1 Data accesses} *)
+
+val load_word : t -> site:Site.t -> Ptr.t -> off:int -> int64
+val store_word : t -> site:Site.t -> Ptr.t -> off:int -> int64 -> unit
+val load_f64 : t -> site:Site.t -> Ptr.t -> off:int -> float
+val store_f64 : t -> site:Site.t -> Ptr.t -> off:int -> float -> unit
+
+val load_ptr : t -> site:Site.t -> Ptr.t -> off:int -> Ptr.t
+(** Load a pointer-typed field.  In the user-transparent modes the
+    loaded value is materialized: a relative value is converted to a
+    reusable virtual address (SW: inlined check + software ra2va; HW:
+    one POLB translation).  The Explicit baseline returns the raw
+    handle and pays per-access translation later instead. *)
+
+val store_ptr : t -> site:Site.t -> Ptr.t -> off:int -> Ptr.t -> unit
+(** Store a pointer-typed value, applying the Fig. 3 pointerAssignment
+    semantics: the stored representation is dictated by where the
+    destination cell lives.  In HW mode this is a storeP instruction. *)
+
+(** {1 Pointer predicates (Fig. 4)} *)
+
+val ptr_compare :
+  t -> site:Site.t -> Nvml_core.Semantics.comparison -> Ptr.t -> Ptr.t -> bool
+
+val ptr_eq : t -> site:Site.t -> Ptr.t -> Ptr.t -> bool
+val ptr_is_null : t -> site:Site.t -> Ptr.t -> bool
+val ptr_diff : t -> site:Site.t -> Ptr.t -> Ptr.t -> elem_size:int -> int64
+val ptr_to_int : t -> site:Site.t -> Ptr.t -> int64
+
+(** {1 Allocation} *)
+
+type region = Dram_region | Pool_region of int
+(** Where a structure's objects live.  [Pool_region] degrades to DRAM
+    in the Volatile configuration, which has no NVM at all. *)
+
+val alloc : t -> ?pool:int -> persistent:bool -> int -> Ptr.t
+(** Allocate; persistent allocations return relative-format pointers
+    (pmalloc is marked as returning relative addresses). *)
+
+val alloc_in : t -> region -> int -> Ptr.t
+
+val region_of_ptr : t -> Ptr.t -> region
+(** The region an existing object lives in — how a re-attached
+    structure discovers where to allocate new nodes. *)
+
+val dealloc : t -> Ptr.t -> unit
+
+(** {1 Pool roots} *)
+
+val set_root : t -> site:Site.t -> pool:int -> Ptr.t -> unit
+(** Anchor a pointer in the pool's root slot (an ordinary NVM cell, so
+    pointer-store semantics apply and the stored form is relative). *)
+
+val get_root : t -> site:Site.t -> pool:int -> Ptr.t

@@ -1,0 +1,42 @@
+(* Static program sites.  Every pointer-operation call site in library
+   or application code is described by a [Site.t]: a stable synthetic PC
+   (used to index the branch predictor, like the address of the check
+   code the compiler would emit there) and a [static] flag that records
+   whether the compiler's pointer-property inference resolved the
+   operand's format at compile time.
+
+   [static = true]  — inference succeeded (e.g. the value flows straight
+                      from an allocator call or is a stack local): the
+                      SW version emits no dynamic check here.
+   [static = false] — the default for library code reached through
+                      opaque function parameters: the SW version checks
+                      dynamically (the ~42 % of sites of Section VII). *)
+
+type t = { pc : int; name : string; static : bool }
+
+let counter = ref 0
+let registry : t list ref = ref []
+
+let make ?(static = false) name =
+  incr counter;
+  let t = { pc = !counter * 64; name; static } in
+  registry := t :: !registry;
+  t
+
+(* All sites registered so far (used by the productivity analysis: each
+   non-static site is a place an explicit-API migration would have to
+   edit by hand). *)
+let all () = List.rev !registry
+
+let with_prefix prefix =
+  List.filter
+    (fun t -> String.length t.name >= String.length prefix
+              && String.sub t.name 0 (String.length prefix) = prefix)
+    (all ())
+
+let pc t = t.pc
+let name t = t.name
+let is_static t = t.static
+
+let pp ppf t =
+  Fmt.pf ppf "%s@pc=0x%x%s" t.name t.pc (if t.static then " (static)" else "")

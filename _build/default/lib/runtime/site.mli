@@ -1,0 +1,30 @@
+(** Static program sites.
+
+    Every pointer-operation call site in library or application code is
+    described by a [Site.t]: a stable synthetic PC (the address of the
+    check code the compiler would emit there, used to index the branch
+    predictor) and a [static] flag recording whether pointer-property
+    inference resolved the operand's format at compile time.
+
+    [static = true] sites emit no dynamic check in the SW configuration
+    (e.g. values flowing straight out of an allocator call); the
+    default, [static = false], is the fate of library code reached
+    through opaque parameters. *)
+
+type t
+
+val make : ?static:bool -> string -> t
+(** Register a new site.  [static] defaults to [false]. *)
+
+val pc : t -> int
+val name : t -> string
+val is_static : t -> bool
+val pp : t Fmt.t
+
+val all : unit -> t list
+(** Every site registered so far, in registration order.  Each
+    non-static site is a place an explicit-API migration would edit by
+    hand — the basis of the productivity analysis. *)
+
+val with_prefix : string -> t list
+(** Sites whose name starts with [prefix] (e.g. ["rb."]). *)

@@ -1,0 +1,139 @@
+(* Persistent undo-log transactions — the crash-consistency mechanism
+   the paper's Section VI leaves to the application ("if the call is
+   enclosed in a persistent transaction... the compiler inserts the
+   necessary runtime logging").  This module is that runtime: an undo
+   log living *inside* the pool, so it survives crashes, plus logged
+   store operations and post-crash recovery.
+
+   Log layout (word offsets from the log object):
+     0  state      (0 = idle, 1 = active)
+     8  count      (valid entries)
+     16 capacity
+     24 first entry; each entry is 16 bytes: (cell address in relative
+        format — it must survive remapping — , previous raw value)
+
+   Protocol: every tracked store first appends (cell, old value) to the
+   log and bumps the persistent count, then performs the store.  Commit
+   truncates the log and clears the active flag; abort (or recovery
+   after a crash that interrupted an active transaction) replays the
+   log backwards. *)
+
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+
+let o_state = 0
+let o_count = 8
+let o_capacity = 16
+let o_entries = 24
+
+type t = { rt : Runtime.t; pool : int; log : Ptr.t; capacity : int }
+
+exception Log_full
+exception Not_active
+exception Already_active
+
+let site = Site.make ~static:true "txn.log"
+
+let default_capacity = 4096
+
+(* Allocate a fresh log inside [pool]. *)
+let create rt ~pool ?(capacity = default_capacity) () =
+  let bytes = o_entries + (capacity * 16) in
+  let log = Runtime.alloc rt ~pool ~persistent:true bytes in
+  Runtime.store_word rt ~site log ~off:o_state 0L;
+  Runtime.store_word rt ~site log ~off:o_count 0L;
+  Runtime.store_word rt ~site log ~off:o_capacity (Int64.of_int capacity);
+  { rt; pool; log; capacity }
+
+let header t = t.log
+
+(* Re-find a log after restart from its (relative) handle. *)
+let attach rt log =
+  let capacity =
+    Int64.to_int (Runtime.load_word rt ~site log ~off:o_capacity)
+  in
+  let pool =
+    match Runtime.region_of_ptr rt log with
+    | Runtime.Pool_region p -> p
+    | Runtime.Dram_region -> invalid_arg "Txn.attach: log is not persistent"
+  in
+  { rt; pool; log; capacity }
+
+let state t = Runtime.load_word t.rt ~site t.log ~off:o_state
+let count t = Int64.to_int (Runtime.load_word t.rt ~site t.log ~off:o_count)
+let is_active t = Int64.equal (state t) 1L
+
+let begin_ t =
+  if is_active t then raise Already_active;
+  Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+  Runtime.store_word t.rt ~site t.log ~off:o_state 1L
+
+(* Record the current value of [cell] before it is overwritten.  The
+   logged address is the cell's relative form so it stays valid across
+   crashes and remaps. *)
+let log_cell t (cell : Ptr.t) =
+  let n = count t in
+  if n >= t.capacity then raise Log_full;
+  let rel_cell = Xlate.va2ra (Runtime.xlate t.rt) cell in
+  if not (Ptr.is_relative rel_cell) then
+    invalid_arg "Txn: transactional stores must target pool memory";
+  let old = Runtime.load_word t.rt ~site rel_cell ~off:0 in
+  let entry_off = o_entries + (n * 16) in
+  Runtime.store_word t.rt ~site t.log ~off:entry_off rel_cell;
+  Runtime.store_word t.rt ~site t.log ~off:(entry_off + 8) old;
+  Runtime.store_word t.rt ~site t.log ~off:o_count (Int64.of_int (n + 1))
+
+(* Transactional stores: log, then write through the normal runtime
+   paths (so pointer-format semantics and timing apply unchanged). *)
+let store_word t ~site:s (p : Ptr.t) ~off v =
+  if not (is_active t) then raise Not_active;
+  log_cell t (Ptr.add p (Int64.of_int off));
+  Runtime.store_word t.rt ~site:s p ~off v
+
+let store_ptr t ~site:s (p : Ptr.t) ~off v =
+  if not (is_active t) then raise Not_active;
+  log_cell t (Ptr.add p (Int64.of_int off));
+  Runtime.store_ptr t.rt ~site:s p ~off v
+
+(* Replay the undo log backwards, restoring the exact raw words. *)
+let roll_back t =
+  for i = count t - 1 downto 0 do
+    let entry_off = o_entries + (i * 16) in
+    let cell = Runtime.load_word t.rt ~site t.log ~off:entry_off in
+    let old = Runtime.load_word t.rt ~site t.log ~off:(entry_off + 8) in
+    Runtime.store_word t.rt ~site cell ~off:0 old
+  done;
+  Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+  Runtime.store_word t.rt ~site t.log ~off:o_state 0L
+
+let commit t =
+  if not (is_active t) then raise Not_active;
+  Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+  Runtime.store_word t.rt ~site t.log ~off:o_state 0L
+
+let abort t =
+  if not (is_active t) then raise Not_active;
+  roll_back t
+
+type recovery = Clean | Rolled_back of int
+
+(* Post-crash recovery: an active log means the crash interrupted a
+   transaction — undo it. *)
+let recover t =
+  if is_active t then begin
+    let n = count t in
+    roll_back t;
+    Rolled_back n
+  end
+  else Clean
+
+(* Run [f] in a transaction: commit on return, roll back on exception. *)
+let run t f =
+  begin_ t;
+  match f () with
+  | result ->
+      commit t;
+      result
+  | exception e ->
+      abort t;
+      raise e

@@ -1,0 +1,53 @@
+(** Persistent undo-log transactions — the crash-consistency layer the
+    paper's Section VI assumes the application provides.
+
+    The undo log lives inside the pool, so it survives crashes; every
+    tracked store first appends (cell, previous value) to the log, and
+    a crash that interrupts an active transaction is healed by
+    {!recover}, which replays the log backwards. *)
+
+module Ptr = Nvml_core.Ptr
+
+type t
+
+exception Log_full
+exception Not_active
+exception Already_active
+
+val default_capacity : int
+
+val create : Runtime.t -> pool:int -> ?capacity:int -> unit -> t
+(** Allocate a fresh log inside [pool]. *)
+
+val header : t -> Ptr.t
+(** The log object's handle — anchor it (e.g. in the pool root) so
+    {!attach} can find it after a restart. *)
+
+val attach : Runtime.t -> Ptr.t -> t
+
+val is_active : t -> bool
+val count : t -> int
+(** Entries currently in the log. *)
+
+val begin_ : t -> unit
+(** @raise Already_active on nested transactions. *)
+
+val store_word : t -> site:Site.t -> Ptr.t -> off:int -> int64 -> unit
+(** Logged store; the target must be pool memory.
+    @raise Not_active outside a transaction.
+    @raise Log_full past the log capacity. *)
+
+val store_ptr : t -> site:Site.t -> Ptr.t -> off:int -> Ptr.t -> unit
+
+val commit : t -> unit
+val abort : t -> unit
+(** Roll every logged store back, newest first. *)
+
+type recovery = Clean | Rolled_back of int
+
+val recover : t -> recovery
+(** Post-crash: undo an interrupted transaction if the log is active. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Run the function transactionally: commit on return, roll back and
+    re-raise on exception. *)

@@ -1,0 +1,1 @@
+lib/simmem/mem.ml: Char Int64 Layout List Physmem String Vspace

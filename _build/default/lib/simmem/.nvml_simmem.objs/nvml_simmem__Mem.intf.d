@@ -1,0 +1,1 @@
+lib/simmem/mem.mli: Layout Physmem Vspace

@@ -1,0 +1,1 @@
+lib/simmem/physmem.ml: Bigarray Fmt Hashtbl Int64 Layout List

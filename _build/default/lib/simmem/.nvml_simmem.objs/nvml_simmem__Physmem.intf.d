@@ -1,0 +1,1 @@
+lib/simmem/physmem.mli: Bigarray Layout

@@ -1,0 +1,1 @@
+lib/simmem/vspace.ml: Hashtbl Int64 Layout List

@@ -1,0 +1,1 @@
+lib/simmem/vspace.mli: Layout

@@ -1,0 +1,82 @@
+(* The combined simulated memory: physical frames plus one process
+   address space, with word- and byte-granular accessors keyed by virtual
+   address.  This is the functional backing store; timing is modeled
+   separately in [nvml_arch] from the event stream the runtime emits. *)
+
+type t = { phys : Physmem.t; vspace : Vspace.t }
+
+exception Unaligned of int64
+
+let create () = { phys = Physmem.create (); vspace = Vspace.create () }
+
+let phys t = t.phys
+let vspace t = t.vspace
+
+(* Map [bytes] fresh bytes of [region] memory at a fresh virtual base.
+   Returns the base VA.  Physical frames come from the matching region. *)
+let map_fresh t region bytes =
+  let base = Vspace.reserve t.vspace region bytes in
+  let frames = Physmem.alloc_frames t.phys region (Layout.pages_of_bytes bytes) in
+  Vspace.map_range t.vspace ~base ~frames;
+  base
+
+(* Map an existing list of physical frames (e.g. a persistent pool's
+   frames after restart) at a fresh virtual base in the NVM half. *)
+let map_existing t region frames =
+  let bytes = List.length frames * Layout.page_size in
+  let base = Vspace.reserve t.vspace region bytes in
+  Vspace.map_range t.vspace ~base ~frames;
+  base
+
+let unmap t ~base ~bytes =
+  Vspace.unmap_range t.vspace ~base ~pages:(Layout.pages_of_bytes bytes)
+
+let check_word_aligned va =
+  if not (Layout.is_word_aligned va) then raise (Unaligned va)
+
+(* Translate a virtual address; raises [Vspace.Fault] if unmapped. *)
+let phys_of_va t va =
+  let frame, offset = Vspace.translate_exn t.vspace va in
+  Physmem.phys_addr_of ~frame ~offset
+
+let read_word t va =
+  check_word_aligned va;
+  let frame, offset = Vspace.translate_exn t.vspace va in
+  Physmem.read_word t.phys ~frame ~word_index:(offset / Layout.word_size)
+
+let write_word t va value =
+  check_word_aligned va;
+  let frame, offset = Vspace.translate_exn t.vspace va in
+  Physmem.write_word t.phys ~frame ~word_index:(offset / Layout.word_size) value
+
+let read_byte t va =
+  let word = read_word t (Int64.logand va (Int64.lognot 7L)) in
+  let shift = 8 * Int64.to_int (Int64.logand va 7L) in
+  Int64.to_int (Int64.logand (Int64.shift_right_logical word shift) 0xFFL)
+
+let write_byte t va byte =
+  let aligned = Int64.logand va (Int64.lognot 7L) in
+  let shift = 8 * Int64.to_int (Int64.logand va 7L) in
+  let mask = Int64.shift_left 0xFFL shift in
+  let old = read_word t aligned in
+  let cleared = Int64.logand old (Int64.lognot mask) in
+  let inserted = Int64.shift_left (Int64.of_int (byte land 0xFF)) shift in
+  write_word t aligned (Int64.logor cleared inserted)
+
+let read_f64 t va = Int64.float_of_bits (read_word t va)
+let write_f64 t va x = write_word t va (Int64.bits_of_float x)
+
+(* Fixed-width string helpers: store up to [len] bytes starting at [va].
+   Used by the key-value harness for 8-byte keys/values. *)
+let write_string t va s =
+  String.iteri
+    (fun i c -> write_byte t (Int64.add va (Int64.of_int i)) (Char.code c))
+    s
+
+let read_string t va len =
+  String.init len (fun i ->
+      Char.chr (read_byte t (Int64.add va (Int64.of_int i))))
+
+let crash t =
+  Physmem.crash t.phys;
+  Vspace.crash t.vspace

@@ -1,0 +1,38 @@
+(** The combined simulated memory: physical frames plus one process
+    address space, with word-, byte-, float- and string-granular
+    accessors keyed by virtual address.  This is the functional backing
+    store; timing is modeled separately in [nvml_arch]. *)
+
+type t
+
+exception Unaligned of int64
+
+val create : unit -> t
+val phys : t -> Physmem.t
+val vspace : t -> Vspace.t
+
+val map_fresh : t -> Layout.region -> int -> int64
+(** Map fresh memory of a region at a fresh base; returns the base. *)
+
+val map_existing : t -> Layout.region -> int list -> int64
+(** Map existing physical frames (e.g. a pool's after restart) at a
+    fresh base. *)
+
+val unmap : t -> base:int64 -> bytes:int -> unit
+
+val phys_of_va : t -> int64 -> int64
+(** @raise Vspace.Fault when unmapped. *)
+
+val read_word : t -> int64 -> int64
+(** @raise Unaligned on a non-8-byte-aligned address. *)
+
+val write_word : t -> int64 -> int64 -> unit
+val read_byte : t -> int64 -> int
+val write_byte : t -> int64 -> int -> unit
+val read_f64 : t -> int64 -> float
+val write_f64 : t -> int64 -> float -> unit
+val write_string : t -> int64 -> string -> unit
+val read_string : t -> int64 -> int -> string
+
+val crash : t -> unit
+(** Drop DRAM contents and every mapping; NVM frames survive. *)

@@ -1,0 +1,107 @@
+(* Simulated physical memory: two frame spaces (DRAM and NVM), allocated
+   on demand.  Frame contents are 64-bit words in unboxed bigarrays so the
+   simulator can hold millions of words cheaply.
+
+   A simulated crash erases the contents of every DRAM frame but leaves
+   NVM frames intact — this is the property the rest of the stack builds
+   persistence on. *)
+
+type frame =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  frames : (int, frame) Hashtbl.t;
+  mutable next_dram_frame : int;
+  mutable next_nvm_frame : int;
+  mutable dram_frames_allocated : int;
+  mutable nvm_frames_allocated : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create () =
+  {
+    frames = Hashtbl.create 4096;
+    next_dram_frame = 1 (* frame 0 reserved so phys addr 0 is never valid *);
+    next_nvm_frame = Layout.nvm_phys_frame_base;
+    dram_frames_allocated = 0;
+    nvm_frames_allocated = 0;
+    reads = 0;
+    writes = 0;
+  }
+
+let region_of_frame frame =
+  if frame >= Layout.nvm_phys_frame_base then Layout.Nvm else Layout.Dram
+
+let fresh_frame_storage () =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout
+      Layout.words_per_page in
+  Bigarray.Array1.fill a 0L;
+  a
+
+(* Frame numbers are handed out eagerly; the backing storage is
+   created on first touch, so memory stays proportional to the pages a
+   simulation actually uses rather than to what it maps. *)
+let alloc_frame t region =
+  match region with
+  | Layout.Dram ->
+      let f = t.next_dram_frame in
+      t.next_dram_frame <- f + 1;
+      t.dram_frames_allocated <- t.dram_frames_allocated + 1;
+      f
+  | Layout.Nvm ->
+      let f = t.next_nvm_frame in
+      t.next_nvm_frame <- f + 1;
+      t.nvm_frames_allocated <- t.nvm_frames_allocated + 1;
+      f
+
+let alloc_frames t region n = List.init n (fun _ -> alloc_frame t region)
+
+let frame_exists t frame = Hashtbl.mem t.frames frame
+
+let frame_reserved t frame =
+  (frame >= 1 && frame < t.next_dram_frame)
+  || (frame >= Layout.nvm_phys_frame_base && frame < t.next_nvm_frame)
+
+let storage t frame =
+  match Hashtbl.find_opt t.frames frame with
+  | Some s -> s
+  | None ->
+      if not (frame_reserved t frame) then
+        Fmt.invalid_arg "Physmem: access to unallocated frame %d" frame;
+      let s = fresh_frame_storage () in
+      Hashtbl.replace t.frames frame s;
+      s
+
+(* Physical addresses: frame number * page size + offset. *)
+let phys_addr_of ~frame ~offset =
+  Int64.add
+    (Int64.shift_left (Int64.of_int frame) Layout.page_shift)
+    (Int64.of_int offset)
+
+let frame_of_phys pa = Int64.to_int (Int64.shift_right_logical pa Layout.page_shift)
+
+let read_word t ~frame ~word_index =
+  t.reads <- t.reads + 1;
+  Bigarray.Array1.get (storage t frame) word_index
+
+let write_word t ~frame ~word_index value =
+  t.writes <- t.writes + 1;
+  Bigarray.Array1.set (storage t frame) word_index value
+
+(* Crash semantics: DRAM frames lose their contents and are released;
+   NVM frames survive untouched. *)
+let crash t =
+  let dram_frames =
+    Hashtbl.fold
+      (fun frame _ acc ->
+        match region_of_frame frame with
+        | Layout.Dram -> frame :: acc
+        | Layout.Nvm -> acc)
+      t.frames []
+  in
+  List.iter (Hashtbl.remove t.frames) dram_frames;
+  t.dram_frames_allocated <- 0
+
+let stats t =
+  (t.dram_frames_allocated, t.nvm_frames_allocated, t.reads, t.writes)

@@ -1,0 +1,34 @@
+(** Simulated physical memory: DRAM and NVM frame spaces allocated on
+    demand, with word-granular access.  A simulated {!crash} erases all
+    DRAM frames and leaves NVM frames intact — the property the whole
+    persistence stack builds on. *)
+
+type frame = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val create : unit -> t
+val region_of_frame : int -> Layout.region
+val alloc_frame : t -> Layout.region -> int
+val alloc_frames : t -> Layout.region -> int -> int list
+val frame_exists : t -> int -> bool
+(** Whether the frame's backing storage has been materialized (frames
+    are backed lazily on first touch). *)
+
+val frame_reserved : t -> int -> bool
+(** Whether the frame number has been handed out by [alloc_frame]. *)
+
+val storage : t -> int -> frame
+
+val phys_addr_of : frame:int -> offset:int -> int64
+val frame_of_phys : int64 -> int
+
+val read_word : t -> frame:int -> word_index:int -> int64
+val write_word : t -> frame:int -> word_index:int -> int64 -> unit
+
+val crash : t -> unit
+(** DRAM frames lose their contents and are released; NVM frames
+    survive untouched. *)
+
+val stats : t -> int * int * int * int
+(** (DRAM frames, NVM frames, reads, writes). *)

@@ -1,0 +1,79 @@
+(* A process virtual address space: a page table mapping virtual pages to
+   physical frames, plus simple bump reservations for fresh mapping bases
+   in each half of the address space.
+
+   The page table is volatile kernel state: a simulated crash clears it;
+   persistent pools are re-mapped (possibly at different bases) when they
+   are re-opened after restart. *)
+
+exception Fault of int64
+(* Raised on access to an unmapped virtual address. *)
+
+type t = {
+  page_table : (int, int) Hashtbl.t; (* virtual page -> physical frame *)
+  mutable dram_brk : int64; (* next fresh VA in the DRAM half *)
+  mutable nvm_brk : int64; (* next fresh VA in the NVM half *)
+}
+
+let create () =
+  {
+    page_table = Hashtbl.create 4096;
+    (* Leave the first page unmapped so VA 0 (NULL) always faults. *)
+    dram_brk = Int64.of_int Layout.page_size;
+    nvm_brk = Layout.nvm_va_base;
+  }
+
+let reserve t region bytes =
+  let size = Int64.of_int (Layout.pages_of_bytes bytes * Layout.page_size) in
+  match region with
+  | Layout.Dram ->
+      let base = t.dram_brk in
+      t.dram_brk <- Int64.add base size;
+      if t.dram_brk >= Layout.nvm_va_base then
+        invalid_arg "Vspace.reserve: DRAM half exhausted";
+      base
+  | Layout.Nvm ->
+      let base = t.nvm_brk in
+      t.nvm_brk <- Int64.add base size;
+      if t.nvm_brk >= Layout.va_limit then
+        invalid_arg "Vspace.reserve: NVM half exhausted";
+      base
+
+(* Skip some pages in the NVM half, so that re-opened pools land at a
+   different base than before — exercising pointer relocatability. *)
+let skew_nvm_brk t pages =
+  t.nvm_brk <-
+    Int64.add t.nvm_brk (Int64.of_int (pages * Layout.page_size))
+
+let map_page t ~vpage ~frame = Hashtbl.replace t.page_table vpage frame
+
+let map_range t ~base ~frames =
+  assert (Int64.logand base (Int64.of_int (Layout.page_size - 1)) = 0L);
+  List.iteri
+    (fun i frame -> map_page t ~vpage:(Layout.page_of_va base + i) ~frame)
+    frames
+
+let unmap_range t ~base ~pages =
+  let first = Layout.page_of_va base in
+  for vpage = first to first + pages - 1 do
+    Hashtbl.remove t.page_table vpage
+  done
+
+let translate t va =
+  match Hashtbl.find_opt t.page_table (Layout.page_of_va va) with
+  | Some frame -> Some (frame, Layout.page_offset_of_va va)
+  | None -> None
+
+let translate_exn t va =
+  match translate t va with Some x -> x | None -> raise (Fault va)
+
+let is_mapped t va = translate t va <> None
+
+let mapped_pages t = Hashtbl.length t.page_table
+
+(* Crash: all virtual mappings are volatile kernel state and vanish.
+   The bump pointers are reset too — a fresh process address space. *)
+let crash t =
+  Hashtbl.reset t.page_table;
+  t.dram_brk <- Int64.of_int Layout.page_size;
+  t.nvm_brk <- Layout.nvm_va_base

@@ -1,0 +1,34 @@
+(** A process virtual address space: the page table mapping virtual
+    pages to physical frames, plus bump reservations for fresh mapping
+    bases in each half.  Volatile kernel state: a crash clears it. *)
+
+exception Fault of int64
+(** Access to an unmapped virtual address. *)
+
+type t
+
+val create : unit -> t
+
+val reserve : t -> Layout.region -> int -> int64
+(** Reserve a fresh page-aligned virtual range in the given half;
+    returns its base. *)
+
+val skew_nvm_brk : t -> int -> unit
+(** Skip pages in the NVM half so re-opened pools land at different
+    bases — exercising pointer relocatability. *)
+
+val map_page : t -> vpage:int -> frame:int -> unit
+val map_range : t -> base:int64 -> frames:int list -> unit
+val unmap_range : t -> base:int64 -> pages:int -> unit
+
+val translate : t -> int64 -> (int * int) option
+(** [translate t va] is [(frame, page offset)] or [None]. *)
+
+val translate_exn : t -> int64 -> int * int
+(** @raise Fault when unmapped. *)
+
+val is_mapped : t -> int64 -> bool
+val mapped_pages : t -> int
+
+val crash : t -> unit
+(** All mappings vanish and the reservation pointers reset. *)

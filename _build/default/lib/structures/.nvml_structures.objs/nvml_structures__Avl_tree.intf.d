@@ -1,0 +1,1 @@
+lib/structures/avl_tree.mli: Nvml_core Nvml_runtime

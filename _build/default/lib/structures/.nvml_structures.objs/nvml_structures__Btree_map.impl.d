@@ -1,0 +1,1 @@
+lib/structures/btree_map.ml: Int64 Nvml_core Nvml_runtime

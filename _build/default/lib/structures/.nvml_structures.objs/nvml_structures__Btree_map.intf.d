@@ -1,0 +1,1 @@
+lib/structures/btree_map.mli: Nvml_core Nvml_runtime

@@ -1,0 +1,1 @@
+lib/structures/hash_table.ml: Int64 Nvml_core Nvml_runtime

@@ -1,0 +1,1 @@
+lib/structures/hash_table.mli: Nvml_core Nvml_runtime

@@ -1,0 +1,1 @@
+lib/structures/intf.ml: Nvml_core Nvml_runtime

@@ -1,0 +1,1 @@
+lib/structures/linked_list.ml: Int64 Nvml_core Nvml_runtime

@@ -1,0 +1,1 @@
+lib/structures/rb_tree.ml: Int64 Nvml_core Nvml_runtime

@@ -1,0 +1,1 @@
+lib/structures/registry.ml: Avl_tree Btree_map Fmt Hash_table Intf List Radix_tree Rb_tree Scapegoat_tree Skip_list Splay_tree String

@@ -1,0 +1,1 @@
+lib/structures/scapegoat_tree.ml: Array Int64 List Nvml_core Nvml_runtime

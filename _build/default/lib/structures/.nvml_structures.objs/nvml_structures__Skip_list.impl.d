@@ -1,0 +1,1 @@
+lib/structures/skip_list.ml: Array Hashtbl Int64 Nvml_core Nvml_runtime

@@ -1,0 +1,1 @@
+lib/structures/skip_list.mli: Nvml_core Nvml_runtime

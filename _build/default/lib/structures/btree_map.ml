@@ -1,0 +1,396 @@
+(* An extended-set structure: a CLRS-style B-tree map of minimum degree
+   4 laid out in simulated memory — wide nodes with key/value/child
+   arrays, the classic NVM-friendly index shape (fewer pointer hops per
+   lookup than a binary tree, at the price of intra-node scans).
+
+   Node layout (192 bytes):
+     0    nkeys
+     8    leaf flag
+     16   keys[0..6]
+     72   values[0..6]
+     128  children[0..7]
+   Header: root(0), size(8). *)
+
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+
+let name = "BTree"
+let description = "B-tree map, minimum degree 4 (7 keys / 8 children per node)"
+
+let degree = 4
+let max_keys = (2 * degree) - 1 (* 7 *)
+let min_keys = degree - 1 (* 3 *)
+
+let o_nkeys = 0
+let o_leaf = 8
+let o_key i = 16 + (8 * i)
+let o_val i = 72 + (8 * i)
+let o_child i = 128 + (8 * i)
+let node_size = 192
+
+let h_root = 0
+let h_size = 8
+let header_size = 16
+
+type t = { rt : Runtime.t; region : Runtime.region; header : Ptr.t }
+
+let s_hdr = Site.make "btree.header"
+let s_scan = Site.make "btree.scan"
+let s_node = Site.make "btree.node"
+let s_child = Site.make "btree.child"
+let s_shift = Site.make "btree.shift"
+
+(* --- node accessors ---------------------------------------------------- *)
+
+let nkeys t n = Int64.to_int (Runtime.load_word t.rt ~site:s_node n ~off:o_nkeys)
+
+let set_nkeys t n k =
+  Runtime.store_word t.rt ~site:s_node n ~off:o_nkeys (Int64.of_int k)
+
+let is_leaf t n =
+  Int64.equal (Runtime.load_word t.rt ~site:s_node n ~off:o_leaf) 1L
+
+let key_at t n i = Runtime.load_word t.rt ~site:s_scan n ~off:(o_key i)
+let val_at t n i = Runtime.load_word t.rt ~site:s_node n ~off:(o_val i)
+let child_at t n i = Runtime.load_ptr t.rt ~site:s_child n ~off:(o_child i)
+let set_key t n i v = Runtime.store_word t.rt ~site:s_node n ~off:(o_key i) v
+let set_val t n i v = Runtime.store_word t.rt ~site:s_node n ~off:(o_val i) v
+let set_child t n i v = Runtime.store_ptr t.rt ~site:s_child n ~off:(o_child i) v
+
+let new_node t ~leaf =
+  let n = Runtime.alloc_in t.rt t.region node_size in
+  set_nkeys t n 0;
+  Runtime.store_word t.rt ~site:s_node n ~off:o_leaf (if leaf then 1L else 0L);
+  for i = 0 to (2 * degree) - 1 do
+    Runtime.store_ptr t.rt ~site:s_node n ~off:(o_child i) Ptr.null
+  done;
+  n
+
+let create rt region =
+  let header = Runtime.alloc_in rt region header_size in
+  let t = { rt; region; header } in
+  let root = new_node t ~leaf:true in
+  Runtime.store_ptr rt ~site:s_hdr header ~off:h_root root;
+  Runtime.store_word rt ~site:s_hdr header ~off:h_size 0L;
+  t
+
+let header t = t.header
+
+let attach rt header =
+  { rt; region = Runtime.region_of_ptr rt header; header }
+
+let size t =
+  Int64.to_int (Runtime.load_word t.rt ~site:s_hdr t.header ~off:h_size)
+
+let set_size t n =
+  Runtime.store_word t.rt ~site:s_hdr t.header ~off:h_size (Int64.of_int n)
+
+let root t = Runtime.load_ptr t.rt ~site:s_hdr t.header ~off:h_root
+let set_root t v = Runtime.store_ptr t.rt ~site:s_hdr t.header ~off:h_root v
+
+(* First index i with keys[i] >= key (linear scan, as the flat node
+   layout invites). *)
+let lower_bound t n key =
+  let count = nkeys t n in
+  let rec scan i =
+    if i >= count then i
+    else begin
+      let k = key_at t n i in
+      Runtime.instr t.rt 1;
+      if Runtime.branch t.rt ~site:s_scan (k < key) then scan (i + 1) else i
+    end
+  in
+  scan 0
+
+(* --- find ---------------------------------------------------------------- *)
+
+let find t key =
+  let rt = t.rt in
+  let rec go n =
+    let i = lower_bound t n key in
+    if
+      i < nkeys t n
+      && Runtime.branch rt ~site:s_scan (Int64.equal (key_at t n i) key)
+    then Some (val_at t n i)
+    else if Runtime.branch rt ~site:s_scan (is_leaf t n) then None
+    else go (child_at t n i)
+  in
+  go (root t)
+
+(* --- insertion -------------------------------------------------------------- *)
+
+(* Split the full child [i] of [parent]. *)
+let split_child t parent i =
+  let full = child_at t parent i in
+  let right = new_node t ~leaf:(is_leaf t full) in
+  set_nkeys t right min_keys;
+  for j = 0 to min_keys - 1 do
+    set_key t right j (key_at t full (j + degree));
+    set_val t right j (val_at t full (j + degree))
+  done;
+  if not (is_leaf t full) then
+    for j = 0 to degree - 1 do
+      set_child t right j (child_at t full (j + degree))
+    done;
+  set_nkeys t full min_keys;
+  (* Shift the parent's keys and children right. *)
+  let pk = nkeys t parent in
+  for j = pk - 1 downto i do
+    set_key t parent (j + 1) (key_at t parent j);
+    set_val t parent (j + 1) (val_at t parent j)
+  done;
+  for j = pk downto i + 1 do
+    set_child t parent (j + 1) (child_at t parent j)
+  done;
+  Runtime.instr t.rt 2;
+  set_key t parent i (key_at t full min_keys);
+  set_val t parent i (val_at t full min_keys);
+  set_child t parent (i + 1) right;
+  set_nkeys t parent (pk + 1)
+
+let rec insert_nonfull t n key value added =
+  let rt = t.rt in
+  let i = lower_bound t n key in
+  if
+    i < nkeys t n
+    && Runtime.branch rt ~site:s_scan (Int64.equal (key_at t n i) key)
+  then set_val t n i value
+  else if Runtime.branch rt ~site:s_scan (is_leaf t n) then begin
+    for j = nkeys t n - 1 downto i do
+      set_key t n (j + 1) (key_at t n j);
+      set_val t n (j + 1) (val_at t n j)
+    done;
+    set_key t n i key;
+    set_val t n i value;
+    set_nkeys t n (nkeys t n + 1);
+    added := true
+  end
+  else begin
+    let i =
+      if Runtime.branch rt ~site:s_shift (nkeys t (child_at t n i) = max_keys)
+      then begin
+        split_child t n i;
+        let k = key_at t n i in
+        Runtime.instr rt 1;
+        if Runtime.branch rt ~site:s_shift (Int64.equal k key) then begin
+          (* The separator that moved up is exactly our key. *)
+          set_val t n i value;
+          -1
+        end
+        else if Runtime.branch rt ~site:s_shift (key > k) then i + 1
+        else i
+      end
+      else i
+    in
+    if i >= 0 then insert_nonfull t (child_at t n i) key value added
+  end
+
+let insert t ~key ~value =
+  let added = ref false in
+  let r = root t in
+  (if nkeys t r = max_keys then begin
+     let new_root = new_node t ~leaf:false in
+     set_child t new_root 0 r;
+     set_root t new_root;
+     split_child t new_root 0;
+     insert_nonfull t new_root key value added
+   end
+   else insert_nonfull t r key value added);
+  if !added then set_size t (size t + 1)
+
+(* --- deletion ----------------------------------------------------------------- *)
+
+let rec max_entry t n =
+  if is_leaf t n then
+    let k = nkeys t n - 1 in
+    (key_at t n k, val_at t n k)
+  else max_entry t (child_at t n (nkeys t n))
+
+let rec min_entry t n =
+  if is_leaf t n then (key_at t n 0, val_at t n 0)
+  else min_entry t (child_at t n 0)
+
+(* Merge child i, separator i and child i+1 into child i. *)
+let merge_children t n i =
+  let left = child_at t n i and right = child_at t n (i + 1) in
+  let lk = nkeys t left in
+  set_key t left lk (key_at t n i);
+  set_val t left lk (val_at t n i);
+  for j = 0 to nkeys t right - 1 do
+    set_key t left (lk + 1 + j) (key_at t right j);
+    set_val t left (lk + 1 + j) (val_at t right j)
+  done;
+  if not (is_leaf t left) then
+    for j = 0 to nkeys t right do
+      set_child t left (lk + 1 + j) (child_at t right j)
+    done;
+  set_nkeys t left (lk + 1 + nkeys t right);
+  for j = i to nkeys t n - 2 do
+    set_key t n j (key_at t n (j + 1));
+    set_val t n j (val_at t n (j + 1))
+  done;
+  for j = i + 1 to nkeys t n - 1 do
+    set_child t n j (child_at t n (j + 1))
+  done;
+  set_nkeys t n (nkeys t n - 1);
+  Runtime.dealloc t.rt right
+
+(* Ensure child [i] has at least [degree] keys; returns the (possibly
+   shifted) child index to descend into. *)
+let fill t n i =
+  if i > 0 && nkeys t (child_at t n (i - 1)) > min_keys then begin
+    (* Borrow from the left sibling. *)
+    let c = child_at t n i and left = child_at t n (i - 1) in
+    let ck = nkeys t c in
+    for j = ck - 1 downto 0 do
+      set_key t c (j + 1) (key_at t c j);
+      set_val t c (j + 1) (val_at t c j)
+    done;
+    if not (is_leaf t c) then
+      for j = ck downto 0 do
+        set_child t c (j + 1) (child_at t c j)
+      done;
+    set_key t c 0 (key_at t n (i - 1));
+    set_val t c 0 (val_at t n (i - 1));
+    let lk = nkeys t left in
+    if not (is_leaf t c) then set_child t c 0 (child_at t left lk);
+    set_key t n (i - 1) (key_at t left (lk - 1));
+    set_val t n (i - 1) (val_at t left (lk - 1));
+    set_nkeys t left (lk - 1);
+    set_nkeys t c (ck + 1);
+    i
+  end
+  else if i < nkeys t n && nkeys t (child_at t n (i + 1)) > min_keys then begin
+    (* Borrow from the right sibling. *)
+    let c = child_at t n i and right = child_at t n (i + 1) in
+    let ck = nkeys t c in
+    set_key t c ck (key_at t n i);
+    set_val t c ck (val_at t n i);
+    if not (is_leaf t c) then set_child t c (ck + 1) (child_at t right 0);
+    set_key t n i (key_at t right 0);
+    set_val t n i (val_at t right 0);
+    let rk = nkeys t right in
+    for j = 0 to rk - 2 do
+      set_key t right j (key_at t right (j + 1));
+      set_val t right j (val_at t right (j + 1))
+    done;
+    if not (is_leaf t right) then
+      for j = 0 to rk - 1 do
+        set_child t right j (child_at t right (j + 1))
+      done;
+    set_nkeys t right (rk - 1);
+    set_nkeys t c (ck + 1);
+    i
+  end
+  else if i < nkeys t n then begin
+    merge_children t n i;
+    i
+  end
+  else begin
+    merge_children t n (i - 1);
+    i - 1
+  end
+
+let rec remove_from t n key : bool =
+  let rt = t.rt in
+  let i = lower_bound t n key in
+  if
+    i < nkeys t n
+    && Runtime.branch rt ~site:s_scan (Int64.equal (key_at t n i) key)
+  then
+    if Runtime.branch rt ~site:s_scan (is_leaf t n) then begin
+      for j = i to nkeys t n - 2 do
+        set_key t n j (key_at t n (j + 1));
+        set_val t n j (val_at t n (j + 1))
+      done;
+      set_nkeys t n (nkeys t n - 1);
+      true
+    end
+    else if nkeys t (child_at t n i) > min_keys then begin
+      let pk, pv = max_entry t (child_at t n i) in
+      set_key t n i pk;
+      set_val t n i pv;
+      remove_from t (child_at t n i) pk
+    end
+    else if nkeys t (child_at t n (i + 1)) > min_keys then begin
+      let sk, sv = min_entry t (child_at t n (i + 1)) in
+      set_key t n i sk;
+      set_val t n i sv;
+      remove_from t (child_at t n (i + 1)) sk
+    end
+    else begin
+      merge_children t n i;
+      remove_from t (child_at t n i) key
+    end
+  else if Runtime.branch rt ~site:s_scan (is_leaf t n) then false
+  else begin
+    let i =
+      if nkeys t (child_at t n i) = min_keys then fill t n i else i
+    in
+    remove_from t (child_at t n (min i (nkeys t n))) key
+  end
+
+let remove t key =
+  let removed = remove_from t (root t) key in
+  if removed then begin
+    set_size t (size t - 1);
+    let r = root t in
+    if nkeys t r = 0 && not (is_leaf t r) then begin
+      set_root t (child_at t r 0);
+      Runtime.dealloc t.rt r
+    end
+  end;
+  removed
+
+let iter t f =
+  let rec go n =
+    let count = nkeys t n in
+    if is_leaf t n then
+      for i = 0 to count - 1 do
+        f ~key:(key_at t n i) ~value:(val_at t n i)
+      done
+    else begin
+      for i = 0 to count - 1 do
+        go (child_at t n i);
+        f ~key:(key_at t n i) ~value:(val_at t n i)
+      done;
+      go (child_at t n count)
+    end
+  in
+  go (root t)
+
+(* Occupancy bounds, key ordering, uniform leaf depth and size. *)
+let check_invariants t =
+  let count = ref 0 in
+  let leaf_depth = ref None in
+  let rec check n ~is_root ~depth lo hi =
+    let k = nkeys t n in
+    if k > max_keys then failwith "BTree: node overfull";
+    if (not is_root) && k < min_keys then failwith "BTree: node underfull";
+    count := !count + k;
+    for i = 0 to k - 1 do
+      let key = key_at t n i in
+      (match lo with
+      | Some l when key <= l -> failwith "BTree: order violated (low)"
+      | _ -> ());
+      (match hi with
+      | Some h when key >= h -> failwith "BTree: order violated (high)"
+      | _ -> ());
+      if i > 0 && key_at t n (i - 1) >= key then
+        failwith "BTree: keys out of order"
+    done;
+    if is_leaf t n then begin
+      match !leaf_depth with
+      | None -> leaf_depth := Some depth
+      | Some d -> if d <> depth then failwith "BTree: uneven leaf depth"
+    end
+    else
+      for i = 0 to k do
+        let lo' = if i = 0 then lo else Some (key_at t n (i - 1)) in
+        let hi' = if i = k then hi else Some (key_at t n i) in
+        check (child_at t n i) ~is_root:false ~depth:(depth + 1) lo' hi'
+      done
+  in
+  check (root t) ~is_root:true ~depth:0 None None;
+  if !count <> size t then failwith "BTree: size mismatch"

@@ -1,0 +1,203 @@
+(* The Hash benchmark: a separate-chaining hash table with power-of-two
+   bucket arrays and doubling resize at load factor 1.0.  Buckets and
+   nodes live in the structure's region, so in persistent configurations
+   the bucket array itself is full of persistent pointers. *)
+
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+
+let name = "Hash"
+let description = "chained hash table, doubling resize at load factor 1"
+
+(* Node layout. *)
+let o_key = 0
+let o_value = 8
+let o_next = 16
+let node_size = 24
+
+(* Header layout. *)
+let h_buckets = 0
+let h_nbuckets = 8
+let h_size = 16
+let header_size = 24
+
+let initial_buckets = 16
+
+type t = { rt : Runtime.t; region : Runtime.region; header : Ptr.t }
+
+let s_hdr = Site.make "hash.header"
+let s_bucket = Site.make "hash.bucket"
+let s_chain_null = Site.make "hash.chain.null"
+let s_chain_key = Site.make "hash.chain.key"
+let s_chain_next = Site.make "hash.chain.next"
+let s_node = Site.make "hash.node"
+let s_resize = Site.make "hash.resize"
+
+(* A 64-bit mix (splitmix64 finalizer); the harness charges the ALU
+   work it would cost. *)
+let mix k =
+  let k = Int64.mul (Int64.logxor k (Int64.shift_right_logical k 30))
+      0xbf58476d1ce4e5b9L in
+  let k = Int64.mul (Int64.logxor k (Int64.shift_right_logical k 27))
+      0x94d049bb133111ebL in
+  Int64.logxor k (Int64.shift_right_logical k 31)
+
+let bucket_index rt key nbuckets =
+  Runtime.instr rt 6;
+  Int64.to_int (Int64.logand (mix key) (Int64.of_int (nbuckets - 1)))
+
+let alloc_bucket_array t n =
+  let rt = t.rt in
+  let arr = Runtime.alloc_in rt t.region (n * 8) in
+  for i = 0 to n - 1 do
+    Runtime.store_ptr rt ~site:s_bucket arr ~off:(i * 8) Ptr.null
+  done;
+  arr
+
+let create rt region =
+  let header = Runtime.alloc_in rt region header_size in
+  let t = { rt; region; header } in
+  let arr = alloc_bucket_array t initial_buckets in
+  Runtime.store_ptr rt ~site:s_hdr header ~off:h_buckets arr;
+  Runtime.store_word rt ~site:s_hdr header ~off:h_nbuckets
+    (Int64.of_int initial_buckets);
+  Runtime.store_word rt ~site:s_hdr header ~off:h_size 0L;
+  t
+
+let header t = t.header
+let attach rt header =
+  { rt; region = Runtime.region_of_ptr rt header; header }
+
+let size t =
+  Int64.to_int (Runtime.load_word t.rt ~site:s_hdr t.header ~off:h_size)
+
+let nbuckets t =
+  Int64.to_int (Runtime.load_word t.rt ~site:s_hdr t.header ~off:h_nbuckets)
+
+let set_size t n =
+  Runtime.store_word t.rt ~site:s_hdr t.header ~off:h_size (Int64.of_int n)
+
+(* Double the bucket array and relink every node. *)
+let resize t =
+  let rt = t.rt in
+  let old_n = nbuckets t in
+  let new_n = old_n * 2 in
+  let old_arr = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_buckets in
+  let new_arr = alloc_bucket_array t new_n in
+  for i = 0 to old_n - 1 do
+    let node = ref (Runtime.load_ptr rt ~site:s_resize old_arr ~off:(i * 8)) in
+    while
+      not
+        (Runtime.branch rt ~site:s_resize
+           (Runtime.ptr_is_null rt ~site:s_resize !node))
+    do
+      let next = Runtime.load_ptr rt ~site:s_resize !node ~off:o_next in
+      let key = Runtime.load_word rt ~site:s_resize !node ~off:o_key in
+      let b = bucket_index rt key new_n in
+      let head = Runtime.load_ptr rt ~site:s_resize new_arr ~off:(b * 8) in
+      Runtime.store_ptr rt ~site:s_resize !node ~off:o_next head;
+      Runtime.store_ptr rt ~site:s_resize new_arr ~off:(b * 8) !node;
+      node := next
+    done
+  done;
+  Runtime.store_ptr rt ~site:s_hdr t.header ~off:h_buckets new_arr;
+  Runtime.store_word rt ~site:s_hdr t.header ~off:h_nbuckets
+    (Int64.of_int new_n);
+  Runtime.dealloc rt old_arr
+
+(* Find the node for [key] in its chain; None if absent. *)
+let find_node t key =
+  let rt = t.rt in
+  let arr = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_buckets in
+  let b = bucket_index rt key (nbuckets t) in
+  let rec go node =
+    if
+      Runtime.branch rt ~site:s_chain_null
+        (Runtime.ptr_is_null rt ~site:s_chain_null node)
+    then None
+    else
+      let k = Runtime.load_word rt ~site:s_chain_key node ~off:o_key in
+      Runtime.instr rt 1;
+      if Runtime.branch rt ~site:s_chain_key (Int64.equal k key) then Some node
+      else go (Runtime.load_ptr rt ~site:s_chain_next node ~off:o_next)
+  in
+  go (Runtime.load_ptr rt ~site:s_bucket arr ~off:(b * 8))
+
+let find t key =
+  match find_node t key with
+  | Some node -> Some (Runtime.load_word t.rt ~site:s_node node ~off:o_value)
+  | None -> None
+
+let insert t ~key ~value =
+  let rt = t.rt in
+  match find_node t key with
+  | Some node -> Runtime.store_word rt ~site:s_node node ~off:o_value value
+  | None ->
+      if Runtime.branch rt ~site:s_resize (size t >= nbuckets t) then resize t;
+      let arr = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_buckets in
+      let b = bucket_index rt key (nbuckets t) in
+      let node = Runtime.alloc_in rt t.region node_size in
+      Runtime.store_word rt ~site:s_node node ~off:o_key key;
+      Runtime.store_word rt ~site:s_node node ~off:o_value value;
+      let head = Runtime.load_ptr rt ~site:s_bucket arr ~off:(b * 8) in
+      Runtime.store_ptr rt ~site:s_node node ~off:o_next head;
+      Runtime.store_ptr rt ~site:s_bucket arr ~off:(b * 8) node;
+      set_size t (size t + 1)
+
+let remove t key =
+  let rt = t.rt in
+  let arr = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_buckets in
+  let b = bucket_index rt key (nbuckets t) in
+  let rec go ~prev node =
+    if
+      Runtime.branch rt ~site:s_chain_null
+        (Runtime.ptr_is_null rt ~site:s_chain_null node)
+    then false
+    else
+      let k = Runtime.load_word rt ~site:s_chain_key node ~off:o_key in
+      Runtime.instr rt 1;
+      if Runtime.branch rt ~site:s_chain_key (Int64.equal k key) then begin
+        let next = Runtime.load_ptr rt ~site:s_chain_next node ~off:o_next in
+        (match prev with
+        | None -> Runtime.store_ptr rt ~site:s_bucket arr ~off:(b * 8) next
+        | Some p -> Runtime.store_ptr rt ~site:s_chain_next p ~off:o_next next);
+        Runtime.dealloc rt node;
+        set_size t (size t - 1);
+        true
+      end
+      else go ~prev:(Some node) (Runtime.load_ptr rt ~site:s_chain_next node ~off:o_next)
+  in
+  go ~prev:None (Runtime.load_ptr rt ~site:s_bucket arr ~off:(b * 8))
+
+let iter t f =
+  let rt = t.rt in
+  let arr = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_buckets in
+  for b = 0 to nbuckets t - 1 do
+    let node = ref (Runtime.load_ptr rt ~site:s_bucket arr ~off:(b * 8)) in
+    while not (Runtime.ptr_is_null rt ~site:s_chain_null !node) do
+      let key = Runtime.load_word rt ~site:s_node !node ~off:o_key in
+      let value = Runtime.load_word rt ~site:s_node !node ~off:o_value in
+      f ~key ~value;
+      node := Runtime.load_ptr rt ~site:s_chain_next !node ~off:o_next
+    done
+  done
+
+(* Every chained node must hash to its bucket; the size field must
+   match the number of reachable nodes. *)
+let check_invariants t =
+  let rt = t.rt in
+  let n = nbuckets t in
+  if n land (n - 1) <> 0 then failwith "Hash: bucket count not a power of 2";
+  let arr = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_buckets in
+  let count = ref 0 in
+  for b = 0 to n - 1 do
+    let node = ref (Runtime.load_ptr rt ~site:s_bucket arr ~off:(b * 8)) in
+    while not (Runtime.ptr_is_null rt ~site:s_chain_null !node) do
+      incr count;
+      let key = Runtime.load_word rt ~site:s_node !node ~off:o_key in
+      if bucket_index rt key n <> b then failwith "Hash: node in wrong bucket";
+      node := Runtime.load_ptr rt ~site:s_chain_next !node ~off:o_next
+    done
+  done;
+  if !count <> size t then failwith "Hash: size mismatch"

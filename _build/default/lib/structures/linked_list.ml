@@ -1,0 +1,173 @@
+(* The LL benchmark: a doubly linked list whose nodes carry two pointers
+   and a 16-byte value (Table III / Section VII-A).  The evaluation
+   harness builds 10,000 nodes and iterates, accumulating the values —
+   a pure pointer-chasing workload with almost no computation. *)
+
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+
+(* Node layout (byte offsets). *)
+let o_next = 0
+let o_prev = 8
+let o_v0 = 16
+let o_v1 = 24
+let node_size = 32
+
+(* Header layout. *)
+let h_head = 0
+let h_tail = 8
+let h_len = 16
+let header_size = 24
+
+type t = { rt : Runtime.t; region : Runtime.region; header : Ptr.t }
+
+let name = "LL"
+let description = "doubly linked list, two pointers + 16-byte value per node"
+
+(* Sites: library code reached through opaque parameters — the SW
+   compiler cannot resolve pointer formats here (static = false). *)
+let s_hdr = Site.make "ll.header"
+let s_link = Site.make "ll.link"
+let s_iter_null = Site.make "ll.iter.null"
+let s_iter_next = Site.make "ll.iter.next"
+let s_iter_val = Site.make "ll.iter.value"
+let s_find_cmp = Site.make "ll.find.cmp"
+let s_unlink = Site.make "ll.unlink"
+
+let create rt region =
+  let header = Runtime.alloc_in rt region header_size in
+  Runtime.store_ptr rt ~site:s_hdr header ~off:h_head Ptr.null;
+  Runtime.store_ptr rt ~site:s_hdr header ~off:h_tail Ptr.null;
+  Runtime.store_word rt ~site:s_hdr header ~off:h_len 0L;
+  { rt; region; header }
+
+let header t = t.header
+let attach rt header =
+  { rt; region = Runtime.region_of_ptr rt header; header }
+
+let length t =
+  Int64.to_int (Runtime.load_word t.rt ~site:s_hdr t.header ~off:h_len)
+
+let set_length t n =
+  Runtime.store_word t.rt ~site:s_hdr t.header ~off:h_len (Int64.of_int n)
+
+(* Append a node carrying the two value words at the tail. *)
+let append t ~v0 ~v1 =
+  let rt = t.rt in
+  let node = Runtime.alloc_in rt t.region node_size in
+  Runtime.store_word rt ~site:s_link node ~off:o_v0 v0;
+  Runtime.store_word rt ~site:s_link node ~off:o_v1 v1;
+  Runtime.store_ptr rt ~site:s_link node ~off:o_next Ptr.null;
+  let tail = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_tail in
+  Runtime.store_ptr rt ~site:s_link node ~off:o_prev tail;
+  if Runtime.branch rt ~site:s_link (Runtime.ptr_is_null rt ~site:s_link tail)
+  then Runtime.store_ptr rt ~site:s_hdr t.header ~off:h_head node
+  else Runtime.store_ptr rt ~site:s_link tail ~off:o_next node;
+  Runtime.store_ptr rt ~site:s_hdr t.header ~off:h_tail node;
+  set_length t (length t + 1)
+
+(* Prepend at the head. *)
+let prepend t ~v0 ~v1 =
+  let rt = t.rt in
+  let node = Runtime.alloc_in rt t.region node_size in
+  Runtime.store_word rt ~site:s_link node ~off:o_v0 v0;
+  Runtime.store_word rt ~site:s_link node ~off:o_v1 v1;
+  Runtime.store_ptr rt ~site:s_link node ~off:o_prev Ptr.null;
+  let head = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_head in
+  Runtime.store_ptr rt ~site:s_link node ~off:o_next head;
+  if Runtime.branch rt ~site:s_link (Runtime.ptr_is_null rt ~site:s_link head)
+  then Runtime.store_ptr rt ~site:s_hdr t.header ~off:h_tail node
+  else Runtime.store_ptr rt ~site:s_link head ~off:o_prev node;
+  Runtime.store_ptr rt ~site:s_hdr t.header ~off:h_head node;
+  set_length t (length t + 1)
+
+(* The benchmark kernel: iterate the list and accumulate both value
+   words of every node. *)
+let iterate_sum t =
+  let rt = t.rt in
+  let sum = ref 0L in
+  let node = ref (Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_head) in
+  while
+    not
+      (Runtime.branch rt ~site:s_iter_null
+         (Runtime.ptr_is_null rt ~site:s_iter_null !node))
+  do
+    let v0 = Runtime.load_word rt ~site:s_iter_val !node ~off:o_v0 in
+    let v1 = Runtime.load_word rt ~site:s_iter_val !node ~off:o_v1 in
+    Runtime.instr rt 2;
+    sum := Int64.add !sum (Int64.add v0 v1);
+    node := Runtime.load_ptr rt ~site:s_iter_next !node ~off:o_next
+  done;
+  !sum
+
+let iter t f =
+  let rt = t.rt in
+  let node = ref (Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_head) in
+  while
+    not
+      (Runtime.branch rt ~site:s_iter_null
+         (Runtime.ptr_is_null rt ~site:s_iter_null !node))
+  do
+    let v0 = Runtime.load_word rt ~site:s_iter_val !node ~off:o_v0 in
+    let v1 = Runtime.load_word rt ~site:s_iter_val !node ~off:o_v1 in
+    f ~v0 ~v1;
+    node := Runtime.load_ptr rt ~site:s_iter_next !node ~off:o_next
+  done
+
+(* Find the first node whose first value word equals [v0]. *)
+let find t v0 =
+  let rt = t.rt in
+  let rec go node =
+    if
+      Runtime.branch rt ~site:s_iter_null
+        (Runtime.ptr_is_null rt ~site:s_iter_null node)
+    then None
+    else
+      let v = Runtime.load_word rt ~site:s_find_cmp node ~off:o_v0 in
+      Runtime.instr rt 1;
+      if Runtime.branch rt ~site:s_find_cmp (Int64.equal v v0) then Some node
+      else go (Runtime.load_ptr rt ~site:s_iter_next node ~off:o_next)
+  in
+  go (Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_head)
+
+(* Unlink and free a node found by [find]. *)
+let remove_node t node =
+  let rt = t.rt in
+  let prev = Runtime.load_ptr rt ~site:s_unlink node ~off:o_prev in
+  let next = Runtime.load_ptr rt ~site:s_unlink node ~off:o_next in
+  if Runtime.branch rt ~site:s_unlink (Runtime.ptr_is_null rt ~site:s_unlink prev)
+  then Runtime.store_ptr rt ~site:s_hdr t.header ~off:h_head next
+  else Runtime.store_ptr rt ~site:s_unlink prev ~off:o_next next;
+  if Runtime.branch rt ~site:s_unlink (Runtime.ptr_is_null rt ~site:s_unlink next)
+  then Runtime.store_ptr rt ~site:s_hdr t.header ~off:h_tail prev
+  else Runtime.store_ptr rt ~site:s_unlink next ~off:o_prev prev;
+  Runtime.dealloc rt node;
+  set_length t (length t - 1)
+
+let remove_value t v0 =
+  match find t v0 with
+  | Some node ->
+      remove_node t node;
+      true
+  | None -> false
+
+(* Walk the list both ways and verify link symmetry and the recorded
+   length. *)
+let check_invariants t =
+  let rt = t.rt in
+  let count = ref 0 in
+  let prev = ref Ptr.null in
+  let node = ref (Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_head) in
+  while not (Runtime.ptr_is_null rt ~site:s_iter_null !node) do
+    incr count;
+    let back = Runtime.load_ptr rt ~site:s_unlink !node ~off:o_prev in
+    if not (Runtime.ptr_eq rt ~site:s_unlink back !prev) then
+      failwith "LL: prev link broken";
+    prev := !node;
+    node := Runtime.load_ptr rt ~site:s_iter_next !node ~off:o_next
+  done;
+  let tail = Runtime.load_ptr rt ~site:s_hdr t.header ~off:h_tail in
+  if not (Runtime.ptr_eq rt ~site:s_unlink tail !prev) then
+    failwith "LL: tail does not match last node";
+  if !count <> length t then failwith "LL: length mismatch"

@@ -1,0 +1,210 @@
+(* An extended-set structure: a fixed-stride radix tree (16-ary trie)
+   over 64-bit keys — 4 bits consumed per level, 16 levels to a leaf.
+   Lookups are pure pointer chasing with no comparisons, a different
+   access mix from the search trees.  Empty subtrees are pruned on
+   removal.
+
+   Interior node: 16 child pointers (128 bytes).
+   Leaf node: value(0), present flag(8). *)
+
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+
+let name = "Radix"
+let description = "16-ary radix tree over 64-bit keys, 4 bits per level"
+
+let fanout = 16
+let levels = 16
+let node_size = fanout * 8
+
+let l_value = 0
+let l_present = 8
+let leaf_size = 16
+
+let h_root = 0
+let h_size = 8
+let header_size = 16
+
+type t = { rt : Runtime.t; region : Runtime.region; header : Ptr.t }
+
+let s_hdr = Site.make "radix.header"
+let s_child = Site.make "radix.child"
+let s_leaf = Site.make "radix.leaf"
+let s_node = Site.make "radix.node"
+
+(* 4-bit digit of [key] at [level] (most significant first). *)
+let digit key level =
+  Int64.to_int
+    (Int64.logand (Int64.shift_right_logical key ((levels - 1 - level) * 4)) 0xFL)
+
+let new_interior t =
+  let n = Runtime.alloc_in t.rt t.region node_size in
+  for i = 0 to fanout - 1 do
+    Runtime.store_ptr t.rt ~site:s_node n ~off:(i * 8) Ptr.null
+  done;
+  n
+
+let create rt region =
+  let header = Runtime.alloc_in rt region header_size in
+  let t = { rt; region; header } in
+  Runtime.store_ptr rt ~site:s_hdr header ~off:h_root (new_interior t);
+  Runtime.store_word rt ~site:s_hdr header ~off:h_size 0L;
+  t
+
+let header t = t.header
+
+let attach rt header =
+  { rt; region = Runtime.region_of_ptr rt header; header }
+
+let size t =
+  Int64.to_int (Runtime.load_word t.rt ~site:s_hdr t.header ~off:h_size)
+
+let set_size t n =
+  Runtime.store_word t.rt ~site:s_hdr t.header ~off:h_size (Int64.of_int n)
+
+let root t = Runtime.load_ptr t.rt ~site:s_hdr t.header ~off:h_root
+let child t n i = Runtime.load_ptr t.rt ~site:s_child n ~off:(i * 8)
+let set_child t n i v = Runtime.store_ptr t.rt ~site:s_child n ~off:(i * 8) v
+
+let find t key =
+  let rt = t.rt in
+  let rec go n level =
+    if Runtime.branch rt ~site:s_child (Runtime.ptr_is_null rt ~site:s_child n)
+    then None
+    else if level = levels then
+      if
+        Int64.equal (Runtime.load_word rt ~site:s_leaf n ~off:l_present) 1L
+      then Some (Runtime.load_word rt ~site:s_leaf n ~off:l_value)
+      else None
+    else begin
+      Runtime.instr rt 2 (* digit extraction *);
+      go (child t n (digit key level)) (level + 1)
+    end
+  in
+  go (root t) 0
+
+let insert t ~key ~value =
+  let rt = t.rt in
+  let rec go n level =
+    if level = levels then begin
+      if
+        not
+          (Int64.equal (Runtime.load_word rt ~site:s_leaf n ~off:l_present) 1L)
+      then begin
+        Runtime.store_word rt ~site:s_leaf n ~off:l_present 1L;
+        set_size t (size t + 1)
+      end;
+      Runtime.store_word rt ~site:s_leaf n ~off:l_value value
+    end
+    else begin
+      Runtime.instr rt 2;
+      let d = digit key level in
+      let next = child t n d in
+      let next =
+        if Runtime.branch rt ~site:s_child (Runtime.ptr_is_null rt ~site:s_child next)
+        then begin
+          let fresh =
+            if level = levels - 1 then begin
+              let leaf = Runtime.alloc_in rt t.region leaf_size in
+              Runtime.store_word rt ~site:s_leaf leaf ~off:l_present 0L;
+              Runtime.store_word rt ~site:s_leaf leaf ~off:l_value 0L;
+              leaf
+            end
+            else new_interior t
+          in
+          set_child t n d fresh;
+          fresh
+        end
+        else next
+      in
+      go next (level + 1)
+    end
+  in
+  go (root t) 0
+
+(* Remove with pruning: empty interior nodes along the path are freed.
+   Returns whether the subtree became empty. *)
+let remove t key =
+  let rt = t.rt in
+  let removed = ref false in
+  (* Returns true when [n] is now empty and should be unlinked. *)
+  let rec go n level =
+    if Runtime.ptr_is_null rt ~site:s_child n then false
+    else if level = levels then begin
+      if Int64.equal (Runtime.load_word rt ~site:s_leaf n ~off:l_present) 1L
+      then begin
+        removed := true;
+        Runtime.dealloc rt n;
+        true
+      end
+      else false
+    end
+    else begin
+      Runtime.instr rt 2;
+      let d = digit key level in
+      let c = child t n d in
+      if go c (level + 1) then begin
+        set_child t n d Ptr.null;
+        (* Empty if no other children remain. *)
+        let any = ref false in
+        for i = 0 to fanout - 1 do
+          if not (Runtime.ptr_is_null rt ~site:s_child (child t n i)) then
+            any := true
+        done;
+        if (not !any) && level > 0 then begin
+          Runtime.dealloc rt n;
+          true
+        end
+        else false
+      end
+      else false
+    end
+  in
+  ignore (go (root t) 0);
+  if !removed then set_size t (size t - 1);
+  !removed
+
+let iter t f =
+  let rt = t.rt in
+  let rec go n level prefix =
+    if not (Runtime.ptr_is_null rt ~site:s_child n) then
+      if level = levels then begin
+        if Int64.equal (Runtime.load_word rt ~site:s_leaf n ~off:l_present) 1L
+        then f ~key:prefix ~value:(Runtime.load_word rt ~site:s_leaf n ~off:l_value)
+      end
+      else
+        for d = 0 to fanout - 1 do
+          go (child t n d) (level + 1)
+            (Int64.logor (Int64.shift_left prefix 4) (Int64.of_int d))
+        done
+  in
+  go (root t) 0 0L
+
+(* Every stored key must reproduce through [find]; reachable leaf count
+   must match the size; interior nodes must never be childless. *)
+let check_invariants t =
+  let rt = t.rt in
+  let count = ref 0 in
+  let rec walk n level =
+    if not (Runtime.ptr_is_null rt ~site:s_child n) then
+      if level = levels then begin
+        if Int64.equal (Runtime.load_word rt ~site:s_leaf n ~off:l_present) 1L
+        then incr count
+        else failwith "Radix: unpruned empty leaf"
+      end
+      else begin
+        let children = ref 0 in
+        for d = 0 to fanout - 1 do
+          if not (Runtime.ptr_is_null rt ~site:s_child (child t n d)) then begin
+            incr children;
+            walk (child t n d) (level + 1)
+          end
+        done;
+        if !children = 0 && level > 0 then failwith "Radix: childless interior"
+      end
+  in
+  walk (root t) 0;
+  if !count <> size t then failwith "Radix: size mismatch";
+  iter t (fun ~key ~value ->
+      if find t key <> Some value then failwith "Radix: key does not roundtrip")

@@ -1,0 +1,213 @@
+(* An extended-set structure: a skip list with deterministic tower
+   heights (derived from a key hash, so every runtime mode sees the
+   same shape).  Variable-sized nodes: a fixed prefix plus one forward
+   pointer per level — the kind of layout that exercises pointer
+   arithmetic over persistent objects.
+
+   Node layout: key(0), value(8), level(16), forward[0..level-1] from
+   offset 24.  Header: head-node pointer(0), size(8), list level(16).
+   The head node is a full-height tower with no key. *)
+
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+
+let name = "Skip"
+let description = "skip list, deterministic tower heights"
+
+let max_level = 16
+
+let o_key = 0
+let o_value = 8
+let o_level = 16
+let o_forward = 24
+let node_size level = o_forward + (8 * level)
+
+let h_head = 0
+let h_size = 8
+let h_level = 16
+let header_size = 24
+
+type t = { rt : Runtime.t; region : Runtime.region; header : Ptr.t }
+
+let s_hdr = Site.make "skip.header"
+let s_search = Site.make "skip.search"
+let s_fwd = Site.make "skip.forward"
+let s_node = Site.make "skip.node"
+
+(* Tower height from the key bits: geometric with p = 1/2, identical in
+   every mode and across restarts. *)
+let level_of_key key =
+  let h = Int64.mul (Int64.logxor key (Int64.shift_right_logical key 33))
+      0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 29) in
+  let rec count lvl bits =
+    if lvl >= max_level then max_level
+    else if Int64.logand bits 1L = 1L then count (lvl + 1) (Int64.shift_right_logical bits 1)
+    else lvl
+  in
+  count 1 h
+
+let forward t node i = Runtime.load_ptr t.rt ~site:s_fwd node ~off:(o_forward + (8 * i))
+
+let set_forward t node i v =
+  Runtime.store_ptr t.rt ~site:s_fwd node ~off:(o_forward + (8 * i)) v
+
+let create rt region =
+  let header = Runtime.alloc_in rt region header_size in
+  let t = { rt; region; header } in
+  let head = Runtime.alloc_in rt region (node_size max_level) in
+  Runtime.store_word rt ~site:s_node head ~off:o_key Int64.min_int;
+  Runtime.store_word rt ~site:s_node head ~off:o_value 0L;
+  Runtime.store_word rt ~site:s_node head ~off:o_level (Int64.of_int max_level);
+  for i = 0 to max_level - 1 do
+    set_forward t head i Ptr.null
+  done;
+  Runtime.store_ptr rt ~site:s_hdr header ~off:h_head head;
+  Runtime.store_word rt ~site:s_hdr header ~off:h_size 0L;
+  Runtime.store_word rt ~site:s_hdr header ~off:h_level 1L;
+  t
+
+let header t = t.header
+
+let attach rt header =
+  { rt; region = Runtime.region_of_ptr rt header; header }
+
+let size t =
+  Int64.to_int (Runtime.load_word t.rt ~site:s_hdr t.header ~off:h_size)
+
+let set_size t n =
+  Runtime.store_word t.rt ~site:s_hdr t.header ~off:h_size (Int64.of_int n)
+
+let list_level t =
+  Int64.to_int (Runtime.load_word t.rt ~site:s_hdr t.header ~off:h_level)
+
+let head t = Runtime.load_ptr t.rt ~site:s_hdr t.header ~off:h_head
+
+(* Walk down from the top level; [update.(i)] receives the rightmost
+   node at level [i] whose key is smaller than [key]. *)
+let find_predecessors t key update =
+  let rt = t.rt in
+  let node = ref (head t) in
+  for i = list_level t - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      let next = forward t !node i in
+      if Runtime.branch rt ~site:s_search (Runtime.ptr_is_null rt ~site:s_search next)
+      then continue := false
+      else begin
+        let k = Runtime.load_word rt ~site:s_search next ~off:o_key in
+        Runtime.instr rt 1;
+        if Runtime.branch rt ~site:s_search (k < key) then node := next
+        else continue := false
+      end
+    done;
+    update.(i) <- !node
+  done
+
+let find_node t key =
+  let update = Array.make max_level Ptr.null in
+  find_predecessors t key update;
+  let candidate = forward t update.(0) 0 in
+  let rt = t.rt in
+  if Runtime.branch rt ~site:s_search (Runtime.ptr_is_null rt ~site:s_search candidate)
+  then None
+  else
+    let k = Runtime.load_word rt ~site:s_search candidate ~off:o_key in
+    Runtime.instr rt 1;
+    if Runtime.branch rt ~site:s_search (Int64.equal k key) then
+      Some (candidate, update)
+    else None
+
+let find t key =
+  match find_node t key with
+  | Some (node, _) -> Some (Runtime.load_word t.rt ~site:s_node node ~off:o_value)
+  | None -> None
+
+let insert t ~key ~value =
+  let rt = t.rt in
+  match find_node t key with
+  | Some (node, _) -> Runtime.store_word rt ~site:s_node node ~off:o_value value
+  | None ->
+      let update = Array.make max_level Ptr.null in
+      find_predecessors t key update;
+      let level = level_of_key key in
+      (* New levels start from the head. *)
+      if level > list_level t then begin
+        for i = list_level t to level - 1 do
+          update.(i) <- head t
+        done;
+        Runtime.store_word rt ~site:s_hdr t.header ~off:h_level
+          (Int64.of_int level)
+      end;
+      let node = Runtime.alloc_in rt t.region (node_size level) in
+      Runtime.store_word rt ~site:s_node node ~off:o_key key;
+      Runtime.store_word rt ~site:s_node node ~off:o_value value;
+      Runtime.store_word rt ~site:s_node node ~off:o_level (Int64.of_int level);
+      for i = 0 to level - 1 do
+        set_forward t node i (forward t update.(i) i);
+        set_forward t update.(i) i node
+      done;
+      set_size t (size t + 1)
+
+let remove t key =
+  let rt = t.rt in
+  match find_node t key with
+  | None -> false
+  | Some (node, update) ->
+      let level =
+        Int64.to_int (Runtime.load_word rt ~site:s_node node ~off:o_level)
+      in
+      for i = 0 to level - 1 do
+        if Runtime.ptr_eq rt ~site:s_fwd (forward t update.(i) i) node then
+          set_forward t update.(i) i (forward t node i)
+      done;
+      Runtime.dealloc rt node;
+      set_size t (size t - 1);
+      true
+
+let iter t f =
+  let rt = t.rt in
+  let node = ref (forward t (head t) 0) in
+  while not (Runtime.ptr_is_null rt ~site:s_search !node) do
+    let key = Runtime.load_word rt ~site:s_node !node ~off:o_key in
+    let value = Runtime.load_word rt ~site:s_node !node ~off:o_value in
+    f ~key ~value;
+    node := forward t !node 0
+  done
+
+(* Level-0 ordering + size, and every higher level must be a
+   subsequence of level 0. *)
+let check_invariants t =
+  let rt = t.rt in
+  (* Level 0: strictly ascending keys. *)
+  let count = ref 0 in
+  let node = ref (forward t (head t) 0) in
+  let last = ref Int64.min_int in
+  while not (Runtime.ptr_is_null rt ~site:s_search !node) do
+    incr count;
+    let k = Runtime.load_word rt ~site:s_node !node ~off:o_key in
+    if k <= !last then failwith "Skip: level-0 order violated";
+    last := k;
+    node := forward t !node 0
+  done;
+  if !count <> size t then failwith "Skip: size mismatch";
+  (* Higher levels: ascending and present at level 0. *)
+  let keys0 = Hashtbl.create 64 in
+  iter t (fun ~key ~value:_ -> Hashtbl.replace keys0 key ());
+  for i = 1 to list_level t - 1 do
+    let node = ref (forward t (head t) i) in
+    let last = ref Int64.min_int in
+    while not (Runtime.ptr_is_null rt ~site:s_search !node) do
+      let k = Runtime.load_word rt ~site:s_node !node ~off:o_key in
+      if k <= !last then failwith "Skip: upper-level order violated";
+      if not (Hashtbl.mem keys0 k) then
+        failwith "Skip: upper-level node missing from level 0";
+      let lvl = Int64.to_int (Runtime.load_word rt ~site:s_node !node ~off:o_level) in
+      if lvl <= i then failwith "Skip: node linked above its level";
+      last := k;
+      node := forward t !node i
+    done
+  done
+
+let node_size = node_size 4 (* representative: a 4-level tower *)

@@ -1,0 +1,245 @@
+(* The Splay benchmark: a self-adjusting binary search tree with
+   bottom-up splaying (zig / zig-zig / zig-zag) through parent pointers.
+   Under the YCSB "latest" distribution the splaying keeps hot keys near
+   the root — and writes to the root region on every operation, which is
+   why the paper observes its largest HW overhead (~12 %) here. *)
+
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+
+let name = "Splay"
+let description = "splay tree, bottom-up splaying with parent pointers"
+
+(* Node layout. *)
+let o_key = 0
+let o_value = 8
+let o_left = 16
+let o_right = 24
+let o_parent = 32
+let node_size = 40
+
+(* Header layout. *)
+let h_root = 0
+let h_size = 8
+let header_size = 16
+
+type t = { rt : Runtime.t; region : Runtime.region; header : Ptr.t }
+
+let s_hdr = Site.make "splay.header"
+let s_search = Site.make "splay.search"
+let s_child = Site.make "splay.child"
+let s_node = Site.make "splay.node"
+let s_rot = Site.make "splay.rotate"
+let s_splay = Site.make "splay.splay"
+
+let create rt region =
+  let header = Runtime.alloc_in rt region header_size in
+  Runtime.store_ptr rt ~site:s_hdr header ~off:h_root Ptr.null;
+  Runtime.store_word rt ~site:s_hdr header ~off:h_size 0L;
+  { rt; region; header }
+
+let header t = t.header
+let attach rt header =
+  { rt; region = Runtime.region_of_ptr rt header; header }
+
+let size t =
+  Int64.to_int (Runtime.load_word t.rt ~site:s_hdr t.header ~off:h_size)
+
+let set_size t n =
+  Runtime.store_word t.rt ~site:s_hdr t.header ~off:h_size (Int64.of_int n)
+
+let is_null t node = Runtime.ptr_is_null t.rt ~site:s_search node
+let eq t a b = Runtime.ptr_eq t.rt ~site:s_child a b
+
+let left t n = Runtime.load_ptr t.rt ~site:s_child n ~off:o_left
+let right t n = Runtime.load_ptr t.rt ~site:s_child n ~off:o_right
+let parent t n = Runtime.load_ptr t.rt ~site:s_child n ~off:o_parent
+let set_left t n v = Runtime.store_ptr t.rt ~site:s_child n ~off:o_left v
+let set_right t n v = Runtime.store_ptr t.rt ~site:s_child n ~off:o_right v
+let set_parent t n v = Runtime.store_ptr t.rt ~site:s_child n ~off:o_parent v
+
+let set_root t node =
+  Runtime.store_ptr t.rt ~site:s_hdr t.header ~off:h_root node;
+  if not (Runtime.branch t.rt ~site:s_hdr (is_null t node)) then
+    set_parent t node Ptr.null
+
+let root t = Runtime.load_ptr t.rt ~site:s_hdr t.header ~off:h_root
+
+(* Rotate [x] up over its parent, preserving BST order and fixing the
+   grandparent link. *)
+let rotate t x =
+  let rt = t.rt in
+  let p = parent t x in
+  let g = parent t p in
+  let x_is_left = eq t x (left t p) in
+  if Runtime.branch rt ~site:s_rot x_is_left then begin
+    let b = right t x in
+    set_left t p b;
+    if not (Runtime.branch rt ~site:s_rot (is_null t b)) then set_parent t b p;
+    set_right t x p
+  end
+  else begin
+    let b = left t x in
+    set_right t p b;
+    if not (Runtime.branch rt ~site:s_rot (is_null t b)) then set_parent t b p;
+    set_left t x p
+  end;
+  set_parent t p x;
+  set_parent t x g;
+  if Runtime.branch rt ~site:s_rot (is_null t g) then
+    Runtime.store_ptr rt ~site:s_hdr t.header ~off:h_root x
+  else if Runtime.branch rt ~site:s_rot (eq t p (left t g)) then set_left t g x
+  else set_right t g x
+
+(* Splay [x] to the root. *)
+let splay t x =
+  let rt = t.rt in
+  let continue = ref true in
+  while !continue do
+    let p = parent t x in
+    if Runtime.branch rt ~site:s_splay (is_null t p) then continue := false
+    else begin
+      let g = parent t p in
+      if Runtime.branch rt ~site:s_splay (is_null t g) then rotate t x (* zig *)
+      else begin
+        let p_is_left = eq t p (left t g) in
+        let x_is_left = eq t x (left t p) in
+        Runtime.instr rt 1;
+        if Runtime.branch rt ~site:s_splay (p_is_left = x_is_left) then begin
+          (* zig-zig: rotate parent first *)
+          rotate t p;
+          rotate t x
+        end
+        else begin
+          (* zig-zag: rotate x twice *)
+          rotate t x;
+          rotate t x
+        end
+      end
+    end
+  done
+
+(* Walk down to [key]; returns the node if present and the last visited
+   node otherwise (to be splayed either way). *)
+let descend t key =
+  let rt = t.rt in
+  let rec go node last =
+    if Runtime.branch rt ~site:s_search (is_null t node) then (None, last)
+    else
+      let k = Runtime.load_word rt ~site:s_search node ~off:o_key in
+      Runtime.instr rt 1;
+      if Runtime.branch rt ~site:s_search (Int64.equal key k) then
+        (Some node, Some node)
+      else if Runtime.branch rt ~site:s_search (key < k) then
+        go (left t node) (Some node)
+      else go (right t node) (Some node)
+  in
+  go (root t) None
+
+let find t key =
+  match descend t key with
+  | Some node, _ ->
+      splay t node;
+      Some (Runtime.load_word t.rt ~site:s_node node ~off:o_value)
+  | None, Some last ->
+      splay t last;
+      None
+  | None, None -> None
+
+let insert t ~key ~value =
+  let rt = t.rt in
+  match descend t key with
+  | Some node, _ ->
+      Runtime.store_word rt ~site:s_node node ~off:o_value value;
+      splay t node
+  | None, last ->
+      let node = Runtime.alloc_in rt t.region node_size in
+      Runtime.store_word rt ~site:s_node node ~off:o_key key;
+      Runtime.store_word rt ~site:s_node node ~off:o_value value;
+      Runtime.store_ptr rt ~site:s_node node ~off:o_left Ptr.null;
+      Runtime.store_ptr rt ~site:s_node node ~off:o_right Ptr.null;
+      (match last with
+      | None ->
+          Runtime.store_ptr rt ~site:s_node node ~off:o_parent Ptr.null;
+          set_root t node
+      | Some p ->
+          Runtime.store_ptr rt ~site:s_node node ~off:o_parent p;
+          let pk = Runtime.load_word rt ~site:s_search p ~off:o_key in
+          Runtime.instr rt 1;
+          if Runtime.branch rt ~site:s_search (key < pk) then set_left t p node
+          else set_right t p node;
+          splay t node);
+      set_size t (size t + 1)
+
+(* Splay the maximum of the subtree rooted at [node] to that subtree's
+   root (the subtree is detached: its root has a null parent). *)
+let splay_max t node =
+  let rec go n =
+    let r = right t n in
+    if Runtime.branch t.rt ~site:s_search (is_null t r) then n else go r
+  in
+  let m = go node in
+  splay t m;
+  m
+
+let remove t key =
+  let rt = t.rt in
+  match descend t key with
+  | None, Some last ->
+      splay t last;
+      false
+  | None, None -> false
+  | Some node, _ ->
+      splay t node;
+      let l = left t node in
+      let r = right t node in
+      (if Runtime.branch rt ~site:s_search (is_null t l) then set_root t r
+       else begin
+         set_parent t l Ptr.null;
+         let m = splay_max t l in
+         (* m is now the root of the left subtree and has no right child. *)
+         set_right t m r;
+         if not (Runtime.branch rt ~site:s_search (is_null t r)) then
+           set_parent t r m;
+         set_root t m
+       end);
+      Runtime.dealloc rt node;
+      set_size t (size t - 1);
+      true
+
+let iter t f =
+  let rt = t.rt in
+  let rec go node =
+    if not (Runtime.ptr_is_null rt ~site:s_search node) then begin
+      go (left t node);
+      let key = Runtime.load_word rt ~site:s_node node ~off:o_key in
+      let value = Runtime.load_word rt ~site:s_node node ~off:o_value in
+      f ~key ~value;
+      go (right t node)
+    end
+  in
+  go (root t)
+
+(* BST order, parent-link symmetry and size. *)
+let check_invariants t =
+  let rt = t.rt in
+  let count = ref 0 in
+  let rec check node expected_parent lo hi =
+    if not (Runtime.ptr_is_null rt ~site:s_search node) then begin
+      incr count;
+      let k = Runtime.load_word rt ~site:s_node node ~off:o_key in
+      (match lo with
+      | Some l when k <= l -> failwith "Splay: BST order violated (low)"
+      | _ -> ());
+      (match hi with
+      | Some h when k >= h -> failwith "Splay: BST order violated (high)"
+      | _ -> ());
+      if not (Runtime.ptr_eq rt ~site:s_child (parent t node) expected_parent)
+      then failwith "Splay: parent link broken";
+      check (left t node) node lo (Some k);
+      check (right t node) node (Some k) hi
+    end
+  in
+  check (root t) Ptr.null None None;
+  if !count <> size t then failwith "Splay: size mismatch"

@@ -1,0 +1,1 @@
+lib/ycsb/distribution.ml: Float Int64 Random

@@ -1,0 +1,1 @@
+lib/ycsb/distribution.mli: Random

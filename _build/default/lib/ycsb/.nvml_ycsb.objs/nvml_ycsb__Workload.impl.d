@@ -1,0 +1,1 @@
+lib/ycsb/workload.ml: Distribution Fmt Int64 Random

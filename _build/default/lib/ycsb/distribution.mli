@@ -1,0 +1,27 @@
+(** Key-popularity distributions in the style of the YCSB core
+    generators: uniform, (scrambled) zipfian with Gray's rejection-free
+    sampler, and "latest" — a zipfian over recency, the distribution the
+    paper's harness uses. *)
+
+type t
+
+val theta : float
+(** The zipfian constant (YCSB default 0.99). *)
+
+val uniform : int -> t
+val zipfian : int -> t
+val scrambled_zipfian : int -> t
+val latest : int -> t
+
+val scramble : int64 -> int64
+(** splitmix64 finalizer, used for key scrambling. *)
+
+val grow : t -> unit
+(** Extend the population by one record (after an insert); O(1). *)
+
+val population : t -> int
+
+val sample : t -> Random.State.t -> int
+(** Draw a record index in [0, population). *)
+
+val name : t -> string

@@ -1,0 +1,119 @@
+(* YCSB-style workload specifications and operation streams.
+
+   The paper's harness (Section VII-A) uses a preset with 10,000
+   key-value pairs, 100,000 operations, 95 % GET / 5 % SET where every
+   SET inserts a *new* pair, keys drawn with the "latest" distribution
+   and 8-byte keys and values.  That preset is [paper_default]; the
+   other classic YCSB mixes are provided for the extended benchmarks. *)
+
+type dist_kind = Uniform | Zipfian | Scrambled_zipfian | Latest
+
+type spec = {
+  name : string;
+  record_count : int; (* pairs loaded before the run phase *)
+  operation_count : int;
+  read_proportion : float;
+  update_proportion : float; (* SET to an existing key *)
+  insert_proportion : float; (* SET inserting a new key *)
+  distribution : dist_kind;
+  seed : int;
+}
+
+let paper_default =
+  {
+    name = "paper (95% GET / 5% insert, latest)";
+    record_count = 10_000;
+    operation_count = 100_000;
+    read_proportion = 0.95;
+    update_proportion = 0.0;
+    insert_proportion = 0.05;
+    distribution = Latest;
+    seed = 42;
+  }
+
+(* Classic YCSB core mixes. *)
+let workload_a =
+  {
+    name = "YCSB-A (50% read / 50% update, zipfian)";
+    record_count = 10_000;
+    operation_count = 100_000;
+    read_proportion = 0.5;
+    update_proportion = 0.5;
+    insert_proportion = 0.0;
+    distribution = Scrambled_zipfian;
+    seed = 42;
+  }
+
+let workload_b =
+  { workload_a with
+    name = "YCSB-B (95% read / 5% update, zipfian)";
+    read_proportion = 0.95;
+    update_proportion = 0.05 }
+
+let workload_c =
+  { workload_a with
+    name = "YCSB-C (100% read, zipfian)";
+    read_proportion = 1.0;
+    update_proportion = 0.0 }
+
+let workload_d =
+  { workload_a with
+    name = "YCSB-D (95% read / 5% insert, latest)";
+    read_proportion = 0.95;
+    update_proportion = 0.0;
+    insert_proportion = 0.05;
+    distribution = Latest }
+
+let scale spec factor =
+  {
+    spec with
+    record_count = max 1 (spec.record_count / factor);
+    operation_count = max 1 (spec.operation_count / factor);
+  }
+
+(* The key for record index [i]: scrambled so adjacent indices do not
+   produce adjacent keys (YCSB hashes "user<i>" similarly). *)
+let key_of_index i = Distribution.scramble (Int64.of_int (i + 1))
+
+type op =
+  | Read of int64
+  | Update of int64 * int64
+  | Insert of int64 * int64
+
+let make_dist spec n =
+  match spec.distribution with
+  | Uniform -> Distribution.uniform n
+  | Zipfian -> Distribution.zipfian n
+  | Scrambled_zipfian -> Distribution.scrambled_zipfian n
+  | Latest -> Distribution.latest n
+
+(* Stream the run-phase operations to [f] in order.  Inserts append new
+   record indices and extend the key population, exactly like the YCSB
+   D workload; the caller loads records [0, record_count) first. *)
+let iter_ops spec f =
+  let rng = Random.State.make [| spec.seed |] in
+  let dist = make_dist spec spec.record_count in
+  let inserted = ref spec.record_count in
+  for opno = 1 to spec.operation_count do
+    let r = Random.State.float rng 1.0 in
+    if r < spec.read_proportion then
+      f (Read (key_of_index (Distribution.sample dist rng)))
+    else if r < spec.read_proportion +. spec.update_proportion then
+      f
+        (Update
+           ( key_of_index (Distribution.sample dist rng),
+             Int64.of_int opno ))
+    else begin
+      let idx = !inserted in
+      incr inserted;
+      Distribution.grow dist;
+      f (Insert (key_of_index idx, Int64.of_int opno))
+    end
+  done
+
+let pp_spec ppf s =
+  Fmt.pf ppf "%s: %d records, %d ops, %.0f/%.0f/%.0f R/U/I" s.name
+    s.record_count s.operation_count
+    (100. *. s.read_proportion)
+    (100. *. s.update_proportion)
+    (100. *. s.insert_proportion)

@@ -1,0 +1,42 @@
+(** YCSB-style workload specifications and operation streams.
+
+    {!paper_default} is the paper's harness preset (Section VII-A):
+    10,000 records, 100,000 operations, 95 % GET / 5 % SET where every
+    SET inserts a new pair, keys drawn with the "latest" distribution. *)
+
+type dist_kind = Uniform | Zipfian | Scrambled_zipfian | Latest
+
+type spec = {
+  name : string;
+  record_count : int;
+  operation_count : int;
+  read_proportion : float;
+  update_proportion : float;  (** SET to an existing key *)
+  insert_proportion : float;  (** SET inserting a new key *)
+  distribution : dist_kind;
+  seed : int;
+}
+
+val paper_default : spec
+val workload_a : spec
+val workload_b : spec
+val workload_c : spec
+val workload_d : spec
+
+val scale : spec -> int -> spec
+(** Divide record and operation counts by a factor. *)
+
+val key_of_index : int -> int64
+(** The (scrambled) key of record index [i]. *)
+
+type op =
+  | Read of int64
+  | Update of int64 * int64
+  | Insert of int64 * int64
+
+val iter_ops : spec -> (op -> unit) -> unit
+(** Stream the run-phase operations in order; deterministic per seed.
+    Reads and updates always target live keys; inserts always use fresh
+    keys and extend the population. *)
+
+val pp_spec : spec Fmt.t

@@ -1,0 +1,361 @@
+(* Tests for the core contribution: pointer representation, format
+   discrimination, translation, the Fig. 3 runtime checks and the Fig. 4
+   C11 pointer-operation semantics. *)
+
+module Layout = Nvml_simmem.Layout
+module Mem = Nvml_simmem.Mem
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+module Checks = Nvml_core.Checks
+module Semantics = Nvml_core.Semantics
+module Pmop = Nvml_pool.Pmop
+
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A small world with two pools for translation tests. *)
+type world = {
+  pm : Pmop.t;
+  x : Xlate.t;
+  pool_a : int;
+  pool_b : int;
+  base_a : int64;
+  base_b : int64;
+}
+
+let make_world () =
+  let mem = Mem.create () in
+  let pm = Pmop.create mem in
+  let pool_a = Pmop.create_pool pm ~name:"A" ~size:65536 in
+  let pool_b = Pmop.create_pool pm ~name:"B" ~size:65536 in
+  let x = Xlate.make (Pmop.provider pm) in
+  let base_a = Option.get (Pmop.pool_base pm pool_a) in
+  let base_b = Option.get (Pmop.pool_base pm pool_b) in
+  { pm; x; pool_a; pool_b; base_a; base_b }
+
+(* --- representation --------------------------------------------------- *)
+
+let test_tagging () =
+  let p = Ptr.make_relative ~pool:5 ~offset:0x1234L in
+  check_bool "relative" true (Ptr.is_relative p);
+  check_int "pool id" 5 (Ptr.pool_of p);
+  check_i64 "offset" 0x1234L (Ptr.offset_of p);
+  check_bool "virtual VA" true (Ptr.is_virtual 0x1000L);
+  check_bool "null is virtual" true (Ptr.is_virtual Ptr.null)
+
+let test_tag_bounds () =
+  let p = Ptr.make_relative ~pool:Ptr.max_pool_id ~offset:0xFFFFFFFFL in
+  check_int "max pool id survives" Ptr.max_pool_id (Ptr.pool_of p);
+  check_i64 "max offset survives" 0xFFFFFFFFL (Ptr.offset_of p);
+  Alcotest.check_raises "pool id too large"
+    (Invalid_argument
+       (Fmt.str "Ptr.make_relative: pool id %d out of range"
+          (Ptr.max_pool_id + 1)))
+    (fun () ->
+      ignore (Ptr.make_relative ~pool:(Ptr.max_pool_id + 1) ~offset:0L))
+
+let test_location () =
+  let rel = Ptr.make_relative ~pool:1 ~offset:0L in
+  check_bool "relative is NVM" true (Ptr.location rel = Layout.Nvm);
+  check_bool "low VA is DRAM" true (Ptr.location 0x1000L = Layout.Dram);
+  check_bool "high VA is NVM" true
+    (Ptr.location Layout.nvm_va_base = Layout.Nvm)
+
+let test_determine_xy () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  check_bool "determineY relative" true
+    (Checks.determine_y rel = Ptr.Relative);
+  check_bool "determineY virtual" true (Checks.determine_y 0x1000L = Ptr.Virtual);
+  check_bool "determineX of relative is NVM" true
+    (Checks.determine_x rel = Layout.Nvm);
+  check_bool "determineX of pool VA is NVM" true
+    (Checks.determine_x w.base_a = Layout.Nvm);
+  check_bool "determineX of DRAM VA" true (Checks.determine_x 0x2000L = Layout.Dram)
+
+(* --- translation ------------------------------------------------------- *)
+
+let test_ra2va_va2ra_roundtrip () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  let va = Xlate.ra2va w.x rel in
+  check_bool "translated into pool A range" true
+    (va >= w.base_a && va < Int64.add w.base_a 65536L);
+  let rel' = Xlate.va2ra w.x va in
+  check_i64 "roundtrip" rel rel';
+  check_int "one ra2va counted" 1 (Xlate.counters w.x).Xlate.ra2va;
+  check_int "one va2ra counted" 1 (Xlate.counters w.x).Xlate.va2ra
+
+let test_ra2va_identity_on_va () =
+  let w = make_world () in
+  check_i64 "VA passes through" 0x4000L (Xlate.ra2va w.x 0x4000L);
+  check_i64 "NULL passes through" 0L (Xlate.ra2va w.x Ptr.null)
+
+let test_va2ra_dram_escape () =
+  let w = make_world () in
+  let v = Xlate.va2ra w.x 0x4000L in
+  check_i64 "DRAM VA stored unchanged" 0x4000L v;
+  check_int "escape counted" 1 (Xlate.counters w.x).Xlate.volatile_escapes
+
+let test_pool_detach_fault () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_b 64 in
+  Pmop.detach_pool w.pm w.pool_b;
+  Alcotest.check_raises "detached pool faults"
+    (Xlate.Pool_detached w.pool_b) (fun () ->
+      ignore (Xlate.ra2va w.x rel))
+
+let test_relocation () =
+  (* The essence of persistent pointers: after crash + reopen at a new
+     base, the same relative pointer resolves to the new mapping. *)
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  let va1 = Xlate.ra2va w.x rel in
+  Mem.write_word (Pmop.mem w.pm) va1 77L;
+  Pmop.crash w.pm;
+  let base' = Pmop.open_pool w.pm "A" in
+  check_bool "remapped at a different base" true (base' <> w.base_a);
+  let va2 = Xlate.ra2va w.x rel in
+  check_bool "pointer follows the pool" true
+    (va2 >= base' && va2 < Int64.add base' 65536L);
+  check_i64 "data reachable through relocated pointer" 77L
+    (Mem.read_word (Pmop.mem w.pm) va2)
+
+(* --- Fig. 3 pointerAssignment ----------------------------------------- *)
+
+let test_pointer_assignment_matrix () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  let va = Xlate.ra2va w.x rel in
+  let dram_cell = 0x3000L in
+  let nvm_cell = Pmop.pmalloc w.pm ~pool:w.pool_b 8 in
+  (* pny = pxr : store relative as-is *)
+  check_i64 "NVM <- relative keeps relative" rel
+    (Checks.pointer_assignment w.x ~dst:nvm_cell ~value:rel);
+  (* pny = pxv : convert to relative *)
+  check_i64 "NVM <- virtual converts" rel
+    (Checks.pointer_assignment w.x ~dst:nvm_cell ~value:va);
+  (* pdy = pxr : convert to virtual *)
+  check_i64 "DRAM <- relative converts" va
+    (Checks.pointer_assignment w.x ~dst:dram_cell ~value:rel);
+  (* pdy = pxv : store as-is *)
+  check_i64 "DRAM <- virtual keeps" va
+    (Checks.pointer_assignment w.x ~dst:dram_cell ~value:va)
+
+let test_pointer_assignment_null () =
+  let w = make_world () in
+  let nvm_cell = Pmop.pmalloc w.pm ~pool:w.pool_a 8 in
+  check_i64 "NULL into NVM stays NULL" 0L
+    (Checks.pointer_assignment w.x ~dst:nvm_cell ~value:Ptr.null);
+  check_i64 "NULL into DRAM stays NULL" 0L
+    (Checks.pointer_assignment w.x ~dst:0x3000L ~value:Ptr.null)
+
+let test_pointer_assignment_via_nvm_va_dst () =
+  (* The destination may itself be given as an NVM virtual address. *)
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  let va = Xlate.ra2va w.x rel in
+  let nvm_cell = Pmop.pmalloc w.pm ~pool:w.pool_b 8 in
+  let nvm_cell_va = Xlate.ra2va w.x nvm_cell in
+  check_i64 "NVM-VA destination still stores relative" rel
+    (Checks.pointer_assignment w.x ~dst:nvm_cell_va ~value:va)
+
+let test_dram_va_into_nvm_escape () =
+  let w = make_world () in
+  let nvm_cell = Pmop.pmalloc w.pm ~pool:w.pool_a 8 in
+  let stored = Checks.pointer_assignment w.x ~dst:nvm_cell ~value:0x5000L in
+  check_i64 "DRAM VA stored unconverted" 0x5000L stored;
+  check_bool "escape recorded" true
+    ((Xlate.counters w.x).Xlate.volatile_escapes >= 1)
+
+(* --- Fig. 4 semantics --------------------------------------------------- *)
+
+let test_cast_ops () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  let va = Xlate.ra2va w.x rel in
+  check_i64 "(T* )p identity" rel (Semantics.cast_ptr rel);
+  check_i64 "(T* )i identity" 0x42L (Semantics.cast_int_to_ptr 0x42L);
+  check_i64 "(I)pxv is the VA" va (Semantics.cast_ptr_to_int w.x va);
+  check_i64 "(I)pxr is the VA too" va (Semantics.cast_ptr_to_int w.x rel)
+
+let test_additive_ops () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  let va = Xlate.ra2va w.x rel in
+  let rel8 = Semantics.add_int rel 1L ~elem_size:8 in
+  check_bool "p+i keeps relative format" true (Ptr.is_relative rel8);
+  check_i64 "p+i moves the offset" (Int64.add (Ptr.offset_of rel) 8L)
+    (Ptr.offset_of rel8);
+  check_i64 "same element via either format" (Int64.add va 8L)
+    (Xlate.ra2va w.x rel8);
+  check_i64 "p-i undoes p+i" rel (Semantics.sub_int rel8 1L ~elem_size:8);
+  check_i64 "incr = add elem" rel8 (Semantics.incr rel ~elem_size:8);
+  check_i64 "decr undoes incr" rel (Semantics.decr rel8 ~elem_size:8)
+
+let test_diff_ops () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 128 in
+  let va = Xlate.ra2va w.x rel in
+  let rel3 = Semantics.add_int rel 3L ~elem_size:8 in
+  let c0 = (Xlate.counters w.x).Xlate.ra2va in
+  check_i64 "pxr - pxr' same pool, no translation" 3L
+    (Semantics.diff w.x rel3 rel ~elem_size:8);
+  check_int "no ra2va used" c0 (Xlate.counters w.x).Xlate.ra2va;
+  check_i64 "pxr - pxv mixed" 3L
+    (Semantics.diff w.x rel3 va ~elem_size:8);
+  check_i64 "pxv - pxr mixed" (-3L)
+    (Semantics.diff w.x va rel3 ~elem_size:8)
+
+let test_relational_ops () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  let va = Xlate.ra2va w.x rel in
+  let rel2 = Semantics.add_int rel 2L ~elem_size:8 in
+  check_bool "pxr < pxr'" true (Semantics.compare_ptr w.x Semantics.Lt rel rel2);
+  check_bool "pxr == pxv same object" true (Semantics.equal_ptr w.x rel va);
+  check_bool "pxv == pxr symmetric" true (Semantics.equal_ptr w.x va rel);
+  check_bool "pxr != pxr+2" true
+    (Semantics.compare_ptr w.x Semantics.Ne rel rel2);
+  check_bool "p == NULL false for relative" false
+    (Semantics.equal_ptr w.x rel Ptr.null);
+  check_bool "NULL == NULL" true (Semantics.equal_ptr w.x Ptr.null Ptr.null);
+  check_bool "p >= p" true (Semantics.compare_ptr w.x Semantics.Ge rel rel)
+
+let test_cross_pool_relational () =
+  let w = make_world () in
+  let pa = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+  let pb = Pmop.pmalloc w.pm ~pool:w.pool_b 64 in
+  (* Cross-pool comparison must agree with VA comparison. *)
+  let va_a = Xlate.ra2va w.x pa and va_b = Xlate.ra2va w.x pb in
+  check_bool "cross-pool < agrees with VA order" (va_a < va_b)
+    (Semantics.compare_ptr w.x Semantics.Lt pa pb);
+  check_bool "cross-pool equality is false" false
+    (Semantics.equal_ptr w.x pa pb)
+
+let test_logical_ops () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 8 in
+  check_bool "relative pointer is truthy" true (Semantics.is_true rel);
+  check_bool "VA pointer is truthy" true (Semantics.is_true 0x1000L);
+  check_bool "NULL is falsy" false (Semantics.is_true Ptr.null);
+  check_bool "!NULL" true (Semantics.logical_not Ptr.null);
+  check_bool "!p" false (Semantics.logical_not rel)
+
+let test_postfix_ops () =
+  let w = make_world () in
+  let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 128 in
+  let va = Xlate.ra2va w.x rel in
+  check_i64 "p[i] address" (Int64.add va 24L)
+    (Semantics.index_address w.x rel 3L ~elem_size:8);
+  check_i64 "p->field address" (Int64.add va 16L)
+    (Semantics.member_address w.x rel ~field_offset:16);
+  check_i64 "call target through pxr" va (Semantics.call_target w.x rel)
+
+let test_sizeof () =
+  check_int "sizeof p" 8 Semantics.sizeof_ptr;
+  check_int "alignof p" 8 Semantics.alignof_ptr
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop_tag_roundtrip =
+  QCheck.Test.make ~name:"relative tag pack/unpack roundtrip" ~count:500
+    QCheck.(pair (int_bound Ptr.max_pool_id) (int_bound 0x3FFFFFFF))
+    (fun (pool, off) ->
+      let offset = Int64.of_int off in
+      let p = Ptr.make_relative ~pool ~offset in
+      Ptr.is_relative p && Ptr.pool_of p = pool
+      && Int64.equal (Ptr.offset_of p) offset)
+
+let prop_translation_consistent =
+  QCheck.Test.make ~name:"ra2va/va2ra inverse inside a pool" ~count:200
+    QCheck.(int_bound 4000)
+    (fun off ->
+      let w = make_world () in
+      let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 4096 in
+      let p = Ptr.add rel (Int64.of_int (off land lnot 7)) in
+      let va = Xlate.ra2va w.x p in
+      Int64.equal (Xlate.va2ra w.x va) p)
+
+let prop_assignment_formats =
+  QCheck.Test.make
+    ~name:"pointerAssignment always stores the format its cell demands"
+    ~count:200
+    QCheck.(pair bool bool)
+    (fun (dst_nvm, src_rel) ->
+      let w = make_world () in
+      let rel = Pmop.pmalloc w.pm ~pool:w.pool_a 64 in
+      let value = if src_rel then rel else Xlate.ra2va w.x rel in
+      let dst =
+        if dst_nvm then Pmop.pmalloc w.pm ~pool:w.pool_b 8 else 0x3000L
+      in
+      let stored = Checks.pointer_assignment w.x ~dst ~value in
+      if dst_nvm then Ptr.is_relative stored else Ptr.is_virtual stored)
+
+let prop_compare_agrees_with_va =
+  QCheck.Test.make
+    ~name:"pointer comparison agrees with VA comparison in any format mix"
+    ~count:300
+    QCheck.(triple (int_bound 500) (int_bound 500) (pair bool bool))
+    (fun (i, j, (fi, fj)) ->
+      let w = make_world () in
+      let arr = Pmop.pmalloc w.pm ~pool:w.pool_a 4096 in
+      let p = Ptr.add arr (Int64.of_int (i * 8)) in
+      let q = Ptr.add arr (Int64.of_int (j * 8)) in
+      let p = if fi then p else Xlate.ra2va w.x p in
+      let q = if fj then q else Xlate.ra2va w.x q in
+      Semantics.compare_ptr w.x Semantics.Lt p q = (i < j)
+      && Semantics.equal_ptr w.x p q = (i = j))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_tag_roundtrip;
+      prop_translation_consistent;
+      prop_assignment_formats;
+      prop_compare_agrees_with_va;
+    ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "representation",
+        [
+          Alcotest.test_case "tagging" `Quick test_tagging;
+          Alcotest.test_case "bounds" `Quick test_tag_bounds;
+          Alcotest.test_case "location" `Quick test_location;
+          Alcotest.test_case "determineXY" `Quick test_determine_xy;
+        ] );
+      ( "translation",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ra2va_va2ra_roundtrip;
+          Alcotest.test_case "identity on VA" `Quick test_ra2va_identity_on_va;
+          Alcotest.test_case "DRAM escape" `Quick test_va2ra_dram_escape;
+          Alcotest.test_case "pool detach" `Quick test_pool_detach_fault;
+          Alcotest.test_case "relocation" `Quick test_relocation;
+        ] );
+      ( "pointer-assignment",
+        [
+          Alcotest.test_case "four-way matrix" `Quick
+            test_pointer_assignment_matrix;
+          Alcotest.test_case "NULL" `Quick test_pointer_assignment_null;
+          Alcotest.test_case "NVM-VA destination" `Quick
+            test_pointer_assignment_via_nvm_va_dst;
+          Alcotest.test_case "DRAM-VA escape" `Quick
+            test_dram_va_into_nvm_escape;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "casts" `Quick test_cast_ops;
+          Alcotest.test_case "additive" `Quick test_additive_ops;
+          Alcotest.test_case "difference" `Quick test_diff_ops;
+          Alcotest.test_case "relational" `Quick test_relational_ops;
+          Alcotest.test_case "cross-pool relational" `Quick
+            test_cross_pool_relational;
+          Alcotest.test_case "logical" `Quick test_logical_ops;
+          Alcotest.test_case "postfix" `Quick test_postfix_ops;
+          Alcotest.test_case "sizeof" `Quick test_sizeof;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,182 @@
+(* Multi-pool stress: structures spanning many pools exercise the
+   translation hardware's capacity mechanisms (POLB/VALB eviction, POW
+   and VAW walks) and cross-pool pointer semantics, which single-pool
+   workloads never touch. *)
+
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+module Cpu = Nvml_arch.Cpu
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let site = Site.make "multipool.harness"
+
+(* Build a chain of [n] nodes round-robin across [pools] pools;
+   node layout: next(0), value(8). *)
+let build_chain rt pools n =
+  let npools = Array.length pools in
+  let head = ref Ptr.null in
+  for i = n - 1 downto 0 do
+    let node =
+      Runtime.alloc rt ~pool:pools.(i mod npools) ~persistent:true 16
+    in
+    Runtime.store_ptr rt ~site node ~off:0 !head;
+    Runtime.store_word rt ~site node ~off:8 (Int64.of_int i);
+    head := node
+  done;
+  !head
+
+let sum_chain rt head =
+  let sum = ref 0L in
+  let node = ref head in
+  while not (Runtime.ptr_is_null rt ~site !node) do
+    sum := Int64.add !sum (Runtime.load_word rt ~site !node ~off:8);
+    node := Runtime.load_ptr rt ~site !node ~off:0
+  done;
+  !sum
+
+let make_pools rt n =
+  Array.init n (fun i ->
+      Runtime.create_pool rt ~name:(Fmt.str "p%d" i) ~size:(1 lsl 16))
+
+let expected_sum n = Int64.of_int (n * (n - 1) / 2)
+
+let test_cross_pool_chain_all_modes () =
+  List.iter
+    (fun mode ->
+      let rt = Runtime.create ~mode () in
+      let pools = make_pools rt 8 in
+      let head = build_chain rt pools 200 in
+      check_i64
+        (Fmt.str "cross-pool chain sums correctly in %a" Runtime.pp_mode mode)
+        (expected_sum 200) (sum_chain rt head))
+    [ Runtime.Sw; Runtime.Hw; Runtime.Explicit ]
+
+let test_polb_evicts_beyond_capacity () =
+  let rt = Runtime.create ~mode:Runtime.Hw () in
+  let cfg = Runtime.config rt in
+  let npools = (2 * cfg.Nvml_arch.Config.polb_entries) in
+  let pools = make_pools rt npools in
+  let head = build_chain rt pools (npools * 4) in
+  let s0 = Runtime.snapshot rt in
+  ignore (sum_chain rt head);
+  let s1 = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
+  check_bool "POLB misses under capacity pressure" true (s1.Cpu.polb_misses > 0);
+  check_bool "POW walks happened" true (s1.Cpu.pow_walks > 0)
+
+let test_single_pool_no_misses_when_warm () =
+  let rt = Runtime.create ~mode:Runtime.Hw () in
+  let pools = make_pools rt 1 in
+  let head = build_chain rt pools 100 in
+  ignore (sum_chain rt head) (* warm the POLB *);
+  let s0 = Runtime.snapshot rt in
+  ignore (sum_chain rt head);
+  let s1 = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
+  check_int "no POLB misses with one hot pool" 0 s1.Cpu.polb_misses
+
+let test_vaw_walks_with_many_pools () =
+  (* Force VALB pressure: disable the keep-relative optimization so
+     pointer store-backs go through va2ra, with more pools than VALB
+     entries. *)
+  let cfg =
+    { Nvml_arch.Config.default with Nvml_arch.Config.keep_relative_opt = false }
+  in
+  let rt = Runtime.create ~cfg ~mode:Runtime.Hw () in
+  let pools = make_pools rt 64 in
+  let head = build_chain rt pools 512 in
+  (* Rewrite every next pointer (store-backs of loaded VAs). *)
+  let node = ref head in
+  let s0 = Runtime.snapshot rt in
+  while not (Runtime.ptr_is_null rt ~site !node) do
+    let next = Runtime.load_ptr rt ~site !node ~off:0 in
+    Runtime.store_ptr rt ~site !node ~off:0 next;
+    node := next
+  done;
+  let s1 = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
+  check_bool "VALB was exercised" true (s1.Cpu.valb_accesses > 100);
+  check_bool "VALB misses under 64 pools" true (s1.Cpu.valb_misses > 0);
+  check_bool "VAW walked the VATB B-tree" true (s1.Cpu.vaw_nodes > 0);
+  check_i64 "chain still sums correctly" (expected_sum 512) (sum_chain rt head)
+
+let test_detach_middle_pool_faults_only_its_nodes () =
+  let rt = Runtime.create ~mode:Runtime.Hw () in
+  let pools = make_pools rt 4 in
+  (* One node per pool, chained. *)
+  let head = build_chain rt pools 4 in
+  Runtime.detach_pool rt pools.(2);
+  (* Nodes 0 and 1 are still reachable (pools 0,1 mapped). *)
+  let n0 = head in
+  check_i64 "node 0 readable" 0L (Runtime.load_word rt ~site n0 ~off:8);
+  let n1 = Runtime.load_ptr rt ~site n0 ~off:0 in
+  check_i64 "node 1 readable" 1L (Runtime.load_word rt ~site n1 ~off:8);
+  (* Node 2 lives in the detached pool: dereferencing faults. *)
+  check_bool "detached pool faults" true
+    (try
+       ignore (Runtime.load_ptr rt ~site n1 ~off:0);
+       false
+     with Nvml_core.Xlate.Pool_detached _ -> true)
+
+let test_crash_reopen_subset () =
+  (* Only some pools are re-opened after a crash; the others' nodes
+     fault, the re-opened ones work. *)
+  let rt = Runtime.create ~mode:Runtime.Hw () in
+  let pools = make_pools rt 3 in
+  let heads =
+    Array.map
+      (fun pool ->
+        let node = Runtime.alloc rt ~pool ~persistent:true 16 in
+        Runtime.store_word rt ~site node ~off:8 (Int64.of_int pool);
+        node)
+      pools
+  in
+  Runtime.crash_and_restart rt;
+  ignore (Runtime.open_pool rt "p0");
+  ignore (Runtime.open_pool rt "p2");
+  check_i64 "pool 0 node back" (Int64.of_int pools.(0))
+    (Runtime.load_word rt ~site heads.(0) ~off:8);
+  check_i64 "pool 2 node back" (Int64.of_int pools.(2))
+    (Runtime.load_word rt ~site heads.(2) ~off:8);
+  check_bool "unopened pool faults" true
+    (try
+       ignore (Runtime.load_word rt ~site heads.(1) ~off:8);
+       false
+     with Nvml_core.Xlate.Pool_detached _ -> true)
+
+let prop_cross_pool_sum =
+  QCheck.Test.make ~name:"cross-pool chains sum correctly at any fan-out"
+    ~count:30
+    QCheck.(pair (int_range 1 20) (int_range 1 300))
+    (fun (npools, nodes) ->
+      let rt = Runtime.create ~mode:Runtime.Hw () in
+      let pools = make_pools rt npools in
+      let head = build_chain rt pools nodes in
+      Int64.equal (sum_chain rt head) (expected_sum nodes))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_cross_pool_sum ]
+
+let () =
+  Alcotest.run "multipool"
+    [
+      ( "chains",
+        [
+          Alcotest.test_case "cross-pool all modes" `Quick
+            test_cross_pool_chain_all_modes;
+          Alcotest.test_case "POLB eviction" `Quick
+            test_polb_evicts_beyond_capacity;
+          Alcotest.test_case "warm single pool" `Quick
+            test_single_pool_no_misses_when_warm;
+          Alcotest.test_case "VAW under pressure" `Quick
+            test_vaw_walks_with_many_pools;
+        ] );
+      ( "detach",
+        [
+          Alcotest.test_case "middle pool" `Quick
+            test_detach_middle_pool_faults_only_its_nodes;
+          Alcotest.test_case "crash + subset reopen" `Quick
+            test_crash_reopen_subset;
+        ] );
+      ("properties", qsuite);
+    ]

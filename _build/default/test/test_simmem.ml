@@ -1,0 +1,239 @@
+(* Tests for the simulated memory substrate: layout constants, physical
+   frames, the page table, word/byte accessors, and crash semantics. *)
+
+module Layout = Nvml_simmem.Layout
+module Physmem = Nvml_simmem.Physmem
+module Vspace = Nvml_simmem.Vspace
+module Mem = Nvml_simmem.Mem
+
+let check = Alcotest.check
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- layout ---------------------------------------------------------- *)
+
+let test_layout_regions () =
+  check_bool "VA 0x1000 is DRAM" false (Layout.is_nvm_va 0x1000L);
+  check_bool "NVM base is NVM" true (Layout.is_nvm_va Layout.nvm_va_base);
+  check_bool "last DRAM VA" false
+    (Layout.is_nvm_va (Int64.sub Layout.nvm_va_base 1L));
+  check_bool "last NVM VA" true
+    (Layout.is_nvm_va (Int64.sub Layout.va_limit 1L))
+
+let test_layout_constants () =
+  check_i64 "NVM half starts at 2^47" (Int64.shift_left 1L 47)
+    Layout.nvm_va_base;
+  check_i64 "VA limit is 2^48" (Int64.shift_left 1L 48) Layout.va_limit;
+  check_int "page is 4 KiB" 4096 Layout.page_size;
+  check_int "512 words per page" 512 Layout.words_per_page
+
+let test_layout_pages () =
+  check_int "page of 0x2345" 2 (Layout.page_of_va 0x2345L);
+  check_int "offset of 0x2345" 0x345 (Layout.page_offset_of_va 0x2345L);
+  check_i64 "va of page 2" 0x2000L (Layout.va_of_page 2);
+  check_int "pages_of_bytes rounds up" 2 (Layout.pages_of_bytes 4097);
+  check_int "pages_of_bytes exact" 1 (Layout.pages_of_bytes 4096);
+  check_bool "aligned" true (Layout.is_word_aligned 0x10L);
+  check_bool "unaligned" false (Layout.is_word_aligned 0x11L)
+
+(* --- physical memory -------------------------------------------------- *)
+
+let test_phys_regions () =
+  let pm = Physmem.create () in
+  let d = Physmem.alloc_frame pm Layout.Dram in
+  let n = Physmem.alloc_frame pm Layout.Nvm in
+  check_bool "dram frame classified" true
+    (Layout.equal_region (Physmem.region_of_frame d) Layout.Dram);
+  check_bool "nvm frame classified" true
+    (Layout.equal_region (Physmem.region_of_frame n) Layout.Nvm)
+
+let test_phys_rw () =
+  let pm = Physmem.create () in
+  let f = Physmem.alloc_frame pm Layout.Dram in
+  Physmem.write_word pm ~frame:f ~word_index:7 42L;
+  check_i64 "read back" 42L (Physmem.read_word pm ~frame:f ~word_index:7);
+  check_i64 "other words zero" 0L (Physmem.read_word pm ~frame:f ~word_index:8)
+
+let test_phys_crash () =
+  let pm = Physmem.create () in
+  let d = Physmem.alloc_frame pm Layout.Dram in
+  let n = Physmem.alloc_frame pm Layout.Nvm in
+  Physmem.write_word pm ~frame:d ~word_index:0 1L;
+  Physmem.write_word pm ~frame:n ~word_index:0 2L;
+  Physmem.crash pm;
+  check_bool "dram frame gone" false (Physmem.frame_exists pm d);
+  check_bool "nvm frame survives" true (Physmem.frame_exists pm n);
+  check_i64 "nvm content survives" 2L
+    (Physmem.read_word pm ~frame:n ~word_index:0)
+
+(* --- virtual space ---------------------------------------------------- *)
+
+let test_vspace_reserve_halves () =
+  let vs = Vspace.create () in
+  let d = Vspace.reserve vs Layout.Dram 8192 in
+  let n = Vspace.reserve vs Layout.Nvm 8192 in
+  check_bool "dram reservation in dram half" false (Layout.is_nvm_va d);
+  check_bool "nvm reservation in nvm half" true (Layout.is_nvm_va n);
+  let d2 = Vspace.reserve vs Layout.Dram 4096 in
+  check_bool "reservations do not overlap" true (d2 >= Int64.add d 8192L)
+
+let test_vspace_map_translate () =
+  let vs = Vspace.create () in
+  Vspace.map_page vs ~vpage:5 ~frame:99;
+  (match Vspace.translate vs 0x5123L with
+  | Some (frame, off) ->
+      check_int "frame" 99 frame;
+      check_int "offset" 0x123 off
+  | None -> Alcotest.fail "expected mapping");
+  check_bool "unmapped faults" true (Vspace.translate vs 0x9000L = None)
+
+let test_vspace_fault () =
+  let vs = Vspace.create () in
+  Alcotest.check_raises "fault on unmapped" (Vspace.Fault 0x4000L) (fun () ->
+      ignore (Vspace.translate_exn vs 0x4000L))
+
+let test_vspace_unmap () =
+  let vs = Vspace.create () in
+  Vspace.map_range vs ~base:0x10000L ~frames:[ 1; 2; 3 ];
+  check_bool "mapped" true (Vspace.is_mapped vs 0x12000L);
+  Vspace.unmap_range vs ~base:0x10000L ~pages:3;
+  check_bool "unmapped" false (Vspace.is_mapped vs 0x12000L)
+
+(* --- combined memory --------------------------------------------------- *)
+
+let test_mem_words () =
+  let m = Mem.create () in
+  let base = Mem.map_fresh m Layout.Dram 4096 in
+  Mem.write_word m base 123L;
+  Mem.write_word m (Int64.add base 8L) (-1L);
+  check_i64 "word 0" 123L (Mem.read_word m base);
+  check_i64 "word 1" (-1L) (Mem.read_word m (Int64.add base 8L))
+
+let test_mem_unaligned () =
+  let m = Mem.create () in
+  let base = Mem.map_fresh m Layout.Dram 4096 in
+  Alcotest.check_raises "unaligned word access"
+    (Mem.Unaligned (Int64.add base 3L)) (fun () ->
+      ignore (Mem.read_word m (Int64.add base 3L)))
+
+let test_mem_bytes () =
+  let m = Mem.create () in
+  let base = Mem.map_fresh m Layout.Dram 4096 in
+  Mem.write_byte m (Int64.add base 3L) 0xAB;
+  check_int "byte back" 0xAB (Mem.read_byte m (Int64.add base 3L));
+  check_int "neighbour untouched" 0 (Mem.read_byte m (Int64.add base 2L));
+  (* byte 3 of the word = bits 24..31 *)
+  check_i64 "word view" (Int64.shift_left 0xABL 24) (Mem.read_word m base)
+
+let test_mem_strings () =
+  let m = Mem.create () in
+  let base = Mem.map_fresh m Layout.Dram 4096 in
+  Mem.write_string m (Int64.add base 16L) "hello!!!";
+  check Alcotest.string "string back" "hello!!!"
+    (Mem.read_string m (Int64.add base 16L) 8)
+
+let test_mem_floats () =
+  let m = Mem.create () in
+  let base = Mem.map_fresh m Layout.Nvm 4096 in
+  Mem.write_f64 m base 3.25;
+  check (Alcotest.float 0.0) "float back" 3.25 (Mem.read_f64 m base)
+
+let test_mem_crash_drops_dram_keeps_nvm () =
+  let m = Mem.create () in
+  let d = Mem.map_fresh m Layout.Dram 4096 in
+  let n = Mem.map_fresh m Layout.Nvm 4096 in
+  Mem.write_word m d 7L;
+  Mem.write_word m n 9L;
+  let n_frames =
+    List.init 1 (fun i -> fst (Vspace.translate_exn (Mem.vspace m) (Int64.add n (Int64.of_int (i * 4096)))))
+  in
+  Mem.crash m;
+  check_bool "dram mapping gone" false (Vspace.is_mapped (Mem.vspace m) d);
+  check_bool "nvm mapping gone too" false (Vspace.is_mapped (Mem.vspace m) n);
+  (* Remap the surviving NVM frames at a fresh base: data intact. *)
+  let n' = Mem.map_existing m Layout.Nvm n_frames in
+  check_i64 "nvm data survives remap" 9L (Mem.read_word m n')
+
+(* --- properties -------------------------------------------------------- *)
+
+let prop_word_roundtrip =
+  QCheck.Test.make ~name:"mem word write/read roundtrip" ~count:200
+    QCheck.(pair (int_bound 500) (map Int64.of_int int))
+    (fun (word_idx, value) ->
+      let m = Mem.create () in
+      let base = Mem.map_fresh m Layout.Dram 4096 in
+      let va = Int64.add base (Int64.of_int (word_idx * 8)) in
+      Mem.write_word m va value;
+      Int64.equal (Mem.read_word m va) value)
+
+let prop_byte_roundtrip =
+  QCheck.Test.make ~name:"mem byte write/read roundtrip" ~count:200
+    QCheck.(pair (int_bound 4095) (int_bound 255))
+    (fun (off, byte) ->
+      let m = Mem.create () in
+      let base = Mem.map_fresh m Layout.Dram 4096 in
+      let va = Int64.add base (Int64.of_int off) in
+      Mem.write_byte m va byte;
+      Mem.read_byte m va = byte)
+
+let prop_bytes_independent =
+  QCheck.Test.make ~name:"byte writes do not disturb neighbours" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (pair (int_bound 255) (int_bound 255)))
+    (fun writes ->
+      let m = Mem.create () in
+      let base = Mem.map_fresh m Layout.Dram 4096 in
+      let shadow = Array.make 256 0 in
+      List.iter
+        (fun (off, v) ->
+          shadow.(off) <- v;
+          Mem.write_byte m (Int64.add base (Int64.of_int off)) v)
+        writes;
+      Array.for_all Fun.id
+        (Array.init 256 (fun i ->
+             Mem.read_byte m (Int64.add base (Int64.of_int i)) = shadow.(i))))
+
+let prop_region_split =
+  QCheck.Test.make ~name:"bit 47 splits the space exactly in half" ~count:500
+    QCheck.(map Int64.of_int (int_bound max_int))
+    (fun v ->
+      let va = Int64.rem (Int64.abs v) Layout.va_limit in
+      Layout.is_nvm_va va = (va >= Layout.nvm_va_base))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_word_roundtrip; prop_byte_roundtrip; prop_bytes_independent;
+      prop_region_split ]
+
+let () =
+  Alcotest.run "simmem"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "regions" `Quick test_layout_regions;
+          Alcotest.test_case "constants" `Quick test_layout_constants;
+          Alcotest.test_case "pages" `Quick test_layout_pages;
+        ] );
+      ( "physmem",
+        [
+          Alcotest.test_case "regions" `Quick test_phys_regions;
+          Alcotest.test_case "read-write" `Quick test_phys_rw;
+          Alcotest.test_case "crash" `Quick test_phys_crash;
+        ] );
+      ( "vspace",
+        [
+          Alcotest.test_case "reserve halves" `Quick test_vspace_reserve_halves;
+          Alcotest.test_case "map-translate" `Quick test_vspace_map_translate;
+          Alcotest.test_case "fault" `Quick test_vspace_fault;
+          Alcotest.test_case "unmap" `Quick test_vspace_unmap;
+        ] );
+      ( "mem",
+        [
+          Alcotest.test_case "words" `Quick test_mem_words;
+          Alcotest.test_case "unaligned" `Quick test_mem_unaligned;
+          Alcotest.test_case "bytes" `Quick test_mem_bytes;
+          Alcotest.test_case "strings" `Quick test_mem_strings;
+          Alcotest.test_case "floats" `Quick test_mem_floats;
+          Alcotest.test_case "crash" `Quick test_mem_crash_drops_dram_keeps_nvm;
+        ] );
+      ("properties", qsuite);
+    ]

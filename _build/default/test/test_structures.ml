@@ -1,0 +1,273 @@
+(* Tests for the six benchmark data structures: functional correctness
+   against a reference map, structural invariants after random churn,
+   behaviour in all four runtime modes, and crash recovery through pool
+   roots. *)
+
+module Ptr = Nvml_core.Ptr
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module S = Nvml_structures
+module I64Map = Map.Make (Int64)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let site = Site.make "test.harness"
+
+let make_rt mode =
+  let rt = Runtime.create ~mode () in
+  let region =
+    match mode with
+    | Runtime.Volatile -> Runtime.Dram_region
+    | _ ->
+        Runtime.Pool_region (Runtime.create_pool rt ~name:"s" ~size:(1 lsl 22))
+  in
+  (rt, region)
+
+(* --- generic ordered-map tests, instantiated per structure ------------- *)
+
+let test_empty (module M : S.Intf.ORDERED_MAP) mode () =
+  let rt, region = make_rt mode in
+  let m = M.create rt region in
+  check_int "empty size" 0 (M.size m);
+  check_bool "find on empty" true (M.find m 42L = None);
+  check_bool "remove on empty" false (M.remove m 42L);
+  M.check_invariants m
+
+let test_insert_find (module M : S.Intf.ORDERED_MAP) mode () =
+  let rt, region = make_rt mode in
+  let m = M.create rt region in
+  for i = 1 to 100 do
+    M.insert m ~key:(Int64.of_int (i * 7 mod 101)) ~value:(Int64.of_int i)
+  done;
+  M.check_invariants m;
+  check_int "size" 100 (M.size m);
+  check_bool "present key" true (M.find m 7L <> None);
+  check_bool "absent key" true (M.find m 1000L = None)
+
+let test_update (module M : S.Intf.ORDERED_MAP) mode () =
+  let rt, region = make_rt mode in
+  let m = M.create rt region in
+  M.insert m ~key:5L ~value:1L;
+  M.insert m ~key:5L ~value:2L;
+  check_int "update does not grow" 1 (M.size m);
+  check_bool "updated value" true (M.find m 5L = Some 2L);
+  M.check_invariants m
+
+let test_remove (module M : S.Intf.ORDERED_MAP) mode () =
+  let rt, region = make_rt mode in
+  let m = M.create rt region in
+  for i = 1 to 50 do
+    M.insert m ~key:(Int64.of_int i) ~value:(Int64.of_int (i * 10))
+  done;
+  for i = 1 to 50 do
+    if i mod 2 = 0 then
+      check_bool (Fmt.str "removed %d" i) true (M.remove m (Int64.of_int i))
+  done;
+  M.check_invariants m;
+  check_int "half removed" 25 (M.size m);
+  for i = 1 to 50 do
+    let expected = if i mod 2 = 1 then Some (Int64.of_int (i * 10)) else None in
+    check_bool (Fmt.str "key %d state" i) true
+      (M.find m (Int64.of_int i) = expected)
+  done;
+  check_bool "re-remove fails" false (M.remove m 2L)
+
+let test_iter_sorted (module M : S.Intf.ORDERED_MAP) mode () =
+  let rt, region = make_rt mode in
+  let m = M.create rt region in
+  let keys = [ 5L; 1L; 9L; 3L; 7L; 2L; 8L ] in
+  List.iter (fun k -> M.insert m ~key:k ~value:(Int64.neg k)) keys;
+  let seen = ref [] in
+  M.iter m (fun ~key ~value ->
+      check_i64 "value follows key" (Int64.neg key) value;
+      seen := key :: !seen);
+  check_int "all visited" (List.length keys) (List.length !seen);
+  if M.name <> "Hash" then
+    check_bool "tree iteration ascending" true
+      (List.rev !seen = List.sort Int64.compare keys)
+
+let test_against_reference (module M : S.Intf.ORDERED_MAP) mode () =
+  let rt, region = make_rt mode in
+  let m = M.create rt region in
+  let reference = ref I64Map.empty in
+  let rng = Random.State.make [| 2024 |] in
+  for step = 1 to 600 do
+    let key = Int64.of_int (Random.State.int rng 120) in
+    let op = Random.State.int rng 10 in
+    if op < 5 then begin
+      let value = Int64.of_int step in
+      M.insert m ~key ~value;
+      reference := I64Map.add key value !reference
+    end
+    else if op < 8 then begin
+      let got = M.find m key in
+      let expected = I64Map.find_opt key !reference in
+      if got <> expected then
+        Alcotest.failf "%s: find %Ld mismatch at step %d" M.name key step
+    end
+    else begin
+      let got = M.remove m key in
+      let expected = I64Map.mem key !reference in
+      reference := I64Map.remove key !reference;
+      if got <> expected then
+        Alcotest.failf "%s: remove %Ld mismatch at step %d" M.name key step
+    end;
+    if step mod 100 = 0 then M.check_invariants m
+  done;
+  M.check_invariants m;
+  check_int "final size agrees" (I64Map.cardinal !reference) (M.size m);
+  I64Map.iter
+    (fun k v ->
+      if M.find m k <> Some v then Alcotest.failf "%s: lost key %Ld" M.name k)
+    !reference
+
+let test_crash_recovery (module M : S.Intf.ORDERED_MAP) mode () =
+  let rt = Runtime.create ~mode () in
+  let pool = Runtime.create_pool rt ~name:"s" ~size:(1 lsl 22) in
+  let m = M.create rt (Runtime.Pool_region pool) in
+  for i = 1 to 200 do
+    M.insert m ~key:(Int64.of_int i) ~value:(Int64.of_int (i * 3))
+  done;
+  Runtime.set_root rt ~site ~pool (M.header m);
+  Runtime.crash_and_restart rt;
+  ignore (Runtime.open_pool rt "s");
+  let m' = M.attach rt (Runtime.get_root rt ~site ~pool) in
+  M.check_invariants m';
+  check_int "size after recovery" 200 (M.size m');
+  for i = 1 to 200 do
+    check_bool
+      (Fmt.str "key %d after recovery" i)
+      true
+      (M.find m' (Int64.of_int i) = Some (Int64.of_int (i * 3)))
+  done
+
+let per_map_cases (module M : S.Intf.ORDERED_MAP) =
+  let quick name f = Alcotest.test_case name `Quick f in
+  ( M.name,
+    [
+      quick "empty" (test_empty (module M) Runtime.Hw);
+      quick "insert-find" (test_insert_find (module M) Runtime.Hw);
+      quick "update" (test_update (module M) Runtime.Hw);
+      quick "remove" (test_remove (module M) Runtime.Hw);
+      quick "iter sorted" (test_iter_sorted (module M) Runtime.Hw);
+      quick "vs reference (volatile)"
+        (test_against_reference (module M) Runtime.Volatile);
+      quick "vs reference (SW)" (test_against_reference (module M) Runtime.Sw);
+      quick "vs reference (HW)" (test_against_reference (module M) Runtime.Hw);
+      quick "vs reference (explicit)"
+        (test_against_reference (module M) Runtime.Explicit);
+      quick "crash recovery (HW)" (test_crash_recovery (module M) Runtime.Hw);
+      quick "crash recovery (SW)" (test_crash_recovery (module M) Runtime.Sw);
+    ] )
+
+(* --- linked list ----------------------------------------------------------- *)
+
+module Ll = S.Linked_list
+
+let test_ll_append_iterate mode () =
+  let rt, region = make_rt mode in
+  let l = Ll.create rt region in
+  let expected = ref 0L in
+  for i = 1 to 100 do
+    let v0 = Int64.of_int i and v1 = Int64.of_int (i * 2) in
+    Ll.append l ~v0 ~v1;
+    expected := Int64.add !expected (Int64.add v0 v1)
+  done;
+  check_int "length" 100 (Ll.length l);
+  check_i64 "sum" !expected (Ll.iterate_sum l);
+  Ll.check_invariants l
+
+let test_ll_prepend () =
+  let rt, region = make_rt Runtime.Hw in
+  let l = Ll.create rt region in
+  Ll.append l ~v0:2L ~v1:0L;
+  Ll.prepend l ~v0:1L ~v1:0L;
+  Ll.append l ~v0:3L ~v1:0L;
+  let order = ref [] in
+  Ll.iter l (fun ~v0 ~v1:_ -> order := v0 :: !order);
+  check_bool "order" true (List.rev !order = [ 1L; 2L; 3L ]);
+  Ll.check_invariants l
+
+let test_ll_remove () =
+  let rt, region = make_rt Runtime.Hw in
+  let l = Ll.create rt region in
+  List.iter (fun i -> Ll.append l ~v0:i ~v1:0L) [ 1L; 2L; 3L; 4L ];
+  check_bool "remove middle" true (Ll.remove_value l 2L);
+  check_bool "remove head" true (Ll.remove_value l 1L);
+  check_bool "remove tail" true (Ll.remove_value l 4L);
+  check_bool "remove absent" false (Ll.remove_value l 9L);
+  check_int "one left" 1 (Ll.length l);
+  Ll.check_invariants l
+
+let test_ll_crash_recovery () =
+  let rt = Runtime.create ~mode:Runtime.Hw () in
+  let pool = Runtime.create_pool rt ~name:"ll" ~size:(1 lsl 22) in
+  let l = Ll.create rt (Runtime.Pool_region pool) in
+  for i = 1 to 50 do
+    Ll.append l ~v0:(Int64.of_int i) ~v1:(Int64.of_int i)
+  done;
+  let sum_before = Ll.iterate_sum l in
+  Runtime.set_root rt ~site ~pool (Ll.header l);
+  Runtime.crash_and_restart rt;
+  ignore (Runtime.open_pool rt "ll");
+  let l' = Ll.attach rt (Runtime.get_root rt ~site ~pool) in
+  Ll.check_invariants l';
+  check_i64 "sum preserved across crash" sum_before (Ll.iterate_sum l')
+
+(* --- mode-equivalence property across all structures ------------------------ *)
+
+let prop_structure_mode_equivalence (module M : S.Intf.ORDERED_MAP) =
+  QCheck.Test.make
+    ~name:(Fmt.str "%s behaves identically in all four modes" M.name)
+    ~count:25
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 60)
+        (pair (int_bound 2) (int_bound 40)))
+    (fun script ->
+      let run mode =
+        let rt, region = make_rt mode in
+        let m = M.create rt region in
+        let out = ref [] in
+        List.iter
+          (fun (op, k) ->
+            let key = Int64.of_int k in
+            match op with
+            | 0 -> M.insert m ~key ~value:(Int64.mul key 5L)
+            | 1 -> out := (M.find m key <> None) :: !out
+            | _ -> out := M.remove m key :: !out)
+          script;
+        M.check_invariants m;
+        (M.size m, !out)
+      in
+      let reference = run Runtime.Volatile in
+      List.for_all
+        (fun mode -> run mode = reference)
+        [ Runtime.Sw; Runtime.Hw; Runtime.Explicit ])
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    (List.map prop_structure_mode_equivalence S.Registry.all_maps)
+
+let () =
+  Alcotest.run "structures"
+    (List.map per_map_cases S.Registry.all_maps
+    @ [
+        ( "LL",
+          [
+            Alcotest.test_case "append+iterate (HW)" `Quick
+              (test_ll_append_iterate Runtime.Hw);
+            Alcotest.test_case "append+iterate (SW)" `Quick
+              (test_ll_append_iterate Runtime.Sw);
+            Alcotest.test_case "append+iterate (volatile)" `Quick
+              (test_ll_append_iterate Runtime.Volatile);
+            Alcotest.test_case "append+iterate (explicit)" `Quick
+              (test_ll_append_iterate Runtime.Explicit);
+            Alcotest.test_case "prepend" `Quick test_ll_prepend;
+            Alcotest.test_case "remove" `Quick test_ll_remove;
+            Alcotest.test_case "crash recovery" `Quick test_ll_crash_recovery;
+          ] );
+        ("mode-equivalence", qsuite);
+      ])

@@ -1,0 +1,232 @@
+(* Tests for the persistent undo-log transaction layer: commit/abort
+   semantics, crash recovery mid-transaction, log persistence across
+   remapping, and a property test against a reference model. *)
+
+module Runtime = Nvml_runtime.Runtime
+module Txn = Nvml_runtime.Txn
+module Site = Nvml_runtime.Site
+module Ptr = Nvml_core.Ptr
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let site = Site.make ~static:true "test.txn"
+
+let make () =
+  let rt = Runtime.create ~mode:Runtime.Hw () in
+  let pool = Runtime.create_pool rt ~name:"t" ~size:(1 lsl 21) in
+  (rt, pool)
+
+let test_commit_persists () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool () in
+  let cell = Runtime.alloc rt ~pool ~persistent:true 16 in
+  Runtime.store_word rt ~site cell ~off:0 1L;
+  Txn.begin_ txn;
+  Txn.store_word txn ~site cell ~off:0 2L;
+  Txn.commit txn;
+  check_i64 "committed value" 2L (Runtime.load_word rt ~site cell ~off:0);
+  check_bool "idle after commit" false (Txn.is_active txn)
+
+let test_abort_restores () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool () in
+  let cell = Runtime.alloc rt ~pool ~persistent:true 32 in
+  Runtime.store_word rt ~site cell ~off:0 10L;
+  Runtime.store_word rt ~site cell ~off:8 20L;
+  Txn.begin_ txn;
+  Txn.store_word txn ~site cell ~off:0 11L;
+  Txn.store_word txn ~site cell ~off:8 21L;
+  Txn.store_word txn ~site cell ~off:0 12L;
+  Txn.abort txn;
+  check_i64 "first word restored" 10L (Runtime.load_word rt ~site cell ~off:0);
+  check_i64 "second word restored" 20L (Runtime.load_word rt ~site cell ~off:8)
+
+let test_crash_mid_txn_rolls_back () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool () in
+  let cell = Runtime.alloc rt ~pool ~persistent:true 16 in
+  Runtime.store_word rt ~site cell ~off:0 100L;
+  Runtime.store_word rt ~site cell ~off:8 200L;
+  (* Anchor both the log and the data in the pool root area. *)
+  Runtime.set_root rt ~site ~pool (Txn.header txn);
+  Txn.begin_ txn;
+  Txn.store_word txn ~site cell ~off:0 999L;
+  Txn.store_word txn ~site cell ~off:8 888L;
+  (* CRASH before commit. *)
+  Runtime.crash_and_restart rt;
+  ignore (Runtime.open_pool rt "t");
+  let txn' = Txn.attach rt (Runtime.get_root rt ~site ~pool) in
+  (match Txn.recover txn' with
+  | Txn.Rolled_back n -> check_int "two entries undone" 2 n
+  | Txn.Clean -> Alcotest.fail "expected rollback");
+  check_i64 "first word rolled back" 100L (Runtime.load_word rt ~site cell ~off:0);
+  check_i64 "second word rolled back" 200L
+    (Runtime.load_word rt ~site cell ~off:8);
+  check_bool "log idle after recovery" false (Txn.is_active txn')
+
+let test_crash_after_commit_is_clean () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool () in
+  let cell = Runtime.alloc rt ~pool ~persistent:true 16 in
+  Runtime.set_root rt ~site ~pool (Txn.header txn);
+  Txn.begin_ txn;
+  Txn.store_word txn ~site cell ~off:0 7L;
+  Txn.commit txn;
+  Runtime.crash_and_restart rt;
+  ignore (Runtime.open_pool rt "t");
+  let txn' = Txn.attach rt (Runtime.get_root rt ~site ~pool) in
+  check_bool "clean recovery" true (Txn.recover txn' = Txn.Clean);
+  check_i64 "committed value persisted" 7L (Runtime.load_word rt ~site cell ~off:0)
+
+let test_pointer_stores_transactional () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool () in
+  let a = Runtime.alloc rt ~pool ~persistent:true 16 in
+  let b = Runtime.alloc rt ~pool ~persistent:true 16 in
+  let c = Runtime.alloc rt ~pool ~persistent:true 16 in
+  Runtime.store_ptr rt ~site a ~off:0 b;
+  Txn.begin_ txn;
+  Txn.store_ptr txn ~site a ~off:0 c;
+  check_bool "points to c inside txn" true
+    (Runtime.ptr_eq rt ~site (Runtime.load_ptr rt ~site a ~off:0) c);
+  Txn.abort txn;
+  check_bool "points to b again after abort" true
+    (Runtime.ptr_eq rt ~site (Runtime.load_ptr rt ~site a ~off:0) b);
+  (* The restored cell must hold relative format. *)
+  let raw =
+    Nvml_simmem.Mem.read_word (Runtime.mem rt)
+      (Nvml_core.Xlate.ra2va (Runtime.xlate rt) a)
+  in
+  check_bool "restored bits are relative" true (Ptr.is_relative raw)
+
+let test_run_wrapper () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool () in
+  let cell = Runtime.alloc rt ~pool ~persistent:true 16 in
+  Runtime.store_word rt ~site cell ~off:0 1L;
+  (* Successful body commits. *)
+  Txn.run txn (fun () -> Txn.store_word txn ~site cell ~off:0 2L);
+  check_i64 "committed" 2L (Runtime.load_word rt ~site cell ~off:0);
+  (* Raising body rolls back and re-raises. *)
+  check_bool "exception propagates" true
+    (try
+       let (_ : int) =
+         Txn.run txn (fun () ->
+             Txn.store_word txn ~site cell ~off:0 3L;
+             failwith "boom")
+       in
+       false
+     with Failure _ -> true);
+  check_i64 "rolled back" 2L (Runtime.load_word rt ~site cell ~off:0)
+
+let test_protocol_errors () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool () in
+  let cell = Runtime.alloc rt ~pool ~persistent:true 16 in
+  check_bool "store outside txn rejected" true
+    (try
+       Txn.store_word txn ~site cell ~off:0 1L;
+       false
+     with Txn.Not_active -> true);
+  Txn.begin_ txn;
+  check_bool "nested begin rejected" true
+    (try
+       Txn.begin_ txn;
+       false
+     with Txn.Already_active -> true);
+  Txn.commit txn;
+  check_bool "double commit rejected" true
+    (try
+       Txn.commit txn;
+       false
+     with Txn.Not_active -> true)
+
+let test_volatile_target_rejected () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool () in
+  let dram = Runtime.alloc rt ~persistent:false 16 in
+  Txn.begin_ txn;
+  check_bool "DRAM target rejected" true
+    (try
+       Txn.store_word txn ~site dram ~off:0 1L;
+       false
+     with Invalid_argument _ -> true)
+
+let test_log_full () =
+  let rt, pool = make () in
+  let txn = Txn.create rt ~pool ~capacity:4 () in
+  let cell = Runtime.alloc rt ~pool ~persistent:true 16 in
+  Txn.begin_ txn;
+  for _ = 1 to 4 do
+    Txn.store_word txn ~site cell ~off:0 1L
+  done;
+  check_bool "fifth logged store overflows" true
+    (try
+       Txn.store_word txn ~site cell ~off:0 1L;
+       false
+     with Txn.Log_full -> true)
+
+(* Property: an interleaving of committed and aborted transactions over
+   an 8-cell array always matches a reference model where aborted
+   transactions never happened. *)
+let prop_txn_matches_reference =
+  QCheck.Test.make ~name:"commit/abort interleavings match reference" ~count:60
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 20)
+        (pair bool (small_list (pair (int_bound 7) (int_bound 1000)))))
+    (fun script ->
+      let rt, pool = make () in
+      let txn = Txn.create rt ~pool () in
+      let arr = Runtime.alloc rt ~pool ~persistent:true 64 in
+      let shadow = Array.make 8 0L in
+      List.iter
+        (fun (commit, writes) ->
+          Txn.begin_ txn;
+          let staged = Array.copy shadow in
+          List.iter
+            (fun (slot, v) ->
+              staged.(slot) <- Int64.of_int v;
+              Txn.store_word txn ~site arr ~off:(slot * 8) (Int64.of_int v))
+            writes;
+          if commit then begin
+            Txn.commit txn;
+            Array.blit staged 0 shadow 0 8
+          end
+          else Txn.abort txn)
+        script;
+      Array.for_all Fun.id
+        (Array.init 8 (fun i ->
+             Int64.equal (Runtime.load_word rt ~site arr ~off:(i * 8)) shadow.(i))))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_txn_matches_reference ]
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "commit persists" `Quick test_commit_persists;
+          Alcotest.test_case "abort restores" `Quick test_abort_restores;
+          Alcotest.test_case "run wrapper" `Quick test_run_wrapper;
+          Alcotest.test_case "pointer stores" `Quick
+            test_pointer_stores_transactional;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "mid-txn rollback" `Quick
+            test_crash_mid_txn_rolls_back;
+          Alcotest.test_case "post-commit clean" `Quick
+            test_crash_after_commit_is_clean;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "errors" `Quick test_protocol_errors;
+          Alcotest.test_case "volatile target" `Quick
+            test_volatile_target_rejected;
+          Alcotest.test_case "log full" `Quick test_log_full;
+        ] );
+      ("properties", qsuite);
+    ]
