@@ -23,7 +23,7 @@ module Corpus = Nvml_minic.Corpus
 module Inference = Nvml_comp.Inference
 open Report
 
-type ctx = { spec : Workload.spec; verbose : bool }
+type ctx = { spec : Workload.spec; verbose : bool; pool : Nvml_exec.Pool.t }
 
 let benchmarks = Registry.benchmark_names (* LL Hash RB Splay AVL SG *)
 
@@ -44,6 +44,44 @@ let matrix ctx name mode =
       let r = run_one ctx name mode in
       Hashtbl.replace matrix_cache (name, mode) r;
       r
+
+(* --- parallel cell execution -------------------------------------------- *)
+
+(* Run independent simulation cells through the worker pool, results in
+   submission order.  With one job this executes inline in submission
+   order, which is exactly the order the sequential code used — so
+   [--jobs 1] reproduces the pre-parallel output byte for byte. *)
+let par_map ctx f xs = Nvml_exec.Pool.map ctx.pool f xs
+
+(* Populate [matrix_cache] for the given cells in parallel.  A no-op
+   with one job: the lazy [matrix] fills the cache in the sequential
+   order instead, preserving the exact sequential behaviour.  Cells are
+   share-nothing (each builds its own [Runtime.t] and seeds its RNG
+   from the spec), so the cached results are independent of worker
+   count and scheduling. *)
+let prefetch ctx cells =
+  if Nvml_exec.Pool.jobs ctx.pool > 1 then begin
+    let seen = Hashtbl.create 16 in
+    let todo =
+      List.filter
+        (fun cell ->
+          if Hashtbl.mem matrix_cache cell || Hashtbl.mem seen cell then false
+          else begin
+            Hashtbl.add seen cell ();
+            true
+          end)
+        cells
+    in
+    let results = par_map ctx (fun (name, mode) -> run_one ctx name mode) todo in
+    List.iter2 (fun cell r -> Hashtbl.replace matrix_cache cell r) todo results
+  end
+
+(* Every (benchmark x mode) cell an experiment over [names] consumes,
+   volatile included (the normalization denominator). *)
+let matrix_cells names modes =
+  List.concat_map
+    (fun name -> List.map (fun mode -> (name, mode)) modes)
+    names
 
 let norm_cycles ctx name mode =
   let r = matrix ctx name mode in
@@ -117,6 +155,14 @@ let table4 _ctx =
 
 let table5 ctx =
   heading "Table V: dynamic checks and conversions (SW version)";
+  prefetch ctx (matrix_cells benchmarks [ Runtime.Sw ]);
+  List.iter
+    (fun name ->
+      let r = matrix ctx name Runtime.Sw in
+      metric
+        (Printf.sprintf "table5.dynamic_checks.%s" name)
+        (float_of_int r.Harness.checks.Harness.dynamic_checks))
+    benchmarks;
   table
     ~header:[ "Benchmark"; "dynamic checks"; "abs. to rel."; "rel. to abs." ]
     (List.map
@@ -139,6 +185,9 @@ let fig11 ctx =
   heading
     "Figure 11: execution time normalized to the volatile version (lower is \
      better)";
+  prefetch ctx
+    (matrix_cells benchmarks
+       [ Runtime.Explicit; Runtime.Volatile; Runtime.Sw; Runtime.Hw ]);
   let rows =
     List.map
       (fun name ->
@@ -152,6 +201,9 @@ let fig11 ctx =
   in
   table ~header:[ "Benchmark"; "Explicit"; "SW"; "HW" ] rows;
   let gm mode = geomean (List.map (fun n -> norm_cycles ctx n mode) benchmarks) in
+  metric "fig11.geomean.explicit" (gm Runtime.Explicit);
+  metric "fig11.geomean.sw" (gm Runtime.Sw);
+  metric "fig11.geomean.hw" (gm Runtime.Hw);
   Printf.printf
     "Geomean: Explicit %.3f, SW %.3f, HW %.3f; HW speedup over Explicit %.2fx\n"
     (gm Runtime.Explicit) (gm Runtime.Sw) (gm Runtime.Hw)
@@ -195,6 +247,9 @@ let fig12 _ctx =
 let fig13 ctx =
   heading
     "Figure 13: branch mispredictions normalized to the volatile version";
+  prefetch ctx
+    (matrix_cells benchmarks
+       [ Runtime.Sw; Runtime.Volatile; Runtime.Hw; Runtime.Explicit ]);
   let mp name mode =
     let r = matrix ctx name mode in
     let v = matrix ctx name Runtime.Volatile in
@@ -220,8 +275,25 @@ let fig13 ctx =
 let fig14 ctx =
   heading
     "Figure 14: HW execution time vs VALB/VAW latency, normalized to Explicit";
+  prefetch ctx (matrix_cells benchmarks [ Runtime.Explicit ]);
   let latencies = [ 3; 10; 25; 50 ] in
   let header = "Benchmark" :: List.map (fun l -> Printf.sprintf "%dcyc" l) latencies in
+  let grid =
+    List.concat_map
+      (fun name -> List.map (fun lat -> (name, lat)) latencies)
+      benchmarks
+  in
+  let results =
+    par_map ctx
+      (fun (name, lat) ->
+        let cfg =
+          { Config.default with Config.valb_latency = lat;
+            vatb_node_latency = lat }
+        in
+        run_one ctx ~cfg name Runtime.Hw)
+      grid
+  in
+  let by_cell = List.combine grid results in
   let rows =
     List.map
       (fun name ->
@@ -231,11 +303,7 @@ let fig14 ctx =
         name
         :: List.map
              (fun lat ->
-               let cfg =
-                 { Config.default with Config.valb_latency = lat;
-                   vatb_node_latency = lat }
-               in
-               let r = run_one ctx ~cfg name Runtime.Hw in
+               let r = List.assoc (name, lat) by_cell in
                f3 (float_of_int r.Harness.run.Cpu.cycles /. explicit))
              latencies)
       benchmarks
@@ -250,6 +318,7 @@ let fig14 ctx =
 let fig15 ctx =
   heading
     "Figure 15: fraction of memory accesses using the translation hardware (HW)";
+  prefetch ctx (matrix_cells benchmarks [ Runtime.Hw ]);
   table
     ~header:[ "Benchmark"; "storeP"; "VALB/VAW"; "POLB/POW" ]
     (List.map
@@ -478,6 +547,15 @@ let productivity _ctx =
 let ablation ctx =
   heading "Ablation 1: the keep-relative/translation-reuse optimization (HW)";
   let bench_set = [ "RB"; "Splay"; "Hash" ] in
+  prefetch ctx
+    (matrix_cells bench_set [ Runtime.Volatile; Runtime.Hw ]
+    @ [ ("Splay", Runtime.Explicit); ("RB", Runtime.Volatile) ]);
+  let cfg_off = { Config.default with Config.keep_relative_opt = false } in
+  let offs =
+    List.combine bench_set
+      (par_map ctx (fun name -> run_one ctx ~cfg:cfg_off name Runtime.Hw)
+         bench_set)
+  in
   let rows =
     List.map
       (fun name ->
@@ -485,8 +563,7 @@ let ablation ctx =
           float_of_int (matrix ctx name Runtime.Volatile).Harness.run.Cpu.cycles
         in
         let on = matrix ctx name Runtime.Hw in
-        let cfg_off = { Config.default with Config.keep_relative_opt = false } in
-        let off = run_one ctx ~cfg:cfg_off name Runtime.Hw in
+        let off = List.assoc name offs in
         let valb_frac (r : Harness.result) =
           float_of_int r.Harness.run.Cpu.valb_accesses
           /. float_of_int (max 1 r.Harness.run.Cpu.mem_accesses)
@@ -516,7 +593,7 @@ let ablation ctx =
   in
   let row =
     "Splay(no reuse)"
-    :: List.map
+    :: par_map ctx
          (fun lat ->
            let cfg =
              { Config.default with Config.keep_relative_opt = false;
@@ -532,7 +609,7 @@ let ablation ctx =
     float_of_int (matrix ctx "RB" Runtime.Volatile).Harness.run.Cpu.cycles
   in
   let rows =
-    List.map
+    par_map ctx
       (fun bits ->
         let cfg =
           { Config.default with Config.bp_table_bits = bits;
@@ -626,6 +703,9 @@ let extended ctx =
       (fun (module M : Nvml_structures.Intf.ORDERED_MAP) -> M.name)
       Nvml_structures.Registry.extended_maps
   in
+  prefetch ctx
+    (matrix_cells names
+       [ Runtime.Explicit; Runtime.Volatile; Runtime.Sw; Runtime.Hw ]);
   let rows =
     List.map
       (fun name ->
@@ -649,7 +729,7 @@ let extended ctx =
    by hash, so the memory layout and locality are identical across
    configurations) and sweeps only the POLB capacity, isolating the
    translation-capacity effect. *)
-let multipool _ctx =
+let multipool ctx =
   heading
     "Extension: POLB capacity under a 64-pool working set (HW, 4096-node \
      chain)";
@@ -688,13 +768,9 @@ let multipool _ctx =
   in
   let base = ref 1 in
   let rows =
-    List.map
-      (fun entries ->
-        let s = run entries in
-        if entries = 128 then base := s.Cpu.cycles;
-        (entries, s))
-      [ 128; 64; 32; 16; 8; 4 ]
+    par_map ctx (fun entries -> (entries, run entries)) [ 128; 64; 32; 16; 8; 4 ]
   in
+  List.iter (fun (entries, s) -> if entries = 128 then base := s.Cpu.cycles) rows;
   table
     ~header:[ "POLB entries"; "norm. time"; "POLB miss rate"; "POW walks" ]
     (List.map
@@ -769,12 +845,27 @@ let txn_overhead _ctx =
 let sweep ctx =
   heading "Extension: HW overhead vs NVM latency (RB, paper workload)";
   let spec = ctx.spec in
+  (* Each (latency x mode) run is an independent cell; the row pairs up
+     the volatile and HW results afterwards. *)
+  let latencies = [ 120; 240; 480; 960 ] in
+  let cells =
+    List.concat_map
+      (fun l -> [ (l, Runtime.Volatile); (l, Runtime.Hw) ])
+      latencies
+  in
+  let results =
+    List.combine cells
+      (par_map ctx
+         (fun (nvm_latency, mode) ->
+           let cfg = { Config.default with Config.nvm_latency } in
+           run_one ctx ~cfg "RB" mode)
+         cells)
+  in
   let rows =
     List.map
       (fun nvm_latency ->
-        let cfg = { Config.default with Config.nvm_latency } in
-        let vol = run_one ctx ~cfg "RB" Runtime.Volatile in
-        let hw = run_one ctx ~cfg "RB" Runtime.Hw in
+        let vol = List.assoc (nvm_latency, Runtime.Volatile) results in
+        let hw = List.assoc (nvm_latency, Runtime.Hw) results in
         [
           Printf.sprintf "%d cycles (%.1fx DRAM)" nvm_latency
             (float_of_int nvm_latency /. float_of_int Config.default.Config.dram_latency);
@@ -782,22 +873,35 @@ let sweep ctx =
             (float_of_int hw.Harness.run.Cpu.cycles
             /. float_of_int vol.Harness.run.Cpu.cycles);
         ])
-      [ 120; 240; 480; 960 ]
+      latencies
   in
   table ~header:[ "NVM latency"; "HW / volatile" ] rows;
   Printf.printf
     "At 120 cycles (DRAM-equal) the residue is pure translation cost; the\n\
      rest is the NVM medium itself, which every persistent design pays.\n";
   heading "Extension: HW overhead vs working-set size (RB)";
+  let sizes = [ 1_000; 10_000; 50_000 ] in
+  let cells =
+    List.concat_map
+      (fun r -> [ (r, Runtime.Volatile); (r, Runtime.Hw) ])
+      sizes
+  in
+  let results =
+    List.combine cells
+      (par_map ctx
+         (fun (records, mode) ->
+           let s =
+             { spec with Nvml_ycsb.Workload.record_count = records;
+               operation_count = records * 10 }
+           in
+           Harness.run_benchmark "RB" ~mode s)
+         cells)
+  in
   let rows =
     List.map
       (fun records ->
-        let s =
-          { spec with Nvml_ycsb.Workload.record_count = records;
-            operation_count = records * 10 }
-        in
-        let vol = Harness.run_benchmark "RB" ~mode:Runtime.Volatile s in
-        let hw = Harness.run_benchmark "RB" ~mode:Runtime.Hw s in
+        let vol = List.assoc (records, Runtime.Volatile) results in
+        let hw = List.assoc (records, Runtime.Hw) results in
         [
           with_commas records;
           f3
@@ -805,7 +909,7 @@ let sweep ctx =
             /. float_of_int vol.Harness.run.Cpu.cycles);
           pct hw.Harness.run.Cpu.l3_hit_rate;
         ])
-      [ 1_000; 10_000; 50_000 ]
+      sizes
   in
   table ~header:[ "records"; "HW / volatile"; "L3 hit rate" ] rows;
   Printf.printf

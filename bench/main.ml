@@ -6,9 +6,17 @@
      dune exec bench/main.exe                 # everything, paper scale
      dune exec bench/main.exe -- --quick      # 10x smaller workloads
      dune exec bench/main.exe -- fig11 table5 # selected experiments
-     dune exec bench/main.exe -- --list       *)
+     dune exec bench/main.exe -- --jobs 4     # parallel simulation cells
+     dune exec bench/main.exe -- --json out.json
+     dune exec bench/main.exe -- --list
+
+   Independent simulation cells run on a domain worker pool sized by
+   --jobs (or the NVML_JOBS environment variable; default: the
+   machine's recommended domain count).  --jobs 1 reproduces the
+   sequential output exactly. *)
 
 module Workload = Nvml_ycsb.Workload
+module Pool = Nvml_exec.Pool
 
 let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
   [
@@ -35,6 +43,61 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
     ("micro", "bechamel micro-benchmarks", Experiments.micro);
   ]
 
+(* Minimal JSON emission — just what the report needs, no dependency. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let write_json oc ~spec ~quick ~jobs ~timings ~total =
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"workload\": \"%s\",\n" (json_escape (Fmt.str "%a" Workload.pp_spec spec));
+  p "  \"quick\": %b,\n" quick;
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"total_wall_s\": %.3f,\n" total;
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, wall) ->
+      p "    {\"name\": \"%s\", \"wall_s\": %.3f}%s\n" (json_escape name) wall
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  p "  ],\n";
+  let metrics = Report.metrics_snapshot () in
+  p "  \"metrics\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      p "    \"%s\": %s%s\n" (json_escape name) (json_float v)
+        (if i = List.length metrics - 1 then "" else ","))
+    metrics;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
+(* Pull the value of [--flag V] out of the raw argument list. *)
+let extract_value_arg flag args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | a :: v :: rest when a = flag -> (Some v, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
@@ -44,6 +107,32 @@ let () =
       all_experiments;
     exit 0
   end;
+  let jobs_arg, args = extract_value_arg "--jobs" args in
+  let json_path, args = extract_value_arg "--json" args in
+  let jobs =
+    match jobs_arg with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" s;
+            exit 1)
+    | None -> (
+        try Pool.default_jobs ()
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1)
+  in
+  (* Open the JSON sink before the (long) run so a bad path fails fast. *)
+  let json_out =
+    match json_path with
+    | None -> None
+    | Some path -> (
+        try Some (open_out path)
+        with Sys_error msg ->
+          Printf.eprintf "--json: %s\n" msg;
+          exit 1)
+  in
   let quick = List.mem "--quick" args in
   let verbose = not (List.mem "--quiet" args) in
   let selected =
@@ -53,7 +142,8 @@ let () =
     if quick then Workload.scale Workload.paper_default 10
     else Workload.paper_default
   in
-  let ctx = { Experiments.spec; verbose } in
+  let pool = Pool.create ~jobs () in
+  let ctx = { Experiments.spec; verbose; pool } in
   let chosen =
     match selected with
     | [] -> all_experiments
@@ -74,5 +164,17 @@ let () =
     (Fmt.str "%a" Workload.pp_spec spec)
     (if quick then " [quick]" else "");
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, _, f) -> f ctx) chosen;
-  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let timings =
+    List.map
+      (fun (name, _, f) ->
+        let te = Unix.gettimeofday () in
+        f ctx;
+        (name, Unix.gettimeofday () -. te))
+      chosen
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nTotal wall time: %.1fs\n" total;
+  (match json_out with
+  | Some oc -> write_json oc ~spec ~quick ~jobs ~timings ~total
+  | None -> ());
+  Pool.shutdown pool

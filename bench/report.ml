@@ -51,6 +51,15 @@ let with_commas n =
     s;
   Buffer.contents buf
 
+(* Headline metrics, accumulated as experiments print and emitted as
+   machine-readable JSON by the driver's [--json FILE] — the hook future
+   PRs use to track the perf trajectory. *)
+let metrics : (string * float) list ref = ref []
+
+let metric name value = metrics := (name, value) :: !metrics
+
+let metrics_snapshot () = List.rev !metrics
+
 let geomean xs =
   match xs with
   | [] -> nan

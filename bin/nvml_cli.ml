@@ -18,6 +18,7 @@ module Knn = Nvml_mlkit.Knn
 module Corpus = Nvml_minic.Corpus
 module Interp = Nvml_minic.Interp
 module Inference = Nvml_comp.Inference
+module Pool = Nvml_exec.Pool
 
 (* --- shared argument converters ---------------------------------------- *)
 
@@ -57,6 +58,18 @@ let dist_conv =
       | Workload.Latest -> "latest")
   in
   Arg.conv (parse, print)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for multi-cell commands (0 = NVML_JOBS env var, \
+           else the recommended domain count). Cells are share-nothing, so \
+           results match --jobs 1 exactly.")
+
+let resolve_jobs n = if n >= 1 then n else Pool.default_jobs ()
 
 (* --- kv ------------------------------------------------------------------ *)
 
@@ -99,7 +112,15 @@ let kv_cmd =
       & opt dist_conv Workload.Latest
       & info [ "distribution"; "d" ] ~doc:"Key distribution.")
   in
-  let run structure mode records ops dist =
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Run all four execution modes (in parallel when --jobs > 1) and \
+             print a comparative table instead of a single-mode report.")
+  in
+  let run structure mode records ops dist compare jobs =
     let spec =
       {
         Workload.paper_default with
@@ -108,11 +129,43 @@ let kv_cmd =
         distribution = dist;
       }
     in
-    print_result (Harness.run_benchmark structure ~mode spec)
+    if not compare then print_result (Harness.run_benchmark structure ~mode spec)
+    else begin
+      let modes =
+        [ Runtime.Volatile; Runtime.Explicit; Runtime.Sw; Runtime.Hw ]
+      in
+      let pool = Pool.create ~jobs:(resolve_jobs jobs) () in
+      let results =
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            Pool.map pool
+              (fun mode -> Harness.run_benchmark structure ~mode spec)
+              modes)
+      in
+      let base =
+        match results with
+        | r :: _ -> float_of_int r.Harness.run.Cpu.cycles
+        | [] -> 1.
+      in
+      Fmt.pr "%-10s %14s %9s %12s %10s@." "mode" "cycles" "vs vol"
+        "NVM accesses" "checks";
+      List.iter
+        (fun (r : Harness.result) ->
+          let s = r.Harness.run in
+          Fmt.pr "%-10s %14d %8.2fx %12d %10d@."
+            (Runtime.mode_name r.Harness.mode)
+            s.Cpu.cycles
+            (float_of_int s.Cpu.cycles /. base)
+            s.Cpu.nvm_accesses r.Harness.checks.Harness.dynamic_checks)
+        results
+    end
   in
   Cmd.v
     (Cmd.info "kv" ~doc:"Run a YCSB workload against an index structure.")
-    Term.(const run $ structure $ mode_arg $ records $ ops $ dist)
+    Term.(
+      const run $ structure $ mode_arg $ records $ ops $ dist $ compare_arg
+      $ jobs_arg)
 
 (* --- knn ------------------------------------------------------------------- *)
 
@@ -147,38 +200,48 @@ let knn_cmd =
 (* --- soundness ---------------------------------------------------------------- *)
 
 let soundness_cmd =
-  let run () =
-    let failures = ref 0 in
-    List.iter
-      (fun (name, program) ->
-        let run_in mode persistent =
-          let rt = Runtime.create ~mode () in
-          let heap =
-            if persistent then
-              Runtime.Pool_region
-                (Runtime.create_pool rt ~name:"heap" ~size:(1 lsl 22))
-            else Runtime.Dram_region
-          in
-          (Interp.run rt ~heap program ~args:[]).Interp.output
+  let run jobs =
+    let configs =
+      [ (Runtime.Sw, false); (Runtime.Sw, true); (Runtime.Hw, false);
+        (Runtime.Hw, true) ]
+    in
+    let check (name, program) =
+      let run_in mode persistent =
+        let rt = Runtime.create ~mode () in
+        let heap =
+          if persistent then
+            Runtime.Pool_region
+              (Runtime.create_pool rt ~name:"heap" ~size:(1 lsl 22))
+          else Runtime.Dram_region
         in
-        let reference = run_in Runtime.Volatile false in
-        List.iter
-          (fun (mode, persistent) ->
-            let ok = run_in mode persistent = reference in
-            if not ok then incr failures;
-            Fmt.pr "%-14s %-8s heap=%-4s %s@." name (Runtime.mode_name mode)
-              (if persistent then "NVM" else "DRAM")
-              (if ok then "ok" else "MISMATCH"))
-          [ (Runtime.Sw, false); (Runtime.Sw, true); (Runtime.Hw, false);
-            (Runtime.Hw, true) ])
-      Corpus.all;
-    if !failures = 0 then Fmt.pr "all corpus runs sound@."
-    else Fmt.pr "%d mismatches@." !failures
+        (Interp.run rt ~heap program ~args:[]).Interp.output
+      in
+      let reference = run_in Runtime.Volatile false in
+      List.map
+        (fun (mode, persistent) ->
+          (name, mode, persistent, run_in mode persistent = reference))
+        configs
+    in
+    let pool = Pool.create ~jobs:(resolve_jobs jobs) () in
+    let rows =
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> List.concat (Pool.map pool check Corpus.all))
+    in
+    let failures = List.length (List.filter (fun (_, _, _, ok) -> not ok) rows) in
+    List.iter
+      (fun (name, mode, persistent, ok) ->
+        Fmt.pr "%-14s %-8s heap=%-4s %s@." name (Runtime.mode_name mode)
+          (if persistent then "NVM" else "DRAM")
+          (if ok then "ok" else "MISMATCH"))
+      rows;
+    if failures = 0 then Fmt.pr "all corpus runs sound@."
+    else Fmt.pr "%d mismatches@." failures
   in
   Cmd.v
     (Cmd.info "soundness"
        ~doc:"Replay the mini-C corpus under every configuration.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- inference ------------------------------------------------------------------ *)
 

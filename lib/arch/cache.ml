@@ -47,26 +47,28 @@ let access t addr =
   let set = set_of t block in
   let base = set * t.ways in
   t.clock <- t.clock + 1;
-  let rec find i =
-    if i >= t.ways then None
-    else if t.tags.(base + i) = block then Some i
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some i ->
-      t.stamps.(base + i) <- t.clock;
-      t.hits <- t.hits + 1;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      (* Evict the LRU way. *)
-      let victim = ref 0 in
-      for i = 1 to t.ways - 1 do
-        if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
-      done;
-      t.tags.(base + !victim) <- block;
-      t.stamps.(base + !victim) <- t.clock;
-      false
+  let hit = ref (-1) in
+  let i = ref 0 in
+  while !hit < 0 && !i < t.ways do
+    if Array.unsafe_get t.tags (base + !i) = block then hit := !i;
+    incr i
+  done;
+  if !hit >= 0 then begin
+    t.stamps.(base + !hit) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Evict the LRU way. *)
+    let victim = ref 0 in
+    for i = 1 to t.ways - 1 do
+      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- block;
+    t.stamps.(base + !victim) <- t.clock;
+    false
+  end
 
 (* Probe without inserting (used by tests). *)
 let probe t addr =

@@ -102,15 +102,22 @@ let cache_stall t pa region =
     | Layout.Dram -> t.cfg.dram_latency
     | Layout.Nvm -> t.cfg.nvm_latency
 
-let data_access t va =
-  let pa64 = Mem.phys_of_va t.mem va in
-  let pa = Int64.to_int pa64 in
-  let region = Physmem.region_of_frame (Physmem.frame_of_phys pa64) in
+(* Timing for one data access whose translation the caller already
+   performed: [pa] is the packed physical address from
+   [Mem.translate_pa].  Allocation-free. *)
+let data_access_pa t ~va ~pa =
+  let region =
+    if pa lsr Layout.page_shift >= Layout.nvm_phys_frame_base then Layout.Nvm
+    else Layout.Dram
+  in
   (match region with
   | Layout.Dram -> t.dram_accesses <- t.dram_accesses + 1
   | Layout.Nvm -> t.nvm_accesses <- t.nvm_accesses + 1);
   let stall = tlb_stall t va + cache_stall t pa region in
   t.cycles <- t.cycles + 1 + stall
+
+let data_access t va =
+  data_access_pa t ~va ~pa:(Mem.translate_pa_exn t.mem va)
 
 let load t va =
   t.instrs <- t.instrs + 1;
@@ -121,6 +128,16 @@ let store t va =
   t.instrs <- t.instrs + 1;
   t.stores <- t.stores + 1;
   data_access t va
+
+let load_pa t ~va ~pa =
+  t.instrs <- t.instrs + 1;
+  t.loads <- t.loads + 1;
+  data_access_pa t ~va ~pa
+
+let store_pa t ~va ~pa =
+  t.instrs <- t.instrs + 1;
+  t.stores <- t.stores + 1;
+  data_access_pa t ~va ~pa
 
 (* --- persistent-object translation hardware ----------------------------- *)
 
@@ -165,7 +182,7 @@ let valb_latency t ~va =
    the core.  [dst_va] is the resolved destination of the store. *)
 type xop = [ `Polb of int | `Valb of int64 ]
 
-let store_p t ~dst_va ~(xops : xop list) =
+let store_p_pa t ~dst_va ~dst_pa ~(xops : xop list) =
   t.instrs <- t.instrs + 1;
   t.storeps <- t.storeps + 1;
   let latency_of = function
@@ -178,7 +195,10 @@ let store_p t ~dst_va ~(xops : xop list) =
   let stall = Storep_unit.issue t.storep_unit ~now:t.cycles ~latency:unit_latency in
   t.cycles <- t.cycles + stall;
   t.stores <- t.stores + 1;
-  data_access t dst_va
+  data_access_pa t ~va:dst_va ~pa:dst_pa
+
+let store_p t ~dst_va ~(xops : xop list) =
+  store_p_pa t ~dst_va ~dst_pa:(Mem.translate_pa_exn t.mem dst_va) ~xops
 
 (* --- kernel-table maintenance ------------------------------------------- *)
 

@@ -18,6 +18,14 @@ val branch : t -> pc:int -> taken:bool -> unit
 val load : t -> int64 -> unit
 val store : t -> int64 -> unit
 
+val load_pa : t -> va:int64 -> pa:int -> unit
+(** Like {!load}, but with the translation already done by the caller:
+    [pa] is the packed physical address from [Mem.translate_pa].
+    Allocation-free — the hot path for fused functional+timing
+    accesses. *)
+
+val store_pa : t -> va:int64 -> pa:int -> unit
+
 val polb_translate : t -> pool:int -> unit
 (** An ra2va on the address-generation path (exposed latency; a miss
     adds the POW walk). *)
@@ -32,6 +40,9 @@ val store_p : t -> dst_va:int64 -> xops:xop list -> unit
 (** A storeP instruction: the listed operand translations run
     concurrently inside an FSM entry (stalling only when the unit is
     full), then the store itself accesses memory. *)
+
+val store_p_pa : t -> dst_va:int64 -> dst_pa:int -> xops:xop list -> unit
+(** {!store_p} with the destination translation already done. *)
 
 val map_pool : t -> base:int64 -> size:int -> pool:int -> unit
 (** Install the pool range in the VATB. *)

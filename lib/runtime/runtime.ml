@@ -235,15 +235,29 @@ let resolve t ~site (p : Ptr.t) : int64 =
 
 let addr p off = Ptr.add p (Int64.of_int off)
 
+(* Fused functional+timing access: translate the virtual address once
+   and hand the packed physical address to both the timing model and
+   the backing store (the pre-fusion code translated twice per access —
+   once in [Cpu.load]/[Cpu.store], once in [Mem.read_word]). *)
+let mem_load t va =
+  let pa = Mem.translate_pa_exn t.mem va in
+  Cpu.load_pa t.cpu ~va ~pa;
+  if pa land 7 <> 0 then raise (Mem.Unaligned va);
+  Mem.read_word_pa t.mem pa
+
+let mem_store t va v =
+  let pa = Mem.translate_pa_exn t.mem va in
+  Cpu.store_pa t.cpu ~va ~pa;
+  if pa land 7 <> 0 then raise (Mem.Unaligned va);
+  Mem.write_word_pa t.mem pa v
+
 let load_word t ~site (p : Ptr.t) ~off : int64 =
   let va = resolve t ~site (addr p off) in
-  Cpu.load t.cpu va;
-  Mem.read_word t.mem va
+  mem_load t va
 
 let store_word t ~site (p : Ptr.t) ~off (v : int64) : unit =
   let va = resolve t ~site (addr p off) in
-  Cpu.store t.cpu va;
-  Mem.write_word t.mem va v
+  mem_store t va v
 
 let load_f64 t ~site p ~off = Int64.float_of_bits (load_word t ~site p ~off)
 let store_f64 t ~site p ~off v = store_word t ~site p ~off (Int64.bits_of_float v)
@@ -256,8 +270,7 @@ let store_f64 t ~site p ~off v = store_word t ~site p ~off (Int64.bits_of_float 
    per-access translation later instead. *)
 let load_ptr t ~site (p : Ptr.t) ~off : Ptr.t =
   let va = resolve t ~site (addr p off) in
-  Cpu.load t.cpu va;
-  let raw = Mem.read_word t.mem va in
+  let raw = mem_load t va in
   match t.mode with
   | Volatile | Explicit -> raw
   | Sw ->
@@ -278,9 +291,7 @@ let load_ptr t ~site (p : Ptr.t) ~off : Ptr.t =
 let store_ptr t ~site (p : Ptr.t) ~off (value : Ptr.t) : unit =
   let cell = addr p off in
   match t.mode with
-  | Volatile ->
-      Cpu.store t.cpu cell;
-      Mem.write_word t.mem cell value
+  | Volatile -> mem_store t cell value
   | Sw ->
       let va = resolve t ~site cell in
       (* Inlined pointerAssignment: checks on destination and source. *)
@@ -291,8 +302,7 @@ let store_ptr t ~site (p : Ptr.t) ~off (value : Ptr.t) : unit =
         | Layout.Nvm -> sw_va2ra t value
         | Layout.Dram -> if Ptr.is_relative value then sw_ra2va t value else value
       in
-      Cpu.store t.cpu va;
-      Mem.write_word t.mem va stored
+      mem_store t va stored
   | Hw ->
       let dst_va = Xlate.ra2va t.x cell in
       let cell_loc = Checks.determine_x cell in
@@ -317,14 +327,15 @@ let store_ptr t ~site (p : Ptr.t) ~off (value : Ptr.t) : unit =
             (Xlate.ra2va t.x value, [ `Polb (Ptr.pool_of value) ])
         | Layout.Dram, Ptr.Virtual -> (value, [])
       in
-      Cpu.store_p t.cpu ~dst_va ~xops:(rd_ops @ rs_ops);
-      Mem.write_word t.mem dst_va stored
+      let dst_pa = Mem.translate_pa_exn t.mem dst_va in
+      Cpu.store_p_pa t.cpu ~dst_va ~dst_pa ~xops:(rd_ops @ rs_ops);
+      if dst_pa land 7 <> 0 then raise (Mem.Unaligned dst_va);
+      Mem.write_word_pa t.mem dst_pa stored
   | Explicit ->
       (* Handles are stored as-is; only the destination access needs a
          translation. *)
       let va = resolve t ~site cell in
-      Cpu.store t.cpu va;
-      Mem.write_word t.mem va value
+      mem_store t va value
 
 (* --- pointer predicates ----------------------------------------------------- *)
 

@@ -17,10 +17,17 @@ type t = { pc : int; name : string; static : bool }
 let counter = ref 0
 let registry : t list ref = ref []
 
+(* Library sites are registered at module-initialization time, but the
+   mini-C interpreter mints sites while running — guard the registry so
+   interpreter cells can run on worker domains. *)
+let registry_lock = Mutex.create ()
+
 let make ?(static = false) name =
+  Mutex.lock registry_lock;
   incr counter;
   let t = { pc = !counter * 64; name; static } in
   registry := t :: !registry;
+  Mutex.unlock registry_lock;
   t
 
 (* All sites registered so far (used by the productivity analysis: each

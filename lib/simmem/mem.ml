@@ -39,15 +39,27 @@ let phys_of_va t va =
   let frame, offset = Vspace.translate_exn t.vspace va in
   Physmem.phys_addr_of ~frame ~offset
 
+(* Packed allocation-free translation: the physical address as an
+   unboxed int, or -1 when unmapped. *)
+let translate_pa t va = Vspace.translate_pa t.vspace va
+
+let translate_pa_exn t va =
+  let pa = Vspace.translate_pa t.vspace va in
+  if pa < 0 then raise (Vspace.Fault va) else pa
+
+(* Functional access through an already-translated packed physical
+   address — lets callers that also feed the timing model translate
+   once per simulated access instead of twice. *)
+let read_word_pa t pa = Physmem.read_pa t.phys pa
+let write_word_pa t pa value = Physmem.write_pa t.phys pa value
+
 let read_word t va =
   check_word_aligned va;
-  let frame, offset = Vspace.translate_exn t.vspace va in
-  Physmem.read_word t.phys ~frame ~word_index:(offset / Layout.word_size)
+  Physmem.read_pa t.phys (translate_pa_exn t va)
 
 let write_word t va value =
   check_word_aligned va;
-  let frame, offset = Vspace.translate_exn t.vspace va in
-  Physmem.write_word t.phys ~frame ~word_index:(offset / Layout.word_size) value
+  Physmem.write_pa t.phys (translate_pa_exn t va) value
 
 let read_byte t va =
   let word = read_word t (Int64.logand va (Int64.lognot 7L)) in
@@ -67,15 +79,40 @@ let read_f64 t va = Int64.float_of_bits (read_word t va)
 let write_f64 t va x = write_word t va (Int64.bits_of_float x)
 
 (* Fixed-width string helpers: store up to [len] bytes starting at [va].
-   Used by the key-value harness for 8-byte keys/values. *)
+   Used by the key-value harness for 8-byte keys/values.  Aligned 8-byte
+   runs move whole words (the simulated word layout is little-endian, so
+   byte i of an aligned word sits at bits 8*i); the ragged edges keep
+   byte-granular read-modify-write semantics. *)
 let write_string t va s =
-  String.iteri
-    (fun i c -> write_byte t (Int64.add va (Int64.of_int i)) (Char.code c))
-    s
+  let n = String.length s in
+  let lead = min n ((8 - Int64.to_int (Int64.logand va 7L)) land 7) in
+  for i = 0 to lead - 1 do
+    write_byte t (Int64.add va (Int64.of_int i)) (Char.code s.[i])
+  done;
+  let i = ref lead in
+  while n - !i >= 8 do
+    write_word t (Int64.add va (Int64.of_int !i)) (String.get_int64_le s !i);
+    i := !i + 8
+  done;
+  for i = !i to n - 1 do
+    write_byte t (Int64.add va (Int64.of_int i)) (Char.code s.[i])
+  done
 
 let read_string t va len =
-  String.init len (fun i ->
-      Char.chr (read_byte t (Int64.add va (Int64.of_int i))))
+  let lead = min len ((8 - Int64.to_int (Int64.logand va 7L)) land 7) in
+  let b = Bytes.create len in
+  for i = 0 to lead - 1 do
+    Bytes.set b i (Char.chr (read_byte t (Int64.add va (Int64.of_int i))))
+  done;
+  let i = ref lead in
+  while len - !i >= 8 do
+    Bytes.set_int64_le b !i (read_word t (Int64.add va (Int64.of_int !i)));
+    i := !i + 8
+  done;
+  for i = !i to len - 1 do
+    Bytes.set b i (Char.chr (read_byte t (Int64.add va (Int64.of_int i))))
+  done;
+  Bytes.unsafe_to_string b
 
 let crash t =
   Physmem.crash t.phys;

@@ -23,6 +23,21 @@ val unmap : t -> base:int64 -> bytes:int -> unit
 val phys_of_va : t -> int64 -> int64
 (** @raise Vspace.Fault when unmapped. *)
 
+val translate_pa : t -> int64 -> int
+(** Packed allocation-free translation: the physical address
+    [frame * page_size + offset] as an unboxed int, or -1 when
+    unmapped. *)
+
+val translate_pa_exn : t -> int64 -> int
+(** @raise Vspace.Fault when unmapped. *)
+
+val read_word_pa : t -> int -> int64
+(** Word at a packed physical address from {!translate_pa} — for
+    callers that translate once and feed both the timing model and the
+    functional store. *)
+
+val write_word_pa : t -> int -> int64 -> unit
+
 val read_word : t -> int64 -> int64
 (** @raise Unaligned on a non-8-byte-aligned address. *)
 

@@ -11,6 +11,10 @@ type frame =
 
 type t = {
   frames : (int, frame) Hashtbl.t;
+  (* Last-frame memo: consecutive accesses overwhelmingly hit the same
+     frame, so one equality test usually replaces the hashtable probe. *)
+  mutable memo_frame : int;
+  mutable memo_storage : frame;
   mutable next_dram_frame : int;
   mutable next_nvm_frame : int;
   mutable dram_frames_allocated : int;
@@ -19,9 +23,14 @@ type t = {
   mutable writes : int;
 }
 
+let no_storage : frame =
+  Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 0
+
 let create () =
   {
     frames = Hashtbl.create 4096;
+    memo_frame = -1;
+    memo_storage = no_storage;
     next_dram_frame = 1 (* frame 0 reserved so phys addr 0 is never valid *);
     next_nvm_frame = Layout.nvm_phys_frame_base;
     dram_frames_allocated = 0;
@@ -64,14 +73,21 @@ let frame_reserved t frame =
   || (frame >= Layout.nvm_phys_frame_base && frame < t.next_nvm_frame)
 
 let storage t frame =
-  match Hashtbl.find_opt t.frames frame with
-  | Some s -> s
-  | None ->
-      if not (frame_reserved t frame) then
-        Fmt.invalid_arg "Physmem: access to unallocated frame %d" frame;
-      let s = fresh_frame_storage () in
-      Hashtbl.replace t.frames frame s;
-      s
+  if frame = t.memo_frame then t.memo_storage
+  else
+    let s =
+      match Hashtbl.find_opt t.frames frame with
+      | Some s -> s
+      | None ->
+          if not (frame_reserved t frame) then
+            Fmt.invalid_arg "Physmem: access to unallocated frame %d" frame;
+          let s = fresh_frame_storage () in
+          Hashtbl.replace t.frames frame s;
+          s
+    in
+    t.memo_frame <- frame;
+    t.memo_storage <- s;
+    s
 
 (* Physical addresses: frame number * page size + offset. *)
 let phys_addr_of ~frame ~offset =
@@ -89,8 +105,28 @@ let write_word t ~frame ~word_index value =
   t.writes <- t.writes + 1;
   Bigarray.Array1.set (storage t frame) word_index value
 
+(* Packed-address accessors: [pa] is [frame * page_size + offset] as an
+   unboxed int (as produced by [Vspace.translate_pa]).  The word index
+   is always in range because offsets are page-bounded, so the bigarray
+   bound check is elided. *)
+let read_pa t pa =
+  t.reads <- t.reads + 1;
+  Bigarray.Array1.unsafe_get
+    (storage t (pa lsr Layout.page_shift))
+    ((pa land (Layout.page_size - 1)) lsr 3)
+
+let write_pa t pa value =
+  t.writes <- t.writes + 1;
+  Bigarray.Array1.unsafe_set
+    (storage t (pa lsr Layout.page_shift))
+    ((pa land (Layout.page_size - 1)) lsr 3)
+    value
+
 (* Crash semantics: DRAM frames lose their contents and are released;
-   NVM frames survive untouched. *)
+   NVM frames survive untouched.  The DRAM frame counter is recycled
+   too — the old frame numbers are dead (every DRAM mapping is gone),
+   and without the reset repeated crash/restart cycles leak DRAM frame
+   IDs (and physical address space) monotonically. *)
 let crash t =
   let dram_frames =
     Hashtbl.fold
@@ -101,6 +137,9 @@ let crash t =
       t.frames []
   in
   List.iter (Hashtbl.remove t.frames) dram_frames;
+  t.memo_frame <- -1;
+  t.memo_storage <- no_storage;
+  t.next_dram_frame <- 1;
   t.dram_frames_allocated <- 0
 
 let stats t =

@@ -26,9 +26,15 @@ val frame_of_phys : int64 -> int
 val read_word : t -> frame:int -> word_index:int -> int64
 val write_word : t -> frame:int -> word_index:int -> int64 -> unit
 
+val read_pa : t -> int -> int64
+(** Word at the packed physical address [frame * page_size + offset]
+    (as produced by {!Vspace.translate_pa}); allocation-free. *)
+
+val write_pa : t -> int -> int64 -> unit
+
 val crash : t -> unit
-(** DRAM frames lose their contents and are released; NVM frames
-    survive untouched. *)
+(** DRAM frames lose their contents and are released, and the DRAM
+    frame counter is recycled; NVM frames survive untouched. *)
 
 val stats : t -> int * int * int * int
 (** (DRAM frames, NVM frames, reads, writes). *)

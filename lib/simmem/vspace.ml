@@ -9,8 +9,18 @@
 exception Fault of int64
 (* Raised on access to an unmapped virtual address. *)
 
+(* Translations are served from a direct-mapped software cache in front
+   of the page-table hashtable: the simulator performs one translation
+   per simulated access, so this cache is the hottest lookup in the
+   whole system.  Entries are (vpage, frame) pairs indexed by the low
+   vpage bits; [tc_vpage.(i) = -1] marks an empty slot. *)
+let tc_bits = 12
+let tc_size = 1 lsl tc_bits
+
 type t = {
   page_table : (int, int) Hashtbl.t; (* virtual page -> physical frame *)
+  tc_vpage : int array; (* translation-cache tags, -1 = empty *)
+  tc_frame : int array;
   mutable dram_brk : int64; (* next fresh VA in the DRAM half *)
   mutable nvm_brk : int64; (* next fresh VA in the NVM half *)
 }
@@ -18,6 +28,8 @@ type t = {
 let create () =
   {
     page_table = Hashtbl.create 4096;
+    tc_vpage = Array.make tc_size (-1);
+    tc_frame = Array.make tc_size 0;
     (* Leave the first page unmapped so VA 0 (NULL) always faults. *)
     dram_brk = Int64.of_int Layout.page_size;
     nvm_brk = Layout.nvm_va_base;
@@ -45,7 +57,11 @@ let skew_nvm_brk t pages =
   t.nvm_brk <-
     Int64.add t.nvm_brk (Int64.of_int (pages * Layout.page_size))
 
-let map_page t ~vpage ~frame = Hashtbl.replace t.page_table vpage frame
+let map_page t ~vpage ~frame =
+  Hashtbl.replace t.page_table vpage frame;
+  let idx = vpage land (tc_size - 1) in
+  t.tc_vpage.(idx) <- vpage;
+  t.tc_frame.(idx) <- frame
 
 let map_range t ~base ~frames =
   assert (Int64.logand base (Int64.of_int (Layout.page_size - 1)) = 0L);
@@ -56,16 +72,40 @@ let map_range t ~base ~frames =
 let unmap_range t ~base ~pages =
   let first = Layout.page_of_va base in
   for vpage = first to first + pages - 1 do
-    Hashtbl.remove t.page_table vpage
+    Hashtbl.remove t.page_table vpage;
+    let idx = vpage land (tc_size - 1) in
+    if t.tc_vpage.(idx) = vpage then t.tc_vpage.(idx) <- -1
   done
 
+(* Frame backing the page of [va], or -1 when unmapped. *)
+let frame_of_va t va =
+  let vpage = Layout.page_of_va va in
+  let idx = vpage land (tc_size - 1) in
+  if Array.unsafe_get t.tc_vpage idx = vpage then Array.unsafe_get t.tc_frame idx
+  else
+    match Hashtbl.find_opt t.page_table vpage with
+    | Some frame ->
+        Array.unsafe_set t.tc_vpage idx vpage;
+        Array.unsafe_set t.tc_frame idx frame;
+        frame
+    | None -> -1
+
+(* Packed translation: the physical address as an unboxed int
+   ([frame * page_size + offset]), or -1 on fault.  The hot path —
+   avoids the option/tuple allocations of [translate]. *)
+let translate_pa t va =
+  let frame = frame_of_va t va in
+  if frame < 0 then -1
+  else (frame lsl Layout.page_shift) lor Layout.page_offset_of_va va
+
 let translate t va =
-  match Hashtbl.find_opt t.page_table (Layout.page_of_va va) with
-  | Some frame -> Some (frame, Layout.page_offset_of_va va)
-  | None -> None
+  let frame = frame_of_va t va in
+  if frame < 0 then None else Some (frame, Layout.page_offset_of_va va)
 
 let translate_exn t va =
-  match translate t va with Some x -> x | None -> raise (Fault va)
+  let frame = frame_of_va t va in
+  if frame < 0 then raise (Fault va)
+  else (frame, Layout.page_offset_of_va va)
 
 let is_mapped t va = translate t va <> None
 
@@ -75,5 +115,6 @@ let mapped_pages t = Hashtbl.length t.page_table
    The bump pointers are reset too — a fresh process address space. *)
 let crash t =
   Hashtbl.reset t.page_table;
+  Array.fill t.tc_vpage 0 tc_size (-1);
   t.dram_brk <- Int64.of_int Layout.page_size;
   t.nvm_brk <- Layout.nvm_va_base

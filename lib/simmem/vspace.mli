@@ -24,6 +24,12 @@ val unmap_range : t -> base:int64 -> pages:int -> unit
 val translate : t -> int64 -> (int * int) option
 (** [translate t va] is [(frame, page offset)] or [None]. *)
 
+val translate_pa : t -> int64 -> int
+(** Packed allocation-free translation: the physical address
+    [frame * page_size + offset] as an unboxed int, or -1 on fault.
+    Served from a direct-mapped software translation cache in front of
+    the page table. *)
+
 val translate_exn : t -> int64 -> int * int
 (** @raise Fault when unmapped. *)
 

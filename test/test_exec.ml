@@ -1,0 +1,171 @@
+(* Tests for the domain worker pool and the determinism contract the
+   parallel experiment engine depends on: a simulation cell run on a
+   worker domain must produce bit-identical results to the same cell
+   run sequentially. *)
+
+module Pool = Nvml_exec.Pool
+module Cpu = Nvml_arch.Cpu
+module Runtime = Nvml_runtime.Runtime
+module Harness = Nvml_kvstore.Harness
+module Workload = Nvml_ycsb.Workload
+
+let check = Alcotest.check
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_pool ?jobs f =
+  let pool = Pool.create ?jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* --- pool mechanics ---------------------------------------------------- *)
+
+let test_results_in_order () =
+  with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      check
+        Alcotest.(list int)
+        "map preserves submission order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs))
+
+let test_empty_run () =
+  with_pool ~jobs:4 (fun pool ->
+      check_int "empty task list" 0 (List.length (Pool.run pool [])))
+
+let test_sequential_pool_is_inline () =
+  with_pool ~jobs:1 (fun pool ->
+      check_int "jobs" 1 (Pool.jobs pool);
+      (* At jobs=1 tasks run inline in the calling domain, so they can
+         see calling-domain state mutated between submissions. *)
+      let trace = ref [] in
+      let out =
+        Pool.run pool
+          (List.init 5 (fun i () ->
+               trace := i :: !trace;
+               i))
+      in
+      check Alcotest.(list int) "inline results" [ 0; 1; 2; 3; 4 ] out;
+      check Alcotest.(list int) "inline order" [ 4; 3; 2; 1; 0 ] !trace)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  with_pool ~jobs:3 (fun pool ->
+      Alcotest.check_raises "earliest failure wins" (Boom 2) (fun () ->
+          ignore
+            (Pool.run pool
+               (List.init 10 (fun i () ->
+                    if i >= 2 && i <= 4 then raise (Boom i) else i))));
+      (* The pool must survive a failed batch and stay usable. *)
+      check
+        Alcotest.(list int)
+        "pool reusable after failure" [ 1; 2; 3 ]
+        (Pool.map pool Fun.id [ 1; 2; 3 ]))
+
+let test_reuse_across_runs () =
+  with_pool ~jobs:2 (fun pool ->
+      for round = 1 to 5 do
+        let out = Pool.map pool (fun x -> x + round) [ 10; 20; 30 ] in
+        check
+          Alcotest.(list int)
+          (Printf.sprintf "round %d" round)
+          [ 10 + round; 20 + round; 30 + round ]
+          out
+      done)
+
+let test_run_after_shutdown_rejected () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  check_bool "rejects run after shutdown" true
+    (try
+       ignore (Pool.run pool [ (fun () -> 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_default_jobs_positive () =
+  check_bool "default jobs >= 1" true (Pool.default_jobs () >= 1)
+
+(* --- determinism: parallel == sequential -------------------------------- *)
+
+(* A miniature fig11-style matrix: every (structure, mode) cell builds
+   its own private machine, so worker placement must not matter. *)
+let spec =
+  { Workload.paper_default with Workload.record_count = 300; operation_count = 3_000 }
+
+let cells =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun mode -> (name, mode))
+        [ Runtime.Volatile; Runtime.Explicit; Runtime.Sw; Runtime.Hw ])
+    [ "Hash"; "RB" ]
+
+let fingerprint (r : Harness.result) =
+  let s = r.Harness.run in
+  ( ( s.Cpu.cycles,
+      s.Cpu.instrs,
+      s.Cpu.loads,
+      s.Cpu.stores,
+      s.Cpu.storeps,
+      s.Cpu.nvm_accesses,
+      s.Cpu.dram_accesses ),
+    ( s.Cpu.branches,
+      s.Cpu.branch_mispredicts,
+      s.Cpu.polb_accesses,
+      s.Cpu.polb_misses,
+      s.Cpu.valb_accesses,
+      s.Cpu.valb_misses ),
+    ( r.Harness.checks.Harness.dynamic_checks,
+      r.Harness.checks.Harness.abs_to_rel,
+      r.Harness.checks.Harness.rel_to_abs,
+      r.Harness.hits,
+      r.Harness.misses ) )
+
+let run_cells pool =
+  Pool.map pool
+    (fun (name, mode) -> fingerprint (Harness.run_benchmark name ~mode spec))
+    cells
+
+let test_parallel_bit_identical () =
+  let seq = with_pool ~jobs:1 run_cells in
+  let par = with_pool ~jobs:4 run_cells in
+  List.iteri
+    (fun i ((name, mode), (s, p)) ->
+      check_bool
+        (Printf.sprintf "cell %d (%s/%s) identical" i name
+           (Runtime.mode_name mode))
+        true (s = p))
+    (List.combine cells (List.combine seq par))
+
+let test_parallel_repeatable () =
+  (* Two parallel runs of the same cells must also agree with each
+     other (no hidden shared state between cells). *)
+  let a = with_pool ~jobs:4 run_cells in
+  let b = with_pool ~jobs:4 run_cells in
+  check_bool "parallel runs repeatable" true (a = b)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "results in order" `Quick test_results_in_order;
+          Alcotest.test_case "empty run" `Quick test_empty_run;
+          Alcotest.test_case "jobs=1 inline" `Quick
+            test_sequential_pool_is_inline;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "reuse across runs" `Quick test_reuse_across_runs;
+          Alcotest.test_case "shutdown" `Quick test_run_after_shutdown_rejected;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel == sequential" `Slow
+            test_parallel_bit_identical;
+          Alcotest.test_case "parallel repeatable" `Slow
+            test_parallel_repeatable;
+        ] );
+    ]

@@ -67,6 +67,22 @@ let test_phys_crash () =
   check_i64 "nvm content survives" 2L
     (Physmem.read_word pm ~frame:n ~word_index:0)
 
+let test_phys_crash_recycles_dram_frames () =
+  let pm = Physmem.create () in
+  let d1 = Physmem.alloc_frame pm Layout.Dram in
+  let d2 = Physmem.alloc_frame pm Layout.Dram in
+  let n1 = Physmem.alloc_frame pm Layout.Nvm in
+  Physmem.write_word pm ~frame:n1 ~word_index:0 7L;
+  Physmem.crash pm;
+  (* DRAM contents are gone, so their frame IDs must be reusable: a
+     crash/recover loop must not leak the DRAM frame namespace. *)
+  check_int "first DRAM frame recycled" d1 (Physmem.alloc_frame pm Layout.Dram);
+  check_int "second DRAM frame recycled" d2 (Physmem.alloc_frame pm Layout.Dram);
+  (* NVM frames survive the crash, so that counter must NOT rewind. *)
+  let n2 = Physmem.alloc_frame pm Layout.Nvm in
+  check_bool "NVM counter advances past survivor" true (n2 > n1);
+  check_bool "survivor still exists" true (Physmem.frame_exists pm n1)
+
 (* --- virtual space ---------------------------------------------------- *)
 
 let test_vspace_reserve_halves () =
@@ -87,6 +103,17 @@ let test_vspace_map_translate () =
       check_int "offset" 0x123 off
   | None -> Alcotest.fail "expected mapping");
   check_bool "unmapped faults" true (Vspace.translate vs 0x9000L = None)
+
+let test_vspace_translate_pa () =
+  let vs = Vspace.create () in
+  Vspace.map_page vs ~vpage:5 ~frame:99;
+  check_int "packed physical address" ((99 lsl Layout.page_shift) lor 0x123)
+    (Vspace.translate_pa vs 0x5123L);
+  check_int "unmapped packs to -1" (-1) (Vspace.translate_pa vs 0x9000L);
+  (* The direct-mapped translation cache must be coherent with unmap. *)
+  ignore (Vspace.translate_pa vs 0x5123L);
+  Vspace.unmap_range vs ~base:0x5000L ~pages:1;
+  check_int "stale cache entry invalidated" (-1) (Vspace.translate_pa vs 0x5123L)
 
 let test_vspace_fault () =
   let vs = Vspace.create () in
@@ -132,6 +159,52 @@ let test_mem_strings () =
   Mem.write_string m (Int64.add base 16L) "hello!!!";
   check Alcotest.string "string back" "hello!!!"
     (Mem.read_string m (Int64.add base 16L) 8)
+
+let test_mem_strings_ragged () =
+  (* The whole-word fast path must keep byte semantics at every
+     alignment and length, including spans that cross the word-aligned
+     head/tail boundary. *)
+  let m = Mem.create () in
+  let base = Mem.map_fresh m Layout.Dram 8192 in
+  let payload = "abcdefghijklmnopqrstuvwxyz0123456789" in
+  for off = 0 to 7 do
+    for len = 0 to 19 do
+      let s = String.sub payload 0 len in
+      let va = Int64.add base (Int64.of_int ((off * 256) + off)) in
+      Mem.write_string m va s;
+      check Alcotest.string
+        (Printf.sprintf "roundtrip off=%d len=%d" off len)
+        s (Mem.read_string m va len);
+      (* The same bytes must be visible through the byte accessors. *)
+      String.iteri
+        (fun i c ->
+          check_int
+            (Printf.sprintf "byte view off=%d i=%d" off i)
+            (Char.code c)
+            (Mem.read_byte m (Int64.add va (Int64.of_int i))))
+        s
+    done
+  done
+
+let test_mem_string_neighbours_untouched () =
+  let m = Mem.create () in
+  let base = Mem.map_fresh m Layout.Dram 4096 in
+  (* Fill a region with a sentinel pattern byte-wise, overwrite the
+     middle with the fast path, and check the fringes survived. *)
+  for i = 0 to 63 do
+    Mem.write_byte m (Int64.add base (Int64.of_int i)) 0xEE
+  done;
+  let va = Int64.add base 13L in
+  Mem.write_string m va "0123456789ABCDEF!";
+  for i = 0 to 12 do
+    check_int (Printf.sprintf "prefix byte %d" i) 0xEE
+      (Mem.read_byte m (Int64.add base (Int64.of_int i)))
+  done;
+  for i = 30 to 63 do
+    check_int (Printf.sprintf "suffix byte %d" i) 0xEE
+      (Mem.read_byte m (Int64.add base (Int64.of_int i)))
+  done;
+  check Alcotest.string "middle" "0123456789ABCDEF!" (Mem.read_string m va 17)
 
 let test_mem_floats () =
   let m = Mem.create () in
@@ -218,11 +291,14 @@ let () =
           Alcotest.test_case "regions" `Quick test_phys_regions;
           Alcotest.test_case "read-write" `Quick test_phys_rw;
           Alcotest.test_case "crash" `Quick test_phys_crash;
+          Alcotest.test_case "crash recycles DRAM frames" `Quick
+            test_phys_crash_recycles_dram_frames;
         ] );
       ( "vspace",
         [
           Alcotest.test_case "reserve halves" `Quick test_vspace_reserve_halves;
           Alcotest.test_case "map-translate" `Quick test_vspace_map_translate;
+          Alcotest.test_case "packed translate" `Quick test_vspace_translate_pa;
           Alcotest.test_case "fault" `Quick test_vspace_fault;
           Alcotest.test_case "unmap" `Quick test_vspace_unmap;
         ] );
@@ -232,6 +308,9 @@ let () =
           Alcotest.test_case "unaligned" `Quick test_mem_unaligned;
           Alcotest.test_case "bytes" `Quick test_mem_bytes;
           Alcotest.test_case "strings" `Quick test_mem_strings;
+          Alcotest.test_case "ragged strings" `Quick test_mem_strings_ragged;
+          Alcotest.test_case "string neighbours" `Quick
+            test_mem_string_neighbours_untouched;
           Alcotest.test_case "floats" `Quick test_mem_floats;
           Alcotest.test_case "crash" `Quick test_mem_crash_drops_dram_keeps_nvm;
         ] );
