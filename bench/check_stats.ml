@@ -1,0 +1,47 @@
+(* Schema check for the bench driver's telemetry outputs.
+
+     check_stats.exe STATS.json           assert the stats document
+                                          parses and carries the keys
+                                          the perf trajectory reads
+     check_stats.exe --same A B           assert byte equality (the
+                                          --jobs determinism check) *)
+
+module Json = Nvml_telemetry.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline m;
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let check_stats path =
+  let doc =
+    match Json.of_string (read_file path) with
+    | Ok doc -> doc
+    | Error msg -> fail "%s: invalid JSON: %s" path msg
+  in
+  List.iter
+    (fun key ->
+      match Json.path [ "derived"; key ] doc with
+      | Some (Json.Float _ | Json.Int _) -> ()
+      | Some _ -> fail "%s: derived.%s is not a number" path key
+      | None -> fail "%s: missing derived.%s" path key)
+    [ "valb.hit_rate"; "polb.hit_rate"; "check_sites.dynamic_fraction" ];
+  (match Json.member "counters" doc with
+  | Some (Json.Obj (_ :: _)) -> ()
+  | _ -> fail "%s: missing or empty counters object" path);
+  Printf.printf "%s: ok\n" path
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--same"; a; b ] ->
+      if read_file a <> read_file b then fail "%s and %s differ" a b
+  | [ _; path ] -> check_stats path
+  | _ -> fail "usage: check_stats [--same A B | STATS.json]"

@@ -978,3 +978,62 @@ let micro _ctx =
       rows := [ name; est ] :: !rows)
     results;
   table ~header:[ "Primitive"; "ns/op" ] (List.sort compare !rows)
+
+(* --- telemetry profile ---------------------------------------------------- *)
+
+(* The most recent profile result, kept for the driver's [--stats FILE]
+   sink (written after the experiment list finishes). *)
+let last_profile : Nvml_kvstore.Profile.t option ref = ref None
+
+(* The cross-layer telemetry profile (Section VII observability): run
+   one benchmark through [Profile.run] — SW and HW cells in parallel
+   through the pool, telemetry force-enabled in a private sink — and
+   render the check-site profile, the lookaside hit rates, and the
+   cycle attribution by stall source. *)
+let profile ctx =
+  let benchmark = "RB" in
+  heading
+    (Printf.sprintf
+       "Telemetry profile: check sites, lookasides, cycle attribution (%s)"
+       benchmark);
+  let module Profile = Nvml_kvstore.Profile in
+  let p =
+    Profile.run ~par:(Nvml_exec.Pool.run ctx.pool) ~benchmark ctx.spec
+  in
+  last_profile := Some p;
+  let dval name = try List.assoc name p.Profile.derived with Not_found -> nan in
+  check_site_profile
+    (List.map
+       (fun r -> (r.Profile.site, r.Profile.static, r.Profile.checks))
+       p.Profile.sites);
+  let dynamic =
+    List.length (List.filter (fun r -> not r.Profile.static) p.Profile.sites)
+  in
+  Printf.printf
+    "%d of %d sites need dynamic checks (%s of sites, %s of executions).\n\
+     Paper: ~42%% of pointer-operation sites cannot be resolved statically.\n"
+    dynamic
+    (List.length p.Profile.sites)
+    (pct (dval "check_sites.dynamic_fraction"))
+    (pct (dval "check_execs.dynamic_fraction"));
+  lookaside_hit_rates
+    [
+      ("POLB", dval "polb.hit_rate");
+      ("VALB", dval "valb.hit_rate");
+      ("translation cache", dval "vspace.tc.hit_rate");
+    ];
+  let attr_counts (a : Cpu.attribution) =
+    [ a.Cpu.base; a.Cpu.branch; a.Cpu.tlb; a.Cpu.cache; a.Cpu.mem;
+      a.Cpu.xlate; a.Cpu.storep ]
+  in
+  cycle_attribution
+    ~sources:[ "base"; "branch"; "tlb"; "cache"; "mem"; "xlate"; "storeP" ]
+    [
+      ("SW", attr_counts p.Profile.sw.Harness.attr);
+      ("HW", attr_counts p.Profile.hw.Harness.attr);
+    ];
+  Printf.printf "SW runs %.2fx slower than HW on this benchmark.\n"
+    (dval "sw.slowdown");
+  List.iter
+    (fun (k, v) -> metric (Printf.sprintf "profile.%s.%s" benchmark k) v)
+    p.Profile.derived

@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- fig11 table5 # selected experiments
      dune exec bench/main.exe -- --jobs 4     # parallel simulation cells
      dune exec bench/main.exe -- --json out.json
+     dune exec bench/main.exe -- --stats stats.json --trace trace.json
+     dune exec bench/main.exe -- --metrics-json m.json  # metrics only
      dune exec bench/main.exe -- --list
 
    Independent simulation cells run on a domain worker pool sized by
@@ -17,6 +19,9 @@
 
 module Workload = Nvml_ycsb.Workload
 module Pool = Nvml_exec.Pool
+module Telemetry = Nvml_telemetry.Telemetry
+module Json = Nvml_telemetry.Json
+module Profile = Nvml_kvstore.Profile
 
 let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
   [
@@ -30,6 +35,7 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
     ("fig13", "branch mispredictions normalized", Experiments.fig13);
     ("fig14", "VALB/VAW latency sensitivity", Experiments.fig14);
     ("fig15", "translation-hardware access fractions", Experiments.fig15);
+    ("profile", "telemetry: check sites, lookasides, cycles", Experiments.profile);
     ("table6", "relocation overhead comparison", Experiments.table6);
     ("knn", "KNN case study + productivity", Experiments.knn);
     ("soundness", "mini-C corpus soundness runs", Experiments.soundness);
@@ -89,6 +95,23 @@ let write_json oc ~spec ~quick ~jobs ~timings ~total =
   p "}\n";
   close_out oc
 
+(* The metrics alone, without wall timings — byte-identical across
+   [--jobs N] by construction, which the determinism test relies on. *)
+let write_metrics_json oc =
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  let metrics = Report.metrics_snapshot () in
+  p "  \"metrics\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      p "    \"%s\": %s%s\n" (json_escape name) (json_float v)
+        (if i = List.length metrics - 1 then "" else ","))
+    metrics;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
 (* Pull the value of [--flag V] out of the raw argument list. *)
 let extract_value_arg flag args =
   let rec go acc = function
@@ -109,6 +132,9 @@ let () =
   end;
   let jobs_arg, args = extract_value_arg "--jobs" args in
   let json_path, args = extract_value_arg "--json" args in
+  let stats_path, args = extract_value_arg "--stats" args in
+  let trace_path, args = extract_value_arg "--trace" args in
+  let metrics_path, args = extract_value_arg "--metrics-json" args in
   let jobs =
     match jobs_arg with
     | Some s -> (
@@ -123,16 +149,22 @@ let () =
           Printf.eprintf "%s\n" msg;
           exit 1)
   in
-  (* Open the JSON sink before the (long) run so a bad path fails fast. *)
-  let json_out =
-    match json_path with
+  (* Open the output sinks before the (long) run so a bad path fails fast. *)
+  let open_sink flag = function
     | None -> None
     | Some path -> (
         try Some (open_out path)
         with Sys_error msg ->
-          Printf.eprintf "--json: %s\n" msg;
+          Printf.eprintf "%s: %s\n" flag msg;
           exit 1)
   in
+  let json_out = open_sink "--json" json_path in
+  let stats_out = open_sink "--stats" stats_path in
+  let trace_out = open_sink "--trace" trace_path in
+  let metrics_out = open_sink "--metrics-json" metrics_path in
+  (* [--trace] records the whole run: enable telemetry up front so the
+     worker-pool sinks exist and merge into this domain's at each join. *)
+  if trace_out <> None then Telemetry.set_enabled true;
   let quick = List.mem "--quick" args in
   let verbose = not (List.mem "--quiet" args) in
   let selected =
@@ -176,5 +208,26 @@ let () =
   Printf.printf "\nTotal wall time: %.1fs\n" total;
   (match json_out with
   | Some oc -> write_json oc ~spec ~quick ~jobs ~timings ~total
+  | None -> ());
+  (match metrics_out with
+  | Some oc -> write_metrics_json oc
+  | None -> ());
+  (match stats_out with
+  | Some oc ->
+      (* The stats document from the profile run — produced on demand
+         when the [profile] experiment was not part of the selection. *)
+      let p =
+        match !Experiments.last_profile with
+        | Some p -> p
+        | None -> Profile.run ~par:(Pool.run pool) ~benchmark:"RB" spec
+      in
+      Json.to_channel oc (Profile.stats_json p);
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  (match trace_out with
+  | Some oc ->
+      Telemetry.write_chrome_trace oc;
+      close_out oc
   | None -> ());
   Pool.shutdown pool

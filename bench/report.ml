@@ -53,12 +53,65 @@ let with_commas n =
 
 (* Headline metrics, accumulated as experiments print and emitted as
    machine-readable JSON by the driver's [--json FILE] — the hook future
-   PRs use to track the perf trajectory. *)
+   PRs use to track the perf trajectory.  Experiments may record metrics
+   from worker-domain tasks, so the list is mutex-guarded; ordering is
+   whatever order [metric] is called in, which the driver keeps
+   deterministic by recording from result values after the parallel
+   joins. *)
 let metrics : (string * float) list ref = ref []
+let metrics_lock = Mutex.create ()
 
-let metric name value = metrics := (name, value) :: !metrics
+let metric name value =
+  Mutex.lock metrics_lock;
+  metrics := (name, value) :: !metrics;
+  Mutex.unlock metrics_lock
 
-let metrics_snapshot () = List.rev !metrics
+let metrics_snapshot () =
+  Mutex.lock metrics_lock;
+  let l = List.rev !metrics in
+  Mutex.unlock metrics_lock;
+  l
+
+let metrics_reset () =
+  Mutex.lock metrics_lock;
+  metrics := [];
+  Mutex.unlock metrics_lock
+
+(* --- telemetry profile sections ----------------------------------------- *)
+
+(* The "check-site profile" section: per-site dynamic-check counts from
+   a telemetry profile, as [(site, static, checks)] rows sorted by the
+   caller; only the top [limit] rows are shown. *)
+let check_site_profile ?(limit = 12) rows =
+  subheading "check-site profile";
+  let shown = List.filteri (fun i _ -> i < limit) rows in
+  table
+    ~header:[ "Site"; "static"; "dynamic checks" ]
+    (List.map
+       (fun (site, static, checks) ->
+         [ site; (if static then "yes" else "no"); with_commas checks ])
+       shown);
+  let hidden = List.length rows - List.length shown in
+  if hidden > 0 then Printf.printf "(%d more sites)\n" hidden
+
+(* The "lookaside hit rates" section: named hit rates as percentages. *)
+let lookaside_hit_rates rates =
+  subheading "lookaside hit rates";
+  table
+    ~header:[ "Structure"; "hit rate" ]
+    (List.map (fun (name, r) -> [ name; pct r ]) rates)
+
+(* The "cycle attribution" section: rows of per-source cycle counts that
+   sum to the version's total; rendered as fractions of that total. *)
+let cycle_attribution ~sources rows =
+  subheading "cycle attribution";
+  table
+    ~header:("Version" :: sources)
+    (List.map
+       (fun (label, counts) ->
+         let total = float_of_int (max 1 (List.fold_left ( + ) 0 counts)) in
+         label :: List.map (fun n -> pct (float_of_int n /. total)) counts)
+       rows)
 
 let geomean xs =
   match xs with

@@ -2,6 +2,8 @@
    reference simulator.
 
      nvml kv --structure RB --mode hw --records 10000 --ops 100000
+     nvml kv --structure RB --stats stats.json --trace trace.json
+     nvml stats --structure RB -o stats.json
      nvml knn --mode sw
      nvml soundness
      nvml inference
@@ -19,6 +21,9 @@ module Corpus = Nvml_minic.Corpus
 module Interp = Nvml_minic.Interp
 module Inference = Nvml_comp.Inference
 module Pool = Nvml_exec.Pool
+module Telemetry = Nvml_telemetry.Telemetry
+module Json = Nvml_telemetry.Json
+module Profile = Nvml_kvstore.Profile
 
 (* --- shared argument converters ---------------------------------------- *)
 
@@ -93,24 +98,50 @@ let print_result (r : Harness.result) =
     r.Harness.checks.Harness.rel_to_abs;
   Fmt.pr "GETs         %d hits, %d misses@." r.Harness.hits r.Harness.misses
 
+(* Workload arguments shared by [kv] and [stats]. *)
+let structure_arg =
+  Arg.(
+    value & opt string "RB"
+    & info [ "structure"; "s" ] ~docv:"NAME"
+        ~doc:"Index structure: LL, Hash, RB, Splay, AVL, SG, Skip, BTree or Radix.")
+
+let records_arg =
+  Arg.(value & opt int 10_000 & info [ "records" ] ~doc:"Initial records.")
+
+let ops_arg =
+  Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Run-phase operations.")
+
+let dist_arg =
+  Arg.(
+    value
+    & opt dist_conv Workload.Latest
+    & info [ "distribution"; "d" ] ~doc:"Key distribution.")
+
+let spec_of ~records ~ops ~dist =
+  {
+    Workload.paper_default with
+    Workload.record_count = records;
+    operation_count = ops;
+    distribution = dist;
+  }
+
 let kv_cmd =
-  let structure =
-    Arg.(
-      value & opt string "RB"
-      & info [ "structure"; "s" ] ~docv:"NAME"
-          ~doc:"Index structure: LL, Hash, RB, Splay, AVL, SG, Skip, BTree or Radix.")
-  in
-  let records =
-    Arg.(value & opt int 10_000 & info [ "records" ] ~doc:"Initial records.")
-  in
-  let ops =
-    Arg.(value & opt int 100_000 & info [ "ops" ] ~doc:"Run-phase operations.")
-  in
-  let dist =
+  let stats_arg =
     Arg.(
       value
-      & opt dist_conv Workload.Latest
-      & info [ "distribution"; "d" ] ~doc:"Key distribution.")
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:"Record telemetry during the run and write the stats JSON \
+                document to $(docv).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record telemetry during the run and write a Chrome \
+                trace_event file to $(docv) (load in chrome://tracing or \
+                Perfetto).")
   in
   let compare_arg =
     Arg.(
@@ -120,15 +151,39 @@ let kv_cmd =
             "Run all four execution modes (in parallel when --jobs > 1) and \
              print a comparative table instead of a single-mode report.")
   in
-  let run structure mode records ops dist compare jobs =
-    let spec =
-      {
-        Workload.paper_default with
-        Workload.record_count = records;
-        operation_count = ops;
-        distribution = dist;
-      }
+  let run structure mode records ops dist compare jobs stats_file trace_file =
+    let spec = spec_of ~records ~ops ~dist in
+    (* With [--stats]/[--trace], record the run in a fresh telemetry
+       sink and dump it before returning (the dumps read the sink). *)
+    let dump () =
+      let write flag path emit =
+        match open_out path with
+        | oc ->
+            emit oc;
+            close_out oc;
+            Fmt.epr "%s written to %s@." flag path
+        | exception Sys_error msg ->
+            Fmt.epr "--%s: %s@." flag msg;
+            exit 1
+      in
+      Option.iter
+        (fun path -> write "stats" path Telemetry.write_stats_json)
+        stats_file;
+      Option.iter
+        (fun path -> write "trace" path Telemetry.write_chrome_trace)
+        trace_file
     in
+    let instrumented f =
+      if stats_file = None && trace_file = None then f ()
+      else begin
+        Telemetry.set_enabled true;
+        Telemetry.run_with_sink (Telemetry.fresh_sink ()) (fun () ->
+            let r = f () in
+            dump ();
+            r)
+      end
+    in
+    instrumented @@ fun () ->
     if not compare then print_result (Harness.run_benchmark structure ~mode spec)
     else begin
       let modes =
@@ -164,7 +219,59 @@ let kv_cmd =
   Cmd.v
     (Cmd.info "kv" ~doc:"Run a YCSB workload against an index structure.")
     Term.(
-      const run $ structure $ mode_arg $ records $ ops $ dist $ compare_arg
+      const run $ structure_arg $ mode_arg $ records_arg $ ops_arg $ dist_arg
+      $ compare_arg $ jobs_arg $ stats_arg $ trace_arg)
+
+(* --- stats --------------------------------------------------------------- *)
+
+let stats_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE"
+          ~doc:"Write the stats JSON document to $(docv).")
+  in
+  let run structure records ops dist output jobs =
+    let spec = spec_of ~records ~ops ~dist in
+    let pool = Pool.create ~jobs:(resolve_jobs jobs) () in
+    let p =
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Profile.run ~par:(Pool.run pool) ~benchmark:structure spec)
+    in
+    Fmt.pr "telemetry profile: %s (SW and HW cells)@." structure;
+    List.iter
+      (fun (k, v) -> Fmt.pr "  %-30s %.4f@." k v)
+      p.Profile.derived;
+    Fmt.pr "top check sites:@.";
+    List.iteri
+      (fun i (r : Profile.site_row) ->
+        if i < 8 then
+          Fmt.pr "  %-30s %s %d@." r.Profile.site
+            (if r.Profile.static then "static " else "dynamic")
+            r.Profile.checks)
+      p.Profile.sites;
+    match output with
+    | Some path -> (
+        match open_out path with
+        | oc ->
+            Json.to_channel oc (Profile.stats_json p);
+            output_char oc '\n';
+            close_out oc;
+            Fmt.epr "stats written to %s@." path
+        | exception Sys_error msg ->
+            Fmt.epr "--output: %s@." msg;
+            exit 1)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Profile a YCSB run: per-site dynamic checks, POLB/VALB hit rates, \
+          cycle attribution.")
+    Term.(
+      const run $ structure_arg $ records_arg $ ops_arg $ dist_arg $ output
       $ jobs_arg)
 
 (* --- knn ------------------------------------------------------------------- *)
@@ -382,5 +489,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "nvml" ~version:"1.0.0" ~doc)
-          [ kv_cmd; knn_cmd; soundness_cmd; inference_cmd; run_cmd; compile_cmd; shell_cmd;
-            info_cmd ]))
+          [ kv_cmd; stats_cmd; knn_cmd; soundness_cmd; inference_cmd; run_cmd;
+            compile_cmd; shell_cmd; info_cmd ]))

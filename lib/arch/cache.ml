@@ -6,6 +6,8 @@
    elsewhere; this structure answers "would this access hit?" and keeps
    hit/miss statistics. *)
 
+module Hit_miss = Nvml_telemetry.Stats.Hit_miss
+
 type t = {
   sets : int;
   ways : int;
@@ -14,8 +16,7 @@ type t = {
   tags : int array; (* sets * ways, -1 = invalid *)
   stamps : int array; (* LRU timestamps *)
   mutable clock : int;
-  mutable hits : int;
-  mutable misses : int;
+  stats : Hit_miss.t;
 }
 
 let create ~sets ~ways ~index_shift =
@@ -28,8 +29,7 @@ let create ~sets ~ways ~index_shift =
     tags = Array.make (sets * ways) (-1);
     stamps = Array.make (sets * ways) 0;
     clock = 0;
-    hits = 0;
-    misses = 0;
+    stats = Hit_miss.create ();
   }
 
 let set_of t block = if t.pow2 then block land (t.sets - 1) else block mod t.sets
@@ -55,11 +55,11 @@ let access t addr =
   done;
   if !hit >= 0 then begin
     t.stamps.(base + !hit) <- t.clock;
-    t.hits <- t.hits + 1;
+    Hit_miss.hit t.stats;
     true
   end
   else begin
-    t.misses <- t.misses + 1;
+    Hit_miss.miss t.stats;
     (* Evict the LRU way. *)
     let victim = ref 0 in
     for i = 1 to t.ways - 1 do
@@ -95,14 +95,9 @@ let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.stamps 0 (Array.length t.stamps) 0
 
-let hits t = t.hits
-let misses t = t.misses
-let accesses t = t.hits + t.misses
-
-let hit_rate t =
-  let total = accesses t in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
-
-let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0
+let stats t = t.stats
+let hits t = Hit_miss.hits t.stats
+let misses t = Hit_miss.misses t.stats
+let accesses t = Hit_miss.accesses t.stats
+let hit_rate t = Hit_miss.hit_rate t.stats
+let reset_stats t = Hit_miss.reset t.stats

@@ -22,6 +22,10 @@ val invalidate : t -> int -> unit
 (** Drop the block if present (e.g. POLB shootdown on pool detach). *)
 
 val flush : t -> unit
+
+val stats : t -> Nvml_telemetry.Stats.Hit_miss.t
+(** The shared hit/miss record; the remaining accessors delegate to it. *)
+
 val hits : t -> int
 val misses : t -> int
 val accesses : t -> int

@@ -12,6 +12,10 @@
 module Mem = Nvml_simmem.Mem
 module Layout = Nvml_simmem.Layout
 module Physmem = Nvml_simmem.Physmem
+module Telemetry = Nvml_telemetry.Telemetry
+
+(* Depth of each VAW walk into the VATB B-tree (nodes visited). *)
+let vatb_depth_histo = Telemetry.histo "vatb.walk_depth"
 
 type t = {
   cfg : Config.t;
@@ -37,6 +41,17 @@ type t = {
   mutable pow_walks : int;
   mutable vaw_walks : int;
   mutable vaw_nodes : int;
+  (* Cycle attribution: every cycle beyond the one-per-instruction base
+     is charged to exactly one stall source, so
+     [cycles = instrs + st_branch + st_tlb + st_cache + st_mem +
+      st_xlate + st_storep] holds at all times.  Plain integer adds on
+     paths that already pay a cache simulation — always on. *)
+  mutable st_branch : int;
+  mutable st_tlb : int;
+  mutable st_cache : int; (* L2/L3 hit latencies *)
+  mutable st_mem : int; (* DRAM/NVM access latencies *)
+  mutable st_xlate : int; (* exposed POLB latency on the AGU path *)
+  mutable st_storep : int; (* storeP structural stalls *)
 }
 
 let create cfg mem =
@@ -70,6 +85,12 @@ let create cfg mem =
     pow_walks = 0;
     vaw_walks = 0;
     vaw_nodes = 0;
+    st_branch = 0;
+    st_tlb = 0;
+    st_cache = 0;
+    st_mem = 0;
+    st_xlate = 0;
+    st_storep = 0;
   }
 
 let config t = t.cfg
@@ -84,23 +105,40 @@ let branch t ~pc ~taken =
   t.instrs <- t.instrs + 1;
   t.branches <- t.branches + 1;
   let miss = Branch_predictor.branch t.bp ~pc ~taken in
-  t.cycles <- t.cycles + 1 + (if miss then t.cfg.branch_miss_penalty else 0)
+  let penalty = if miss then t.cfg.branch_miss_penalty else 0 in
+  t.st_branch <- t.st_branch + penalty;
+  t.cycles <- t.cycles + 1 + penalty
 
 (* --- memory hierarchy -------------------------------------------------- *)
 
 let tlb_stall t va =
-  if Cache.access t.l1_tlb (Int64.to_int va) then 0
-  else if Cache.access t.l2_tlb (Int64.to_int va) then t.cfg.l2_tlb_hit_latency
-  else t.cfg.page_walk_latency
+  let stall =
+    if Cache.access t.l1_tlb (Int64.to_int va) then 0
+    else if Cache.access t.l2_tlb (Int64.to_int va) then
+      t.cfg.l2_tlb_hit_latency
+    else t.cfg.page_walk_latency
+  in
+  t.st_tlb <- t.st_tlb + stall;
+  stall
 
 let cache_stall t pa region =
   if Cache.access t.l1 pa then 0
-  else if Cache.access t.l2 pa then t.cfg.l2_latency
-  else if Cache.access t.l3 pa then t.cfg.l3_latency
+  else if Cache.access t.l2 pa then begin
+    t.st_cache <- t.st_cache + t.cfg.l2_latency;
+    t.cfg.l2_latency
+  end
+  else if Cache.access t.l3 pa then begin
+    t.st_cache <- t.st_cache + t.cfg.l3_latency;
+    t.cfg.l3_latency
+  end
   else
-    match region with
-    | Layout.Dram -> t.cfg.dram_latency
-    | Layout.Nvm -> t.cfg.nvm_latency
+    let lat =
+      match region with
+      | Layout.Dram -> t.cfg.dram_latency
+      | Layout.Nvm -> t.cfg.nvm_latency
+    in
+    t.st_mem <- t.st_mem + lat;
+    lat
 
 (* Timing for one data access whose translation the caller already
    performed: [pa] is the packed physical address from
@@ -153,7 +191,10 @@ let polb_latency t ~pool =
 (* A POLB translation on the address-generation path of a load/store
    whose address register holds a relative pointer: the latency is
    exposed. *)
-let polb_translate t ~pool = t.cycles <- t.cycles + polb_latency t ~pool
+let polb_translate t ~pool =
+  let lat = polb_latency t ~pool in
+  t.st_xlate <- t.st_xlate + lat;
+  t.cycles <- t.cycles + lat
 
 (* VALB lookup (va2ra): on a miss the VAW walks the VATB B-tree, one
    kernel access per node visited, then refills the VALB. *)
@@ -170,6 +211,7 @@ let valb_latency t ~va =
             visited
         | None -> Range_btree.height t.vatb (* walked to a leaf, no range *)
       in
+      if Telemetry.enabled () then Telemetry.observe vatb_depth_histo walk;
       t.vaw_nodes <- t.vaw_nodes + walk;
       t.cfg.valb_latency + (walk * t.cfg.vatb_node_latency)
 
@@ -193,6 +235,7 @@ let store_p_pa t ~dst_va ~dst_pa ~(xops : xop list) =
     1 + List.fold_left (fun acc op -> max acc (latency_of op)) 0 xops
   in
   let stall = Storep_unit.issue t.storep_unit ~now:t.cycles ~latency:unit_latency in
+  t.st_storep <- t.st_storep + stall;
   t.cycles <- t.cycles + stall;
   t.stores <- t.stores + 1;
   data_access_pa t ~va:dst_va ~pa:dst_pa
@@ -273,6 +316,73 @@ let snapshot (t : t) : snapshot =
   }
 
 let cycles (t : t) = t.cycles
+
+(* Where the cycles went.  [base] is one cycle per instruction; the
+   stall fields partition everything above it, so
+   [base + branch + tlb + cache + mem + xlate + storep = cycles]. *)
+type attribution = {
+  base : int;
+  branch : int;
+  tlb : int;
+  cache : int;
+  mem : int;
+  xlate : int;
+  storep : int;
+}
+
+let attribution (t : t) : attribution =
+  {
+    base = t.instrs;
+    branch = t.st_branch;
+    tlb = t.st_tlb;
+    cache = t.st_cache;
+    mem = t.st_mem;
+    xlate = t.st_xlate;
+    storep = t.st_storep;
+  }
+
+let attribution_total (a : attribution) =
+  a.base + a.branch + a.tlb + a.cache + a.mem + a.xlate + a.storep
+
+let diff_attribution (after : attribution) (before : attribution) =
+  {
+    base = after.base - before.base;
+    branch = after.branch - before.branch;
+    tlb = after.tlb - before.tlb;
+    cache = after.cache - before.cache;
+    mem = after.mem - before.mem;
+    xlate = after.xlate - before.xlate;
+    storep = after.storep - before.storep;
+  }
+
+let zero_attribution =
+  { base = 0; branch = 0; tlb = 0; cache = 0; mem = 0; xlate = 0; storep = 0 }
+
+let add_attribution (a : attribution) (b : attribution) =
+  {
+    base = a.base + b.base;
+    branch = a.branch + b.branch;
+    tlb = a.tlb + b.tlb;
+    cache = a.cache + b.cache;
+    mem = a.mem + b.mem;
+    xlate = a.xlate + b.xlate;
+    storep = a.storep + b.storep;
+  }
+
+(* Component accessors for telemetry publication. *)
+let caches (t : t) =
+  [
+    ("l1_tlb", t.l1_tlb);
+    ("l2_tlb", t.l2_tlb);
+    ("l1", t.l1);
+    ("l2", t.l2);
+    ("l3", t.l3);
+    ("polb", t.polb);
+  ]
+
+let valb (t : t) = t.valb
+let storep (t : t) = t.storep_unit
+let vatb_height (t : t) = Range_btree.height t.vatb
 
 let diff_snapshot (after : snapshot) (before : snapshot) =
   {

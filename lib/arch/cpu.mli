@@ -82,3 +82,35 @@ val snapshot : t -> snapshot
 val cycles : t -> int
 val diff_snapshot : snapshot -> snapshot -> snapshot
 (** [diff_snapshot after before] — per-phase deltas. *)
+
+(** {2 Cycle attribution}
+
+    Every cycle beyond the one-per-instruction base is charged to
+    exactly one stall source, so
+    [attribution_total (attribution t) = cycles t] always holds. *)
+
+type attribution = {
+  base : int;  (** one cycle per retired instruction *)
+  branch : int;  (** misprediction penalties *)
+  tlb : int;  (** L2-TLB hits and page walks *)
+  cache : int;  (** L2/L3 hit latencies *)
+  mem : int;  (** DRAM/NVM access latencies *)
+  xlate : int;  (** exposed POLB latency on the AGU path *)
+  storep : int;  (** storeP structural stalls *)
+}
+
+val attribution : t -> attribution
+val attribution_total : attribution -> int
+val diff_attribution : attribution -> attribution -> attribution
+val zero_attribution : attribution
+val add_attribution : attribution -> attribution -> attribution
+
+(** {2 Component access for telemetry publication} *)
+
+val caches : t -> (string * Cache.t) list
+(** [("l1_tlb", ...); ("l2_tlb", ...); ("l1", ...); ("l2", ...);
+    ("l3", ...); ("polb", ...)] *)
+
+val valb : t -> Valb.t
+val storep : t -> Storep_unit.t
+val vatb_height : t -> int

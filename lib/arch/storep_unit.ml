@@ -5,6 +5,11 @@
    conversion latency is hidden; the unit only stalls the pipeline when
    all FSM entries are busy. *)
 
+module Telemetry = Nvml_telemetry.Telemetry
+
+(* FSM-entry occupancy observed at each issue — how full the unit runs. *)
+let occupancy_histo = Telemetry.histo "storep.occupancy"
+
 type t = {
   busy_until : int array; (* per-entry completion cycle *)
   mutable issued : int;
@@ -32,6 +37,7 @@ let issue t ~now ~latency =
     if t.busy_until.(i) < t.busy_until.(!victim) then victim := i
   done;
   if !occupancy > t.peak_occupancy then t.peak_occupancy <- !occupancy;
+  if Telemetry.enabled () then Telemetry.observe occupancy_histo !occupancy;
   let start = max now t.busy_until.(!victim) in
   let stall = start - now in
   t.stall_cycles <- t.stall_cycles + stall;
@@ -41,5 +47,10 @@ let issue t ~now ~latency =
 let issued t = t.issued
 let stall_cycles t = t.stall_cycles
 let peak_occupancy t = t.peak_occupancy
+
+let reset_stats t =
+  t.issued <- 0;
+  t.stall_cycles <- 0;
+  t.peak_occupancy <- 0
 
 let flush t = Array.fill t.busy_until 0 (Array.length t.busy_until) 0

@@ -15,4 +15,8 @@ val issue : t -> now:int -> latency:int -> int
 val issued : t -> int
 val stall_cycles : t -> int
 val peak_occupancy : t -> int
+
+val reset_stats : t -> unit
+(** Zero the issue/stall/occupancy statistics (FSM state is kept). *)
+
 val flush : t -> unit

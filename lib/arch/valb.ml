@@ -6,14 +6,15 @@
    served by the VAW walking the VATB B-tree kernel table; the walker
    refills the buffer with the whole pool range. *)
 
+module Hit_miss = Nvml_telemetry.Stats.Hit_miss
+
 type entry = { mutable base : int64; mutable size : int64; mutable pool : int }
 
 type t = {
   entries : entry array;
   stamps : int array;
   mutable clock : int;
-  mutable hits : int;
-  mutable misses : int;
+  stats : Hit_miss.t;
 }
 
 let create ~entries =
@@ -21,8 +22,7 @@ let create ~entries =
     entries = Array.init entries (fun _ -> { base = 0L; size = 0L; pool = -1 });
     stamps = Array.make entries 0;
     clock = 0;
-    hits = 0;
-    misses = 0;
+    stats = Hit_miss.create ();
   }
 
 let find t va =
@@ -42,11 +42,11 @@ let lookup t va =
   t.clock <- t.clock + 1;
   match find t va with
   | Some i ->
-      t.hits <- t.hits + 1;
+      Hit_miss.hit t.stats;
       t.stamps.(i) <- t.clock;
       Some t.entries.(i).pool
   | None ->
-      t.misses <- t.misses + 1;
+      Hit_miss.miss t.stats;
       None
 
 (* Refill after a VAW walk. *)
@@ -67,10 +67,9 @@ let invalidate_pool t pool =
   Array.iter (fun e -> if e.pool = pool then e.pool <- -1) t.entries
 
 let flush t = Array.iter (fun e -> e.pool <- -1) t.entries
-let hits t = t.hits
-let misses t = t.misses
-let accesses t = t.hits + t.misses
-
-let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0
+let stats t = t.stats
+let hits t = Hit_miss.hits t.stats
+let misses t = Hit_miss.misses t.stats
+let accesses t = Hit_miss.accesses t.stats
+let hit_rate t = Hit_miss.hit_rate t.stats
+let reset_stats t = Hit_miss.reset t.stats

@@ -14,7 +14,12 @@ val lookup : t -> int64 -> int option
 val insert : t -> base:int64 -> size:int64 -> pool:int -> unit
 val invalidate_pool : t -> int -> unit
 val flush : t -> unit
+
+val stats : t -> Nvml_telemetry.Stats.Hit_miss.t
+(** The shared hit/miss record; the remaining accessors delegate to it. *)
+
 val hits : t -> int
 val misses : t -> int
 val accesses : t -> int
+val hit_rate : t -> float
 val reset_stats : t -> unit

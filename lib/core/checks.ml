@@ -5,6 +5,15 @@
    storeP functional unit. *)
 
 module Layout = Nvml_simmem.Layout
+module Telemetry = Nvml_telemetry.Telemetry
+
+(* Outcome counters for the dynamic checks: which branch each
+   pointerAssignment took, and how many derefs needed an ra2va. *)
+let c_pa_keep_relative = Telemetry.counter "check.pointer_assignment.keep_relative"
+let c_pa_keep_virtual = Telemetry.counter "check.pointer_assignment.keep_virtual"
+let c_pa_va2ra = Telemetry.counter "check.pointer_assignment.va2ra"
+let c_pa_ra2va = Telemetry.counter "check.pointer_assignment.ra2va"
+let c_deref = Telemetry.counter "check.deref"
 
 (* determineY: format of a pointer value — one sign test. *)
 let determine_y (p : Ptr.t) : Ptr.format = Ptr.format p
@@ -27,20 +36,30 @@ let count_check (x : Xlate.t) =
    Returns the value to store.  [dst] itself may be in either format. *)
 let pointer_assignment (x : Xlate.t) ~(dst : Ptr.t) ~(value : Ptr.t) : Ptr.t =
   count_check x;
+  let tl = Telemetry.enabled () in
   match determine_x dst with
   | Nvm -> (
       count_check x;
       match determine_y value with
-      | Relative -> value
-      | Virtual -> Xlate.va2ra x value)
+      | Relative ->
+          if tl then Telemetry.incr c_pa_keep_relative;
+          value
+      | Virtual ->
+          if tl then Telemetry.incr c_pa_va2ra;
+          Xlate.va2ra x value)
   | Dram -> (
       count_check x;
       match determine_y value with
-      | Relative -> Xlate.ra2va x value
-      | Virtual -> value)
+      | Relative ->
+          if tl then Telemetry.incr c_pa_ra2va;
+          Xlate.ra2va x value
+      | Virtual ->
+          if tl then Telemetry.incr c_pa_keep_virtual;
+          value)
 
 (* Resolve a pointer to the virtual address to issue to memory on a
    dereference, counting the dynamic check the SW version performs. *)
 let checked_deref (x : Xlate.t) (p : Ptr.t) : int64 =
   count_check x;
+  if Telemetry.enabled () then Telemetry.incr c_deref;
   Xlate.ra2va x p

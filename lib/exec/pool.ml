@@ -11,7 +11,17 @@
 
    With [jobs = 1] no domains are spawned at all and [run] executes the
    tasks inline in the calling domain, preserving the exact sequential
-   behaviour (including any output ordering of the tasks themselves). *)
+   behaviour (including any output ordering of the tasks themselves).
+
+   Telemetry: when recording is enabled, every task runs in a fresh
+   telemetry sink, and [run] merges the task sinks into the caller's
+   current sink in submission order after all tasks finish.  Counters
+   and histograms commute, and each task's bounded event ring keeps its
+   own last-capacity suffix, so the merged stream is exactly what an
+   inline [jobs = 1] execution would have accumulated — [--jobs N]
+   telemetry is bit-identical to [--jobs 1]. *)
+
+module Telemetry = Nvml_telemetry.Telemetry
 
 type task = unit -> unit
 
@@ -84,14 +94,25 @@ let run (type a) t (fs : (unit -> a) list) : a list =
       let results : (a, exn * Printexc.raw_backtrace) result option array =
         Array.make n None
       in
+      (* Per-task telemetry sinks, merged below in submission order. *)
+      let sinks =
+        if Telemetry.enabled () then
+          Some (Array.init n (fun _ -> Telemetry.fresh_sink ()))
+        else None
+      in
       let remaining = ref n in
       let all_done = Condition.create () in
       List.iteri
         (fun i f ->
           let task () =
-            let r =
+            let body () =
               try Ok (f ())
               with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            let r =
+              match sinks with
+              | Some sinks -> Telemetry.run_with_sink sinks.(i) body
+              | None -> body ()
             in
             Mutex.lock t.lock;
             results.(i) <- Some r;
@@ -109,6 +130,11 @@ let run (type a) t (fs : (unit -> a) list) : a list =
         Condition.wait all_done t.lock
       done;
       Mutex.unlock t.lock;
+      (match sinks with
+      | Some sinks ->
+          let dst = Telemetry.current_sink () in
+          Array.iter (fun s -> Telemetry.merge_into ~dst s) sinks
+      | None -> ());
       Array.to_list results
       |> List.map (function
            | Some (Ok v) -> v

@@ -4,7 +4,12 @@
     Cells are share-nothing (each builds its own [Runtime.t] machine and
     derives all randomness from its workload spec's seed), so results
     are bit-identical to a sequential run regardless of worker count or
-    scheduling.  [run] returns results in submission order. *)
+    scheduling.  [run] returns results in submission order.
+
+    When telemetry recording is enabled, each task runs in a fresh
+    telemetry sink and [run] merges the sinks into the caller's current
+    sink in submission order at the join — so telemetry, too, is
+    bit-identical to a sequential run. *)
 
 type t
 

@@ -19,6 +19,7 @@ module Site = Nvml_runtime.Site
 module Intf = Nvml_structures.Intf
 module Linked_list = Nvml_structures.Linked_list
 module Workload = Nvml_ycsb.Workload
+module Telemetry = Nvml_telemetry.Telemetry
 
 (* Harness sites: the driver is compiled with the application, where
    inference sees the allocation sites — static. *)
@@ -52,6 +53,7 @@ type result = {
   mode : Runtime.mode;
   load : Cpu.snapshot; (* load-phase deltas *)
   run : Cpu.snapshot; (* run-phase deltas — what the figures report *)
+  attr : Cpu.attribution; (* run-phase cycle attribution *)
   checks : counter_delta; (* run-phase conversion/check counts *)
   hits : int; (* GETs that found their key (sanity) *)
   misses : int;
@@ -88,32 +90,38 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
       Mem.write_word (Runtime.mem rt) (Int64.add key_buf (Int64.of_int (i * 8))) key)
     ops;
   (* Load phase. *)
-  for i = 0 to spec.Workload.record_count - 1 do
-    M.insert m ~key:(Workload.key_of_index i) ~value:(Int64.of_int i)
-  done;
+  Telemetry.span "harness.load" ~args:[ ("records", spec.Workload.record_count) ]
+    (fun () ->
+      for i = 0 to spec.Workload.record_count - 1 do
+        M.insert m ~key:(Workload.key_of_index i) ~value:(Int64.of_int i)
+      done);
   let load = Runtime.snapshot rt in
+  let a0 = Cpu.attribution (Runtime.cpu rt) in
   let c0 = copy_counters (Runtime.counters rt) in
   (* Run phase. *)
   let hits = ref 0 and misses = ref 0 in
-  Array.iteri
-    (fun i op ->
-      (* Driver work: fetch the key from the request buffer, dispatch. *)
-      let key = Runtime.load_word rt ~site:s_driver key_buf ~off:(i * 8) in
-      Runtime.instr rt 10;
-      match op with
-      | Workload.Read _ -> (
-          match M.find m key with
-          | Some _ -> incr hits
-          | None -> incr misses)
-      | Workload.Update (_, v) | Workload.Insert (_, v) ->
-          M.insert m ~key ~value:v)
-    ops;
+  Telemetry.span "harness.run" ~args:[ ("ops", Array.length ops) ] (fun () ->
+      Array.iteri
+        (fun i op ->
+          (* Driver work: fetch the key from the request buffer, dispatch. *)
+          let key = Runtime.load_word rt ~site:s_driver key_buf ~off:(i * 8) in
+          Runtime.instr rt 10;
+          match op with
+          | Workload.Read _ -> (
+              match M.find m key with
+              | Some _ -> incr hits
+              | None -> incr misses)
+          | Workload.Update (_, v) | Workload.Insert (_, v) ->
+              M.insert m ~key ~value:v)
+        ops);
   let after = Runtime.snapshot rt in
+  Runtime.publish_stats rt;
   {
     benchmark = M.name;
     mode;
     load;
     run = Cpu.diff_snapshot after load;
+    attr = Cpu.diff_attribution (Cpu.attribution (Runtime.cpu rt)) a0;
     checks = counter_diff (Runtime.counters rt) c0;
     hits = !hits;
     misses = !misses;
@@ -127,23 +135,28 @@ let run_ll ~mode ?(cfg = Nvml_arch.Config.default) ?(nodes = 10_000)
   let region = region_for rt mode in
   let l = Linked_list.create rt region in
   let rng = Random.State.make [| 7 |] in
-  for _ = 1 to nodes do
-    Linked_list.append l
-      ~v0:(Random.State.int64 rng Int64.max_int)
-      ~v1:(Random.State.int64 rng Int64.max_int)
-  done;
+  Telemetry.span "harness.load" ~args:[ ("records", nodes) ] (fun () ->
+      for _ = 1 to nodes do
+        Linked_list.append l
+          ~v0:(Random.State.int64 rng Int64.max_int)
+          ~v1:(Random.State.int64 rng Int64.max_int)
+      done);
   let load = Runtime.snapshot rt in
+  let a0 = Cpu.attribution (Runtime.cpu rt) in
   let c0 = copy_counters (Runtime.counters rt) in
   let sum = ref 0L in
-  for _ = 1 to iterations do
-    sum := Linked_list.iterate_sum l
-  done;
+  Telemetry.span "harness.run" ~args:[ ("ops", iterations) ] (fun () ->
+      for _ = 1 to iterations do
+        sum := Linked_list.iterate_sum l
+      done);
   let after = Runtime.snapshot rt in
+  Runtime.publish_stats rt;
   {
     benchmark = "LL";
     mode;
     load;
     run = Cpu.diff_snapshot after load;
+    attr = Cpu.diff_attribution (Cpu.attribution (Runtime.cpu rt)) a0;
     checks = counter_diff (Runtime.counters rt) c0;
     hits = nodes;
     misses = 0;

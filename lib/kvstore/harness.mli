@@ -22,6 +22,7 @@ type result = {
   mode : Runtime.mode;
   load : Cpu.snapshot;  (** load-phase deltas *)
   run : Cpu.snapshot;  (** run-phase deltas — what the figures report *)
+  attr : Cpu.attribution;  (** run-phase cycle attribution *)
   checks : counter_delta;  (** run-phase conversion/check counts *)
   hits : int;
   misses : int;

@@ -16,6 +16,12 @@ module Layout = Nvml_simmem.Layout
 module Vspace = Nvml_simmem.Vspace
 module Ptr = Nvml_core.Ptr
 module Xlate = Nvml_core.Xlate
+module Telemetry = Nvml_telemetry.Telemetry
+
+let c_pool_creates = Telemetry.counter "pool.creates"
+let c_pool_opens = Telemetry.counter "pool.opens"
+let c_pmallocs = Telemetry.counter "pool.pmallocs"
+let c_pfrees = Telemetry.counter "pool.pfrees"
 
 type pool = {
   id : int;
@@ -91,6 +97,7 @@ let arena_access t (p : pool) : Freelist.access =
 (* Create a pool: allocate its NVM frames, map it, initialize its
    embedded allocator, and return its system-wide unique id. *)
 let create_pool t ~name ~size =
+  if Telemetry.enabled () then Telemetry.incr c_pool_creates;
   if Hashtbl.mem t.by_name name then
     Fmt.invalid_arg "Pmop.create_pool: pool %S already exists" name;
   let size = Layout.pages_of_bytes size * Layout.page_size in
@@ -114,6 +121,7 @@ let create_pool t ~name ~size =
    the mapping base by a restart-dependent number of pages so that a
    pool never lands at the address it had in the previous run. *)
 let open_pool t name =
+  if Telemetry.enabled () then Telemetry.incr c_pool_opens;
   let p = find_pool_by_name t name in
   (match p.base with
   | Some _ -> raise (Already_open name)
@@ -174,11 +182,13 @@ let provider t : Xlate.provider =
 (* pmalloc returns a *relative-format* pointer, per the paper's marking
    of allocator functions as returning relative addresses. *)
 let pmalloc t ~pool size : Ptr.t =
+  if Telemetry.enabled () then Telemetry.incr c_pmallocs;
   let p = find_pool t pool in
   let payload = Freelist.alloc (arena_access t p) (Int64.of_int size) in
   Ptr.make_relative ~pool ~offset:payload
 
 let pfree t (ptr : Ptr.t) =
+  if Telemetry.enabled () then Telemetry.incr c_pfrees;
   if not (Ptr.is_relative ptr) then
     invalid_arg "Pmop.pfree: not a persistent pointer";
   let p = find_pool t (Ptr.pool_of ptr) in

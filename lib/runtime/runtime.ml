@@ -34,6 +34,19 @@ module Valloc = Nvml_pool.Valloc
 module Freelist = Nvml_pool.Freelist
 module Cpu = Nvml_arch.Cpu
 module Config = Nvml_arch.Config
+module Telemetry = Nvml_telemetry.Telemetry
+module Hit_miss = Nvml_telemetry.Stats.Hit_miss
+
+(* Check-execution counters: how many pointer-operation executions ran
+   a dynamic check versus hit a statically-resolved (elided) site — the
+   execution-weighted companion of the paper's ~42 % site-count
+   figure. *)
+let c_checks_dynamic = Telemetry.counter "checks.dynamic"
+let c_checks_elided = Telemetry.counter "checks.elided"
+let c_alloc_persistent = Telemetry.counter "alloc.persistent"
+let c_alloc_volatile = Telemetry.counter "alloc.volatile"
+let c_dealloc = Telemetry.counter "alloc.free"
+let c_crashes = Telemetry.counter "runtime.crashes"
 
 type mode = Volatile | Sw | Hw | Explicit
 
@@ -133,6 +146,10 @@ let detach_pool t pool =
 (* Crash the machine: volatile memory, mappings and microarchitectural
    state vanish; pools survive but must be re-opened by the caller. *)
 let crash_and_restart t =
+  if Telemetry.enabled () then begin
+    Telemetry.incr c_crashes;
+    Telemetry.event "crash_and_restart"
+  end;
   List.iter
     (fun pool ->
       match Pmop.pool_base t.pm pool with
@@ -172,8 +189,15 @@ let pc_determine_y = 8
 let pc_determine_x = 16
 
 let sw_check t ~site ~pc_offset:_ (v : Ptr.t) =
-  if not (Site.is_static site) then begin
+  if Site.is_static site then begin
+    if Telemetry.enabled () then Telemetry.incr c_checks_elided
+  end
+  else begin
     count_dynamic_check t;
+    if Telemetry.enabled () then begin
+      Telemetry.incr c_checks_dynamic;
+      Telemetry.incr (Site.check_counter site)
+    end;
     Cpu.instr t.cpu t.cfg.sw_check_instrs;
     Cpu.branch t.cpu ~pc:pc_determine_y ~taken:(Ptr.is_relative v);
     if t.cfg.sw_check_branches > 1 then
@@ -440,6 +464,7 @@ let pool_arena_va t pool =
 let alloc t ?pool ~persistent size : Ptr.t =
   match (t.mode, persistent) with
   | Volatile, _ | _, false ->
+      if Telemetry.enabled () then Telemetry.incr c_alloc_volatile;
       charge_alloc t ~arena_va:(valloc_arena_va t);
       Valloc.malloc t.valloc size
   | (Sw | Hw | Explicit), true ->
@@ -448,6 +473,7 @@ let alloc t ?pool ~persistent size : Ptr.t =
         | Some p -> p
         | None -> invalid_arg "Runtime.alloc: persistent alloc needs a pool"
       in
+      if Telemetry.enabled () then Telemetry.incr c_alloc_persistent;
       charge_alloc t ~arena_va:(pool_arena_va t pool);
       Pmop.pmalloc t.pm ~pool size
 
@@ -471,6 +497,7 @@ let region_of_ptr t (p : Ptr.t) : region =
   else Dram_region
 
 let dealloc t (p : Ptr.t) : unit =
+  if Telemetry.enabled () then Telemetry.incr c_dealloc;
   (* pfree is one of the functions marked as accepting relative
      addresses: a virtual address into the NVM half is converted before
      the call (the compiler inserts the va2ra). *)
@@ -496,3 +523,81 @@ let set_root t ~site ~pool (p : Ptr.t) =
   store_ptr t ~site (root_cell ~pool) ~off:0 p
 
 let get_root t ~site ~pool : Ptr.t = load_ptr t ~site (root_cell ~pool) ~off:0
+
+(* --- telemetry publication ---------------------------------------------- *)
+
+(* The cache-like structures keep plain module-local counters on the
+   hot paths; this publishes their totals into the current telemetry
+   sink in one cold pass.  Registered eagerly so the counters appear
+   (as zeros) in every stats dump. *)
+let pub_hit_miss =
+  let handles = Hashtbl.create 16 in
+  List.iter
+    (fun base ->
+      Hashtbl.replace handles base
+        ( Telemetry.counter (base ^ ".hit"),
+          Telemetry.counter (base ^ ".miss") ))
+    [
+      "tlb.l1"; "tlb.l2"; "cache.l1"; "cache.l2"; "cache.l3"; "polb"; "valb";
+      "vspace.tc";
+    ];
+  fun base (hm : Hit_miss.t) ->
+    let chit, cmiss = Hashtbl.find handles base in
+    Telemetry.add chit (Hit_miss.hits hm);
+    Telemetry.add cmiss (Hit_miss.misses hm)
+
+let c_storep_issued = Telemetry.counter "storep.issued"
+let c_storep_stalls = Telemetry.counter "storep.stall_cycles"
+let c_pow_walks = Telemetry.counter "polb.pow_walks"
+let c_vaw_walks = Telemetry.counter "valb.vaw_walks"
+let c_vaw_nodes = Telemetry.counter "valb.vaw_nodes"
+let c_dram_accesses = Telemetry.counter "mem.dram_accesses"
+let c_nvm_accesses = Telemetry.counter "mem.nvm_accesses"
+let c_phys_reads = Telemetry.counter "physmem.reads"
+let c_phys_writes = Telemetry.counter "physmem.writes"
+let c_phys_dram_frames = Telemetry.counter "physmem.dram_frames"
+let c_phys_nvm_frames = Telemetry.counter "physmem.nvm_frames"
+let c_x_ra2va = Telemetry.counter "xlate.ra2va"
+let c_x_va2ra = Telemetry.counter "xlate.va2ra"
+let c_x_checks = Telemetry.counter "xlate.dynamic_checks"
+
+module Cache = Nvml_arch.Cache
+module Valb = Nvml_arch.Valb
+module Storep_unit = Nvml_arch.Storep_unit
+module Vspace = Nvml_simmem.Vspace
+module Physmem = Nvml_simmem.Physmem
+
+let publish_stats t =
+  if Telemetry.enabled () then begin
+    List.iter
+      (fun (n, c) ->
+        let base =
+          match n with
+          | "l1_tlb" -> "tlb.l1"
+          | "l2_tlb" -> "tlb.l2"
+          | "polb" -> "polb"
+          | n -> "cache." ^ n
+        in
+        pub_hit_miss base (Cache.stats c))
+      (Cpu.caches t.cpu);
+    pub_hit_miss "valb" (Valb.stats (Cpu.valb t.cpu));
+    pub_hit_miss "vspace.tc" (Vspace.tc_stats (Mem.vspace t.mem));
+    let sp = Cpu.storep t.cpu in
+    Telemetry.add c_storep_issued (Storep_unit.issued sp);
+    Telemetry.add c_storep_stalls (Storep_unit.stall_cycles sp);
+    let s = Cpu.snapshot t.cpu in
+    Telemetry.add c_pow_walks s.Cpu.pow_walks;
+    Telemetry.add c_vaw_walks s.Cpu.vaw_walks;
+    Telemetry.add c_vaw_nodes s.Cpu.vaw_nodes;
+    Telemetry.add c_dram_accesses s.Cpu.dram_accesses;
+    Telemetry.add c_nvm_accesses s.Cpu.nvm_accesses;
+    let phys = Mem.phys t.mem in
+    Telemetry.add c_phys_reads (Physmem.reads phys);
+    Telemetry.add c_phys_writes (Physmem.writes phys);
+    Telemetry.add c_phys_dram_frames (Physmem.dram_frames_allocated phys);
+    Telemetry.add c_phys_nvm_frames (Physmem.nvm_frames_allocated phys);
+    let xc = Xlate.counters t.x in
+    Telemetry.add c_x_ra2va xc.Xlate.ra2va;
+    Telemetry.add c_x_va2ra xc.Xlate.va2ra;
+    Telemetry.add c_x_checks xc.Xlate.dynamic_checks
+  end

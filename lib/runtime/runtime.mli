@@ -121,3 +121,13 @@ val set_root : t -> site:Site.t -> pool:int -> Ptr.t -> unit
     pointer-store semantics apply and the stored form is relative). *)
 
 val get_root : t -> site:Site.t -> pool:int -> Ptr.t
+
+(** {1 Telemetry} *)
+
+val publish_stats : t -> unit
+(** Publish this runtime's structural statistics (TLB/cache/POLB/VALB
+    hits and misses, storeP issue/stall totals, translation-cache and
+    physical-memory traffic, translation counts) into the current
+    telemetry sink as counters.  A no-op when telemetry is disabled.
+    Call once, at the end of a run — the values are cumulative
+    totals. *)

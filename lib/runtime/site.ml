@@ -12,7 +12,16 @@
                       opaque function parameters: the SW version checks
                       dynamically (the ~42 % of sites of Section VII). *)
 
-type t = { pc : int; name : string; static : bool }
+module Telemetry = Nvml_telemetry.Telemetry
+
+type t = {
+  pc : int;
+  name : string;
+  static : bool;
+  check_counter : Telemetry.counter;
+      (* dynamic checks executed at this site — registered eagerly so
+         the per-site profile covers never-hit sites with a zero row *)
+}
 
 let counter = ref 0
 let registry : t list ref = ref []
@@ -23,9 +32,10 @@ let registry : t list ref = ref []
 let registry_lock = Mutex.create ()
 
 let make ?(static = false) name =
+  let check_counter = Telemetry.counter ("site." ^ name) in
   Mutex.lock registry_lock;
   incr counter;
-  let t = { pc = !counter * 64; name; static } in
+  let t = { pc = !counter * 64; name; static; check_counter } in
   registry := t :: !registry;
   Mutex.unlock registry_lock;
   t
@@ -44,6 +54,8 @@ let with_prefix prefix =
 let pc t = t.pc
 let name t = t.name
 let is_static t = t.static
+let check_counter t = t.check_counter
+let checks t = Telemetry.value t.check_counter
 
 let pp ppf t =
   Fmt.pf ppf "%s@pc=0x%x%s" t.name t.pc (if t.static then " (static)" else "")

@@ -19,6 +19,14 @@ val make : ?static:bool -> string -> t
 val pc : t -> int
 val name : t -> string
 val is_static : t -> bool
+
+val check_counter : t -> Nvml_telemetry.Telemetry.counter
+(** The site's dynamic-check telemetry counter (name ["site.<name>"]). *)
+
+val checks : t -> int
+(** Dynamic checks recorded at this site in the current telemetry
+    sink. *)
+
 val pp : t Fmt.t
 
 val all : unit -> t list

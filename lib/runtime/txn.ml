@@ -20,6 +20,13 @@
 
 module Ptr = Nvml_core.Ptr
 module Xlate = Nvml_core.Xlate
+module Telemetry = Nvml_telemetry.Telemetry
+
+let c_begins = Telemetry.counter "txn.begins"
+let c_commits = Telemetry.counter "txn.commits"
+let c_aborts = Telemetry.counter "txn.aborts"
+let c_logged = Telemetry.counter "txn.logged_words"
+let c_recoveries = Telemetry.counter "txn.recoveries"
 
 let o_state = 0
 let o_count = 8
@@ -65,6 +72,7 @@ let is_active t = Int64.equal (state t) 1L
 
 let begin_ t =
   if is_active t then raise Already_active;
+  if Telemetry.enabled () then Telemetry.incr c_begins;
   Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
   Runtime.store_word t.rt ~site t.log ~off:o_state 1L
 
@@ -74,6 +82,7 @@ let begin_ t =
 let log_cell t (cell : Ptr.t) =
   let n = count t in
   if n >= t.capacity then raise Log_full;
+  if Telemetry.enabled () then Telemetry.incr c_logged;
   let rel_cell = Xlate.va2ra (Runtime.xlate t.rt) cell in
   if not (Ptr.is_relative rel_cell) then
     invalid_arg "Txn: transactional stores must target pool memory";
@@ -108,11 +117,13 @@ let roll_back t =
 
 let commit t =
   if not (is_active t) then raise Not_active;
+  if Telemetry.enabled () then Telemetry.incr c_commits;
   Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
   Runtime.store_word t.rt ~site t.log ~off:o_state 0L
 
 let abort t =
   if not (is_active t) then raise Not_active;
+  if Telemetry.enabled () then Telemetry.incr c_aborts;
   roll_back t
 
 type recovery = Clean | Rolled_back of int
@@ -120,8 +131,11 @@ type recovery = Clean | Rolled_back of int
 (* Post-crash recovery: an active log means the crash interrupted a
    transaction — undo it. *)
 let recover t =
+  if Telemetry.enabled () then Telemetry.incr c_recoveries;
   if is_active t then begin
     let n = count t in
+    if Telemetry.enabled () then
+      Telemetry.event ~args:[ ("rolled_back", n) ] "txn.recover";
     roll_back t;
     Rolled_back n
   end

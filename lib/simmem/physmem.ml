@@ -142,5 +142,11 @@ let crash t =
   t.next_dram_frame <- 1;
   t.dram_frames_allocated <- 0
 
-let stats t =
-  (t.dram_frames_allocated, t.nvm_frames_allocated, t.reads, t.writes)
+let dram_frames_allocated t = t.dram_frames_allocated
+let nvm_frames_allocated t = t.nvm_frames_allocated
+let reads t = t.reads
+let writes t = t.writes
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0

@@ -36,5 +36,11 @@ val crash : t -> unit
 (** DRAM frames lose their contents and are released, and the DRAM
     frame counter is recycled; NVM frames survive untouched. *)
 
-val stats : t -> int * int * int * int
-(** (DRAM frames, NVM frames, reads, writes). *)
+val dram_frames_allocated : t -> int
+val nvm_frames_allocated : t -> int
+val reads : t -> int
+val writes : t -> int
+
+val reset_stats : t -> unit
+(** Zero the read/write counters (frame-allocation counts are state,
+    not statistics, and are kept). *)

@@ -17,10 +17,13 @@ exception Fault of int64
 let tc_bits = 12
 let tc_size = 1 lsl tc_bits
 
+module Hit_miss = Nvml_telemetry.Stats.Hit_miss
+
 type t = {
   page_table : (int, int) Hashtbl.t; (* virtual page -> physical frame *)
   tc_vpage : int array; (* translation-cache tags, -1 = empty *)
   tc_frame : int array;
+  tc_stats : Hit_miss.t; (* translation-cache hits/misses *)
   mutable dram_brk : int64; (* next fresh VA in the DRAM half *)
   mutable nvm_brk : int64; (* next fresh VA in the NVM half *)
 }
@@ -30,6 +33,7 @@ let create () =
     page_table = Hashtbl.create 4096;
     tc_vpage = Array.make tc_size (-1);
     tc_frame = Array.make tc_size 0;
+    tc_stats = Hit_miss.create ();
     (* Leave the first page unmapped so VA 0 (NULL) always faults. *)
     dram_brk = Int64.of_int Layout.page_size;
     nvm_brk = Layout.nvm_va_base;
@@ -81,14 +85,19 @@ let unmap_range t ~base ~pages =
 let frame_of_va t va =
   let vpage = Layout.page_of_va va in
   let idx = vpage land (tc_size - 1) in
-  if Array.unsafe_get t.tc_vpage idx = vpage then Array.unsafe_get t.tc_frame idx
-  else
+  if Array.unsafe_get t.tc_vpage idx = vpage then begin
+    Hit_miss.hit t.tc_stats;
+    Array.unsafe_get t.tc_frame idx
+  end
+  else begin
+    Hit_miss.miss t.tc_stats;
     match Hashtbl.find_opt t.page_table vpage with
     | Some frame ->
         Array.unsafe_set t.tc_vpage idx vpage;
         Array.unsafe_set t.tc_frame idx frame;
         frame
     | None -> -1
+  end
 
 (* Packed translation: the physical address as an unboxed int
    ([frame * page_size + offset]), or -1 on fault.  The hot path —
@@ -110,6 +119,9 @@ let translate_exn t va =
 let is_mapped t va = translate t va <> None
 
 let mapped_pages t = Hashtbl.length t.page_table
+
+let tc_stats t = t.tc_stats
+let reset_stats t = Hit_miss.reset t.tc_stats
 
 (* Crash: all virtual mappings are volatile kernel state and vanish.
    The bump pointers are reset too — a fresh process address space. *)

@@ -36,5 +36,11 @@ val translate_exn : t -> int64 -> int * int
 val is_mapped : t -> int64 -> bool
 val mapped_pages : t -> int
 
+val tc_stats : t -> Nvml_telemetry.Stats.Hit_miss.t
+(** Hit/miss record of the software translation cache in front of the
+    page table. *)
+
+val reset_stats : t -> unit
+
 val crash : t -> unit
 (** All mappings vanish and the reservation pointers reset. *)
