@@ -1037,3 +1037,73 @@ let profile ctx =
   List.iter
     (fun (k, v) -> metric (Printf.sprintf "profile.%s.%s" benchmark k) v)
     p.Profile.derived
+
+(* --- crash-point fault injection ------------------------------------------ *)
+
+(* Systematic crash-point sweep over the persistence stack: every chosen
+   persistence event (persistent store, storeP retirement, undo-log
+   append, allocator metadata write) of each workload is replayed on a
+   fresh machine that loses power exactly there; after reboot, pool
+   re-open and log recovery the checker validates structural invariants,
+   pointer reachability, transaction atomicity and the persistent
+   freelist.  Each crash point re-runs the whole workload, so the matrix
+   uses its own bounded sizes rather than [ctx.spec]; a quick-scale
+   spec shrinks them further. *)
+let faultinject ctx =
+  let module F = Nvml_faultinject.Faultinject in
+  heading "Crash-point fault injection: recovery check matrix";
+  let quick = ctx.spec.Workload.operation_count < 100_000 in
+  let kv_ops = if quick then 40 else 100 in
+  let cases =
+    [
+      (F.counter_workload ~ops:3 (), { F.default_spec with torn = true });
+      ( F.kv_workload ~structure:"RB" ~records:15 ~ops:kv_ops (),
+        if quick then { F.default_spec with every_n = 3 } else F.default_spec
+      );
+      ( F.kv_workload ~structure:"AVL" ~records:10 ~ops:40 (),
+        { F.default_spec with every_n = 5; torn = true } );
+      ( F.kv_workload ~structure:"BTree" ~records:10 ~ops:40 (),
+        { F.default_spec with every_n = 5; torn = true; seed = 7 } );
+    ]
+  in
+  let reports =
+    List.map
+      (fun (w, spec) -> F.run ~par:(Nvml_exec.Pool.run ctx.pool) ~spec w)
+      cases
+  in
+  table
+    ~header:
+      [ "workload"; "ops"; "events"; "points"; "clean"; "rolled back";
+        "torn"; "violations" ]
+    (List.map
+       (fun (r : F.report) ->
+         [
+           r.F.workload; int_ r.F.ops; int_ r.F.events;
+           int_ (List.length r.F.outcomes); int_ r.F.clean;
+           int_ r.F.rolled_back; int_ r.F.torn_injected;
+           int_ (List.length r.F.violations);
+         ])
+       reports);
+  List.iter
+    (fun (r : F.report) ->
+      metric
+        (Printf.sprintf "faultinject.%s.points" r.F.workload)
+        (float_of_int (List.length r.F.outcomes));
+      metric
+        (Printf.sprintf "faultinject.%s.violations" r.F.workload)
+        (float_of_int (List.length r.F.violations)))
+    reports;
+  let violations =
+    List.fold_left
+      (fun acc (r : F.report) -> acc + List.length r.F.violations)
+      0 reports
+  in
+  if violations = 0 then
+    Printf.printf "every crash point recovered to a consistent state.\n"
+  else begin
+    Printf.printf "%d crash points violated recovery invariants:\n" violations;
+    List.iter
+      (fun (r : F.report) ->
+        if r.F.violations <> [] then Fmt.pr "%a@." F.pp_report r)
+      reports
+  end

@@ -45,6 +45,7 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
     ("extended", "extended structure set", Experiments.extended);
     ("multipool", "pool-count capacity sweep", Experiments.multipool);
     ("txn", "transaction overhead", Experiments.txn_overhead);
+    ("faultinject", "crash-point recovery sweep", Experiments.faultinject);
     ("sweep", "NVM latency and working-set sweeps", Experiments.sweep);
     ("micro", "bechamel micro-benchmarks", Experiments.micro);
   ]

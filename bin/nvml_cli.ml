@@ -21,6 +21,7 @@ module Corpus = Nvml_minic.Corpus
 module Interp = Nvml_minic.Interp
 module Inference = Nvml_comp.Inference
 module Pool = Nvml_exec.Pool
+module Faultinject = Nvml_faultinject.Faultinject
 module Telemetry = Nvml_telemetry.Telemetry
 module Json = Nvml_telemetry.Json
 module Profile = Nvml_kvstore.Profile
@@ -440,6 +441,127 @@ let compile_cmd =
           generates for a mini-C source file.")
     Term.(const run $ file_arg)
 
+(* --- faultinject ------------------------------------------------------------------------ *)
+
+let faultinject_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "kv"
+      & info [ "workload"; "w" ] ~docv:"NAME"
+          ~doc:
+            "Workload to sweep: $(b,kv) (YCSB stream against --structure) or \
+             $(b,counter) (3-store transactions over a flat array).")
+  in
+  let records_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "records" ] ~doc:"Initial records (kv workload).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 100 & info [ "ops" ] ~doc:"Run-phase operations.")
+  in
+  let every_n_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "every-n"; "n" ] ~docv:"N"
+          ~doc:
+            "Crash at every $(docv)th persistence event (1 = exhaustive). \
+             Ignored when --at is given.")
+  in
+  let at_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "at" ] ~docv:"EVENT"
+          ~doc:
+            "Crash at this exact event index (repeatable; out-of-range \
+             indices are dropped).")
+  in
+  let torn_arg =
+    Arg.(
+      value & flag
+      & info [ "torn" ]
+          ~doc:
+            "Additionally tear the interrupted store: the word is replaced \
+             by a seeded byte-mix of its old and new value, modelling a \
+             power failure mid-write.  Undo-log words are exempt (the log \
+             protocol assumes 8-byte atomicity).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the torn byte masks; sweeps with the same seed replay \
+             bit-identically.")
+  in
+  let max_points_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-points" ] ~docv:"N"
+          ~doc:"Stop after the first $(docv) crash points (smoke runs).")
+  in
+  let break_arg =
+    Arg.(
+      value & flag
+      & info [ "break-recovery" ]
+          ~doc:
+            "Checker self-test: skip log recovery after each crash and \
+             report the violations the checker finds.")
+  in
+  let run mode workload structure records ops every_n at torn seed max_points
+      break_recovery jobs =
+    let w =
+      match String.lowercase_ascii workload with
+      | "counter" -> Faultinject.counter_workload ~ops ()
+      | "kv" -> Faultinject.kv_workload ~structure ~records ~ops ()
+      | other ->
+          Fmt.epr "--workload expects kv or counter, got %S@." other;
+          exit 2
+    in
+    let spec =
+      {
+        Faultinject.every_n = max 1 every_n;
+        at;
+        torn;
+        seed;
+        max_points;
+        break_recovery;
+      }
+    in
+    let pool = Pool.create ~jobs:(resolve_jobs jobs) () in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Faultinject.run ~par:(Pool.run pool) ~mode ~spec w)
+    in
+    Fmt.pr "%a@." Faultinject.pp_report report;
+    if report.Faultinject.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faultinject"
+       ~doc:
+         "Crash-point fault injection: re-run a workload, losing power at \
+          every chosen persistence event, and check that recovery restores \
+          a consistent state."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "A reference pass counts every persistence-relevant event of \
+              the workload (persistent stores, storeP retirements, undo-log \
+              appends, allocator metadata writes).  Each selected event \
+              index is then replayed on a fresh machine that crashes \
+              exactly there; after reboot, pool re-open and log recovery, \
+              the checker validates structural invariants, pointer \
+              reachability, transaction atomicity against pre/post-op \
+              snapshots, and the persistent freelist.";
+           `P "Exits 1 if any crash point produced a violation.";
+         ])
+    Term.(
+      const run $ mode_arg $ workload_arg $ structure_arg $ records_arg
+      $ ops_arg $ every_n_arg $ at_arg $ torn_arg $ seed_arg $ max_points_arg
+      $ break_arg $ jobs_arg)
+
 (* --- shell ---------------------------------------------------------------------------- *)
 
 let shell_cmd =
@@ -448,8 +570,16 @@ let shell_cmd =
       value & opt string "RB"
       & info [ "structure"; "s" ] ~doc:"Index structure backing the store.")
   in
-  let run mode structure =
-    let shell = Nvml_kvstore.Shell.create ~mode ~structure () in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the 'crash torn' byte masks, so scripted sessions \
+             replay bit-identically.")
+  in
+  let run mode structure seed =
+    let shell = Nvml_kvstore.Shell.create ~mode ~structure ~seed () in
     Fmt.pr "persistent KV store (%s on %s) — 'help' for commands, 'quit' to \
             leave@."
       structure (Runtime.mode_name mode);
@@ -466,7 +596,7 @@ let shell_cmd =
   Cmd.v
     (Cmd.info "shell"
        ~doc:"Interactive persistent key-value store with a crash command.")
-    Term.(const run $ mode_arg $ structure)
+    Term.(const run $ mode_arg $ structure $ seed)
 
 (* --- info ------------------------------------------------------------------------- *)
 
@@ -490,4 +620,4 @@ let () =
        (Cmd.group
           (Cmd.info "nvml" ~version:"1.0.0" ~doc)
           [ kv_cmd; stats_cmd; knn_cmd; soundness_cmd; inference_cmd; run_cmd;
-            compile_cmd; shell_cmd; info_cmd ]))
+            compile_cmd; faultinject_cmd; shell_cmd; info_cmd ]))

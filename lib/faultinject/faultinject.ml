@@ -1,0 +1,525 @@
+(* Systematic crash-point fault injection for the persistence stack.
+
+   The engine runs a workload twice over.  A *reference* pass counts
+   every persistence-relevant event (NVM word stores, storeP
+   retirements, undo-log appends, allocator-metadata writes — see
+   [Nvml_simmem.Fi]) and records the structure's contents at every
+   operation boundary.  Then, for each chosen event index k, a *crash*
+   pass replays the identical workload on a fresh machine and kills the
+   power at event k: the fi hook raises before the store lands and the
+   media is frozen so nothing written during unwinding reaches it.  The
+   machine is then rebooted ([Runtime.crash_and_restart] — DRAM,
+   mappings and microarchitectural state gone), the pool re-opened at a
+   skewed base, the undo log recovered, and the checker validates:
+
+     - recovery returns [Clean] or [Rolled_back n];
+     - the structure's invariants hold and its contents walk does not
+       dangle (every pointer reached through the re-opened pool still
+       resolves);
+     - atomicity: contents equal the pre-transaction snapshot (always
+       acceptable; mandatory when [Rolled_back n > 0]) or the
+       post-transaction snapshot (acceptable for [Clean] and
+       [Rolled_back 0], which happen when the crash splits the two
+       commit stores);
+     - the persistent freelist is consistent and its allocated-byte
+       total matches the pre- or post-transaction figure under the same
+       rule.
+
+   Workloads run their operations under [Txn.instrument], the paper's
+   "compiler inserts the necessary runtime logging": structure code
+   calls plain [Runtime.store_*] and every pool store (and pmalloc /
+   pfree metadata write) is undo-logged transparently.
+
+   Torn writes: with [torn] set, the word interrupted at the crash
+   point is additionally replaced by a seeded byte-granular mix of its
+   old and new value ([Fi.torn_word]) — unless the word belongs to the
+   undo log itself, which relies on the 8-byte-atomicity guarantee real
+   NVM provides for aligned word stores (the same assumption PMDK's
+   undo log makes).  Every torn data word was undo-logged before being
+   stored, so recovery must heal it; the checker verifies that. *)
+
+module Layout = Nvml_simmem.Layout
+module Mem = Nvml_simmem.Mem
+module Physmem = Nvml_simmem.Physmem
+module Fi = Nvml_simmem.Fi
+module Ptr = Nvml_core.Ptr
+module Xlate = Nvml_core.Xlate
+module Pmop = Nvml_pool.Pmop
+module Runtime = Nvml_runtime.Runtime
+module Site = Nvml_runtime.Site
+module Txn = Nvml_runtime.Txn
+module Intf = Nvml_structures.Intf
+module Registry = Nvml_structures.Registry
+module Snapshot = Nvml_structures.Snapshot
+module Workload = Nvml_ycsb.Workload
+module Telemetry = Nvml_telemetry.Telemetry
+
+let site = Site.make ~static:true "faultinject"
+
+let c_points = Telemetry.counter "fi.points"
+let c_clean = Telemetry.counter "fi.recovered_clean"
+let c_rolled_back = Telemetry.counter "fi.recovered_rolled_back"
+let c_torn = Telemetry.counter "fi.torn_injected"
+let c_violations = Telemetry.counter "fi.violations"
+
+(* --- workloads ---------------------------------------------------------- *)
+
+(* A bootable instance: [step i] runs operation [i] (the engine wraps
+   it in a transaction), [snapshot] walks the contents, [check] raises
+   on broken structural invariants. *)
+type instance = {
+  header : Ptr.t;
+  step : int -> unit;
+  snapshot : unit -> Snapshot.t;
+  check : unit -> unit;
+}
+
+type workload = {
+  name : string;
+  ops : int;
+  setup : Runtime.t -> pool:int -> instance;
+  reattach : Runtime.t -> Ptr.t -> instance;
+}
+
+(* A flat array of persistent counters, [ops] transactions of three
+   scattered stores each — the smallest workload whose transactions
+   have interesting intermediate states. *)
+let counter_workload ?(cells = 8) ?(ops = 3) () =
+  let o_cell i = 8 + (i * 8) in
+  let instance rt header =
+    {
+      header;
+      step =
+        (fun i ->
+          let v = Int64.of_int (i + 1) in
+          Runtime.store_word rt ~site header ~off:(o_cell (i mod cells)) v;
+          Runtime.store_word rt ~site header ~off:(o_cell ((i + 3) mod cells)) v;
+          Runtime.store_word rt ~site header
+            ~off:(o_cell ((i + 5) mod cells))
+            (Int64.neg v));
+      snapshot =
+        (fun () ->
+          List.init cells (fun i ->
+              ( Int64.of_int i,
+                Runtime.load_word rt ~site header ~off:(o_cell i) )));
+      check =
+        (fun () ->
+          let n = Runtime.load_word rt ~site header ~off:0 in
+          if n <> Int64.of_int cells then
+            Fmt.failwith "counter header: %Ld cells, expected %d" n cells);
+    }
+  in
+  {
+    name = "counter";
+    ops;
+    setup =
+      (fun rt ~pool ->
+        let header =
+          Runtime.alloc rt ~pool ~persistent:true (8 + (cells * 8))
+        in
+        Runtime.store_word rt ~site header ~off:0 (Int64.of_int cells);
+        for i = 0 to cells - 1 do
+          Runtime.store_word rt ~site header ~off:(o_cell i) 0L
+        done;
+        instance rt header);
+    reattach = (fun rt header -> instance rt header);
+  }
+
+(* The KV harness shape: populate a Table III structure, then replay a
+   YCSB stream, with every seventh slot replaced by a remove so
+   pfree's freelist updates are exercised under rollback too. *)
+let kv_workload ?(structure = "RB") ?(records = 30) ?(ops = 100) ?(seed = 42)
+    () =
+  let (module M : Intf.ORDERED_MAP) = Registry.find_map structure in
+  let spec =
+    {
+      Workload.paper_default with
+      record_count = records;
+      operation_count = ops;
+      seed;
+    }
+  in
+  let op_arr =
+    let acc = ref [] in
+    Workload.iter_ops spec (fun op -> acc := op :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let instance m =
+    {
+      header = M.header m;
+      step =
+        (fun i ->
+          if i mod 7 = 3 then
+            ignore (M.remove m (Workload.key_of_index (i * 3 mod records)))
+          else
+            match op_arr.(i) with
+            | Workload.Read k -> ignore (M.find m k)
+            | Workload.Update (k, v) | Workload.Insert (k, v) ->
+                M.insert m ~key:k ~value:v);
+      snapshot = (fun () -> Snapshot.capture (fun f -> M.iter m f));
+      check = (fun () -> M.check_invariants m);
+    }
+  in
+  {
+    name = "kv-" ^ M.name;
+    ops = Array.length op_arr;
+    setup =
+      (fun rt ~pool ->
+        let m = M.create rt (Runtime.Pool_region pool) in
+        for i = 0 to records - 1 do
+          M.insert m ~key:(Workload.key_of_index i) ~value:(Int64.of_int i)
+        done;
+        instance m);
+    reattach = (fun rt header -> instance (M.attach rt header));
+  }
+
+(* --- sweep specification and report ------------------------------------- *)
+
+type spec = {
+  every_n : int;  (* crash at events 0, n, 2n, ... (when [at] is empty) *)
+  at : int list;  (* explicit event indices instead *)
+  torn : bool;
+  seed : int;
+  max_points : int option;
+  break_recovery : bool;
+      (* checker self-test: skip Txn.recover and let the checker prove
+         it notices the un-rolled-back state *)
+}
+
+let default_spec =
+  {
+    every_n = 1;
+    at = [];
+    torn = false;
+    seed = 1;
+    max_points = None;
+    break_recovery = false;
+  }
+
+type tally = {
+  pm_stores : int;
+  storeps : int;
+  log_appends : int;
+  meta_writes : int;
+}
+
+type outcome = {
+  point : int;  (* the event index the crash interrupted *)
+  op : int;  (* the operation that event belonged to *)
+  kind : string;  (* Fi.kind_name of the interrupted event *)
+  recovery : Txn.recovery;
+  torn_injected : bool;
+  violations : string list;
+}
+
+type report = {
+  workload : string;
+  ops : int;
+  events : int;
+  tally : tally;
+  outcomes : outcome list;
+  clean : int;
+  rolled_back : int;
+  torn_injected : int;
+  violations : (int * string) list;  (* (point, message) *)
+}
+
+(* --- engine ------------------------------------------------------------- *)
+
+let pool_size = 1 lsl 22
+
+exception Crash_now
+(* Raised from the fi hook at the crash point; private to the engine
+   (and never escapes: the replay loop catches it). *)
+
+(* Build a fresh machine, pool, workload instance and instrumented
+   transaction; anchor [txn header; structure header] in a root block. *)
+let boot ~mode w =
+  let rt = Runtime.create ~mode () in
+  let pool = Runtime.create_pool rt ~name:"fi" ~size:pool_size in
+  let inst = w.setup rt ~pool in
+  let txn = Txn.create rt ~pool () in
+  let root = Runtime.alloc rt ~pool ~persistent:true 16 in
+  Runtime.store_ptr rt ~site root ~off:0 (Txn.header txn);
+  Runtime.store_ptr rt ~site root ~off:8 inst.header;
+  Runtime.set_root rt ~site ~pool root;
+  Txn.instrument txn;
+  (rt, pool, txn, inst)
+
+let run_op txn inst i =
+  Txn.begin_ txn;
+  inst.step i;
+  Txn.commit txn
+
+(* The physical (frame, word) spans occupied by the undo log.  Pool
+   frames are stable across crashes, so spans computed at boot remain
+   valid at the crash point even though the virtual base changes on
+   re-open. *)
+let log_spans rt txn =
+  let va = Xlate.ra2va (Runtime.xlate rt) (Txn.header txn) in
+  let bytes = Txn.log_bytes txn in
+  let spans = ref [] in
+  let off = ref 0 in
+  while !off < bytes do
+    let pa =
+      Mem.translate_pa_exn (Runtime.mem rt) (Int64.add va (Int64.of_int !off))
+    in
+    let frame = pa lsr Layout.page_shift in
+    let w0 = (pa land (Layout.page_size - 1)) lsr 3 in
+    let len =
+      min (Layout.page_size - (pa land (Layout.page_size - 1))) (bytes - !off)
+    in
+    spans := (frame, w0, w0 + ((len - 1) lsr 3)) :: !spans;
+    off := !off + len
+  done;
+  !spans
+
+let in_spans spans ~frame ~word_index =
+  List.exists
+    (fun (f, w0, w1) -> f = frame && word_index >= w0 && word_index <= w1)
+    spans
+
+type reference = {
+  total : int;
+  ref_tally : tally;
+  op_start : int array;  (* event index at which each op began *)
+  expected : Snapshot.t array;  (* contents after ops [0, i) *)
+  alloc_bytes : int64 array;  (* pool allocated bytes after ops [0, i) *)
+}
+
+let reference ~mode w =
+  let rt, pool, txn, inst = boot ~mode w in
+  let phys = Mem.phys (Runtime.mem rt) in
+  let total = ref 0 in
+  let pm = ref 0 and sp = ref 0 and la = ref 0 and mw = ref 0 in
+  Physmem.set_fi_hook phys
+    (Some
+       (fun ev ->
+         incr total;
+         match ev with
+         | Fi.Pm_store _ -> incr pm
+         | Fi.Storep_retire -> incr sp
+         | Fi.Txn_log_append -> incr la
+         | Fi.Alloc_meta_write _ -> incr mw));
+  let allocated () = Pmop.allocated_bytes (Runtime.pmop rt) ~pool in
+  let expected = Array.make (w.ops + 1) (inst.snapshot ()) in
+  let alloc_bytes = Array.make (w.ops + 1) (allocated ()) in
+  let op_start = Array.make (w.ops + 1) 0 in
+  for i = 0 to w.ops - 1 do
+    op_start.(i) <- !total;
+    run_op txn inst i;
+    expected.(i + 1) <- inst.snapshot ();
+    alloc_bytes.(i + 1) <- allocated ()
+  done;
+  op_start.(w.ops) <- !total;
+  Physmem.set_fi_hook phys None;
+  {
+    total = !total;
+    ref_tally =
+      { pm_stores = !pm; storeps = !sp; log_appends = !la; meta_writes = !mw };
+    op_start;
+    expected;
+    alloc_bytes;
+  }
+
+(* The operation event [point] belongs to: the last op started at or
+   before it. *)
+let op_of_point r point =
+  let rec go i = if i = 0 || r.op_start.(i) <= point then i else go (i - 1) in
+  go (Array.length r.op_start - 2)
+
+(* One crash pass: replay, die at event [point], reboot, recover,
+   check.  Fresh share-nothing machine per point, so passes can run on
+   worker domains in any order. *)
+let crash_run ~mode w r spec point =
+  let rt, pool, txn, inst = boot ~mode w in
+  let phys = Mem.phys (Runtime.mem rt) in
+  let spans = if spec.torn then log_spans rt txn else [] in
+  let rng = Random.State.make [| 0x5eed; spec.seed; point |] in
+  let idx = ref 0 in
+  let kind = ref "" in
+  let torn_injected = ref false in
+  Physmem.set_fi_hook phys
+    (Some
+       (fun ev ->
+         let i = !idx in
+         incr idx;
+         if i = point then begin
+           kind := Fi.kind_name ev;
+           (if spec.torn then
+              match ev with
+              | Fi.Pm_store { frame; word_index; old_value; new_value }
+                when not (in_spans spans ~frame ~word_index) ->
+                  let keep_old_bytes = 1 + Random.State.int rng 254 in
+                  Physmem.poke phys ~frame ~word_index
+                    (Fi.torn_word ~keep_old_bytes ~old_value ~new_value);
+                  torn_injected := true
+              | _ -> ());
+           (* Power off: nothing written while unwinding may land. *)
+           Physmem.set_frozen phys true;
+           raise Crash_now
+         end));
+  let crashed = ref false in
+  (try
+     for i = 0 to w.ops - 1 do
+       run_op txn inst i
+     done
+   with Crash_now -> crashed := true);
+  Physmem.set_fi_hook phys None;
+  if not !crashed then
+    Fmt.invalid_arg "Faultinject: crash point %d past the last event" point;
+  let op = op_of_point r point in
+  let violations = ref [] in
+  let add msg = violations := msg :: !violations in
+  (* Reboot.  crash_and_restart clears the instrumentation hooks along
+     with the rest of the volatile state. *)
+  Runtime.crash_and_restart rt;
+  let recovery =
+    match
+      ignore (Runtime.open_pool rt "fi");
+      let root = Runtime.get_root rt ~site ~pool in
+      let txn' = Txn.attach rt (Runtime.load_ptr rt ~site root ~off:0) in
+      let recovery =
+        if spec.break_recovery then Txn.Clean else Txn.recover txn'
+      in
+      (recovery, Runtime.load_ptr rt ~site root ~off:8)
+    with
+    | recovery, hdr ->
+        let pre = r.expected.(op) and post = r.expected.(op + 1) in
+        (try
+           let inst' = w.reattach rt hdr in
+           (try inst'.check ()
+            with e ->
+              add ("invariant check: " ^ Printexc.to_string e));
+           (try
+              let got = inst'.snapshot () in
+              let explain tag want =
+                match Snapshot.diff_summary got want with
+                | Some d -> tag ^ " state differs: " ^ d
+                | None -> tag ^ " state differs"
+              in
+              match recovery with
+              | Txn.Rolled_back n when n > 0 ->
+                  if not (Snapshot.equal got pre) then
+                    add ("atomicity: rollback must restore the " ^ explain "pre-txn" pre)
+              | Txn.Rolled_back _ | Txn.Clean ->
+                  if not (Snapshot.equal got pre || Snapshot.equal got post)
+                  then
+                    add
+                      ("atomicity: contents match neither snapshot ("
+                      ^ explain "pre-txn" pre ^ ")")
+            with e ->
+              add ("contents walk dangled: " ^ Printexc.to_string e))
+         with e -> add ("reattach failed: " ^ Printexc.to_string e));
+        (try
+           ignore (Pmop.check_pool_invariants (Runtime.pmop rt) ~pool);
+           let got = Pmop.allocated_bytes (Runtime.pmop rt) ~pool in
+           let pre = r.alloc_bytes.(op) and post = r.alloc_bytes.(op + 1) in
+           let ok =
+             match recovery with
+             | Txn.Rolled_back n when n > 0 -> got = pre
+             | _ -> got = pre || got = post
+           in
+           if not ok then
+             add
+               (Fmt.str "freelist: %Ld bytes allocated, expected %Ld or %Ld"
+                  got pre post)
+         with e -> add ("freelist: " ^ Printexc.to_string e));
+        recovery
+    | exception e ->
+        add ("recovery failed: " ^ Printexc.to_string e);
+        Txn.Clean
+  in
+  {
+    point;
+    op;
+    kind = !kind;
+    recovery;
+    torn_injected = !torn_injected;
+    violations = List.rev !violations;
+  }
+
+(* --- the sweep ---------------------------------------------------------- *)
+
+let points_of r spec =
+  let pts =
+    match spec.at with
+    | [] ->
+        let n = max 1 spec.every_n in
+        List.init ((r.total + n - 1) / n) (fun i -> i * n)
+    | at -> List.sort_uniq compare (List.filter (fun p -> p >= 0 && p < r.total) at)
+  in
+  match spec.max_points with
+  | None -> pts
+  | Some m -> List.filteri (fun i _ -> i < m) pts
+
+(* Run the sweep.  [par] maps the per-point thunks (share-nothing,
+   order-independent) to their results in submission order — pass
+   [Nvml_exec.Pool.run pool] for a parallel sweep; results are
+   identical to the sequential default. *)
+let run ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
+    ?(spec = default_spec) w =
+  (match mode with
+  | Runtime.Volatile ->
+      invalid_arg "Faultinject.run: the Volatile mode has nothing to recover"
+  | _ -> ());
+  let r = reference ~mode w in
+  let points = points_of r spec in
+  let outcomes = par (List.map (fun p () -> crash_run ~mode w r spec p) points) in
+  let count f = List.length (List.filter f outcomes) in
+  let report =
+    {
+      workload = w.name;
+      ops = w.ops;
+      events = r.total;
+      tally = r.ref_tally;
+      outcomes;
+      clean = count (fun o -> o.recovery = Txn.Clean);
+      rolled_back =
+        count (fun o -> match o.recovery with Txn.Rolled_back _ -> true | _ -> false);
+      torn_injected = count (fun o -> o.torn_injected);
+      violations =
+        List.concat_map
+          (fun o -> List.map (fun v -> (o.point, v)) o.violations)
+          outcomes;
+    }
+  in
+  if Telemetry.enabled () then begin
+    Telemetry.add c_points (List.length report.outcomes);
+    Telemetry.add c_clean report.clean;
+    Telemetry.add c_rolled_back report.rolled_back;
+    Telemetry.add c_torn report.torn_injected;
+    Telemetry.add c_violations (List.length report.violations)
+  end;
+  report
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pp_tally ppf t =
+  Fmt.pf ppf "%d pm_store, %d storep, %d log_append, %d alloc_meta"
+    t.pm_stores t.storeps t.log_appends t.meta_writes
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "workload %s: %d ops, %d events (%a)@," r.workload r.ops r.events
+    pp_tally r.tally;
+  Fmt.pf ppf "  %d crash points: %d recovered clean, %d rolled back"
+    (List.length r.outcomes) r.clean r.rolled_back;
+  if r.torn_injected > 0 then Fmt.pf ppf ", %d torn words injected" r.torn_injected;
+  Fmt.pf ppf "@,";
+  (match r.violations with
+  | [] -> Fmt.pf ppf "  no violations"
+  | vs ->
+      Fmt.pf ppf "  %d VIOLATIONS:" (List.length vs);
+      List.iter
+        (fun (o : outcome) ->
+          if o.violations <> [] then
+            Fmt.pf ppf "@,    point %d (op %d, at %s, %s):%a" o.point o.op
+              o.kind
+              (match o.recovery with
+              | Txn.Clean -> "clean"
+              | Txn.Rolled_back n -> Fmt.str "rolled back %d" n)
+              (Fmt.list ~sep:Fmt.nop (fun ppf v -> Fmt.pf ppf "@,      %s" v))
+              o.violations)
+        r.outcomes);
+  Fmt.pf ppf "@]"

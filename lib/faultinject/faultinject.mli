@@ -1,0 +1,113 @@
+(** Systematic crash-point fault injection for the persistence stack.
+
+    A reference pass counts every persistence-relevant event
+    ({!Nvml_simmem.Fi.event}) of a workload and snapshots the structure
+    at every operation boundary; then each chosen event index is
+    replayed on a fresh machine that loses power exactly there (the
+    interrupted store never lands, the media freezes, DRAM and all
+    mappings vanish).  After reboot, pool re-open and [Txn.recover],
+    the checker validates recovery status, structural invariants,
+    pointer reachability, atomicity against the pre/post-transaction
+    snapshots, and persistent-freelist consistency.
+
+    Operations run under [Txn.instrument]: plain [Runtime.store_*]
+    calls in legacy structure code are undo-logged transparently, so
+    the sweep exercises exactly the user-transparent persistence story
+    the paper argues for. *)
+
+module Runtime = Nvml_runtime.Runtime
+module Txn = Nvml_runtime.Txn
+module Snapshot = Nvml_structures.Snapshot
+
+(** {1 Workloads} *)
+
+type instance = {
+  header : Nvml_core.Ptr.t;
+  step : int -> unit;  (** run operation [i] (wrapped in a txn by the engine) *)
+  snapshot : unit -> Snapshot.t;
+  check : unit -> unit;  (** raise on broken structural invariants *)
+}
+
+type workload = {
+  name : string;
+  ops : int;
+  setup : Runtime.t -> pool:int -> instance;
+  reattach : Runtime.t -> Nvml_core.Ptr.t -> instance;
+}
+
+val counter_workload : ?cells:int -> ?ops:int -> unit -> workload
+(** Flat persistent counter array; each op is a transaction of three
+    scattered stores.  The smallest interesting sweep target. *)
+
+val kv_workload :
+  ?structure:string -> ?records:int -> ?ops:int -> ?seed:int -> unit -> workload
+(** The KV-harness shape: populate a Table III structure ([structure]
+    as in [Registry.find_map]), then replay a YCSB stream with every
+    seventh op replaced by a remove (so pfree is exercised too). *)
+
+(** {1 Sweep specification} *)
+
+type spec = {
+  every_n : int;  (** crash at events [0, n, 2n, ...] when [at] is empty *)
+  at : int list;  (** explicit event indices (out-of-range ones dropped) *)
+  torn : bool;
+      (** additionally tear the interrupted word (seeded byte mix of
+          old/new) — except undo-log words, which the log protocol's
+          8-byte-atomicity assumption covers *)
+  seed : int;  (** drives the torn byte masks *)
+  max_points : int option;  (** bound the sweep (for smoke runs) *)
+  break_recovery : bool;
+      (** checker self-test: skip [Txn.recover] after the crash and
+          let the checker prove it notices *)
+}
+
+val default_spec : spec
+(** Every event, no tearing, seed 1, unbounded, recovery intact. *)
+
+(** {1 Results} *)
+
+type tally = {
+  pm_stores : int;
+  storeps : int;
+  log_appends : int;
+  meta_writes : int;
+}
+
+type outcome = {
+  point : int;
+  op : int;
+  kind : string;
+  recovery : Txn.recovery;
+  torn_injected : bool;
+  violations : string list;
+}
+
+type report = {
+  workload : string;
+  ops : int;
+  events : int;
+  tally : tally;
+  outcomes : outcome list;  (** in event-index order *)
+  clean : int;
+  rolled_back : int;
+  torn_injected : int;
+  violations : (int * string) list;
+}
+
+val run :
+  ?par:((unit -> outcome) list -> outcome list) ->
+  ?mode:Runtime.mode ->
+  ?spec:spec ->
+  workload ->
+  report
+(** Run the sweep.  Each crash pass builds a share-nothing machine, so
+    [par] (e.g. [Nvml_exec.Pool.run pool]) may run them on worker
+    domains: results are in submission order and identical to the
+    sequential default.  [mode] defaults to [Hw].
+    @raise Invalid_argument for [Volatile] mode. *)
+
+val pp_tally : tally Fmt.t
+
+val pp_report : report Fmt.t
+(** Multi-line summary inside a vertical box: counts per event kind,
+    recovery totals, and every violation with its crash point. *)

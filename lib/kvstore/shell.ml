@@ -11,12 +11,16 @@
      size                   number of keys
      keys                   list keys in order
      crash                  power-cycle; recover from the pool root
+     crash torn             power-cycle with the last persistent store torn
      stats                  timing-model counters so far
      help                   this list
 
    The command interpreter is a plain function over strings so tests can
    drive a session without a terminal. *)
 
+module Mem = Nvml_simmem.Mem
+module Physmem = Nvml_simmem.Physmem
+module Fi = Nvml_simmem.Fi
 module Cpu = Nvml_arch.Cpu
 module Runtime = Nvml_runtime.Runtime
 module Site = Nvml_runtime.Site
@@ -30,18 +34,46 @@ type t = {
   structure : Intf.ordered_map;
   mutable map_header : Nvml_core.Ptr.t;
   mutable crashes : int;
+  (* Torn-crash support: every byte mask comes from this seeded state,
+     so a scripted session replays bit-identically; the fi hook keeps
+     the most recent NVM store (it survives power cycles, so `crash
+     torn` works after recovery too). *)
+  rng : Random.State.t;
+  mutable last_store : (int * int * int64 * int64) option;
+      (* frame, word, old, new *)
 }
 
 let pool_size = 1 lsl 22
 
-let create ?(mode = Runtime.Hw) ?(structure = "RB") () =
+let create ?(mode = Runtime.Hw) ?(structure = "RB") ?(seed = 0) () =
   let rt = Runtime.create ~mode () in
   let pool = Runtime.create_pool rt ~name:"shell" ~size:pool_size in
   let structure = Nvml_structures.Registry.find_map structure in
   let module M = (val structure : Intf.ORDERED_MAP) in
   let m = M.create rt (Runtime.Pool_region pool) in
   Runtime.set_root rt ~site ~pool (M.header m);
-  { rt; pool; structure; map_header = M.header m; crashes = 0 }
+  let t =
+    {
+      rt;
+      pool;
+      structure;
+      map_header = M.header m;
+      crashes = 0;
+      rng = Random.State.make [| 0x7e11; seed |];
+      last_store = None;
+    }
+  in
+  (match mode with
+  | Runtime.Volatile -> () (* no NVM, nothing to tear *)
+  | _ ->
+      Physmem.set_fi_hook
+        (Mem.phys (Runtime.mem rt))
+        (Some
+           (function
+             | Fi.Pm_store { frame; word_index; old_value; new_value } ->
+                 t.last_store <- Some (frame, word_index, old_value, new_value)
+             | _ -> ())));
+  t
 
 (* Monomorphic operation record over the existentially typed map. *)
 type ops = {
@@ -86,6 +118,7 @@ let exec t (line : string) : string list =
         "size                number of keys";
         "keys                list keys in order";
         "crash               power-cycle the machine";
+        "crash torn          power-cycle, tearing the last persistent store";
         "stats               timing-model counters";
         "quit                leave";
       ]
@@ -122,6 +155,46 @@ let exec t (line : string) : string list =
         Fmt.str "crashed and recovered (%d keys intact, crash #%d)"
           (o.size ()) t.crashes;
       ]
+  | [ "crash"; "torn" ] -> (
+      (* Adversarial power-cycle: the most recent persistent store is
+         replaced by a seeded byte-mix of its old and new value before
+         the machine goes down — the word the power failure caught
+         mid-flight.  The shell's puts are not transactional, so a torn
+         structure word is *expected* to be caught by the recovery
+         check (that is the demo: without an undo log, sub-word tearing
+         is fatal; `bench faultinject` shows the log healing it). *)
+      match t.last_store with
+      | None -> [ "nothing stored to the pool yet; nothing to tear" ]
+      | Some (frame, word_index, old_value, new_value) ->
+          let keep_old_bytes = 1 + Random.State.int t.rng 254 in
+          Physmem.poke
+            (Mem.phys (Runtime.mem t.rt))
+            ~frame ~word_index
+            (Fi.torn_word ~keep_old_bytes ~old_value ~new_value);
+          t.crashes <- t.crashes + 1;
+          t.last_store <- None;
+          Runtime.crash_and_restart t.rt;
+          ignore (Runtime.open_pool t.rt "shell");
+          t.map_header <- Runtime.get_root t.rt ~site ~pool:t.pool;
+          match
+            let o = ops t in
+            o.check ();
+            o.size ()
+          with
+          | n ->
+              [
+                Fmt.str
+                  "crashed with a torn store; recovered (%d keys intact, \
+                   crash #%d)"
+                  n t.crashes;
+              ]
+          | exception e ->
+              [
+                Fmt.str "crashed with a torn store; recovery check failed \
+                         (crash #%d):"
+                  t.crashes;
+                "  " ^ Printexc.to_string e;
+              ])
   | [ "stats" ] ->
       let s = Runtime.snapshot t.rt in
       [

@@ -14,6 +14,8 @@
 module Mem = Nvml_simmem.Mem
 module Layout = Nvml_simmem.Layout
 module Vspace = Nvml_simmem.Vspace
+module Physmem = Nvml_simmem.Physmem
+module Fi = Nvml_simmem.Fi
 module Ptr = Nvml_core.Ptr
 module Xlate = Nvml_core.Xlate
 module Telemetry = Nvml_telemetry.Telemetry
@@ -39,6 +41,9 @@ type t = {
   mutable restarts : int;
   mutable vat : (int64 * int64 * int) array;
       (* mapped pools sorted by base: (base, size, id) *)
+  mutable meta_hook : (pool:int -> offset:int64 -> unit) option;
+      (* called before every allocator-metadata write; lets a
+         transaction undo-log freelist updates (see Txn.instrument) *)
 }
 
 exception Unknown_pool of string
@@ -52,6 +57,7 @@ let create mem =
     next_id = 1;
     restarts = 0;
     vat = [||];
+    meta_hook = None;
   }
 
 let mem t = t.mem
@@ -91,8 +97,17 @@ let arena_access t (p : pool) : Freelist.access =
   | Some base ->
       {
         Freelist.read = (fun off -> Mem.read_word t.mem (Int64.add base off));
-        write = (fun off v -> Mem.write_word t.mem (Int64.add base off) v);
+        write =
+          (fun off v ->
+            Physmem.fire (Mem.phys t.mem)
+              (Fi.Alloc_meta_write { pool = p.id; offset = off });
+            (match t.meta_hook with
+            | None -> ()
+            | Some f -> f ~pool:p.id ~offset:off);
+            Mem.write_word t.mem (Int64.add base off) v);
       }
+
+let set_meta_hook t hook = t.meta_hook <- hook
 
 (* Create a pool: allocate its NVM frames, map it, initialize its
    embedded allocator, and return its system-wide unique id. *)
@@ -149,6 +164,7 @@ let crash t =
   Mem.crash t.mem;
   Hashtbl.iter (fun _ p -> p.base <- None) t.pools;
   t.vat <- [||];
+  t.meta_hook <- None (* hooks are volatile state — reinstall after restart *);
   t.restarts <- t.restarts + 1
 
 let restarts t = t.restarts

@@ -30,8 +30,15 @@ val open_pool : t -> string -> int64
 val detach_pool : t -> int -> unit
 
 val crash : t -> unit
-(** Machine crash: volatile memory and all mappings vanish; pool frames
-    and the registry survive. *)
+(** Simulated power failure at the pool-manager level.
+
+    Erased: all DRAM frame contents (via {!Nvml_simmem.Mem.crash} /
+    {!Nvml_simmem.Physmem.crash}), every virtual mapping (so every pool
+    becomes detached), and the volatile POT/VAT tables.  Survives: each
+    pool's NVM frames bit for bit — including the in-pool allocator
+    metadata and root slot — plus the pool registry (names, ids, frame
+    lists) which models a persistent superblock.  The restart counter
+    increments, so the next {!open_pool} maps at a skewed base. *)
 
 val restarts : t -> int
 val pool_base : t -> int -> int64 option
@@ -49,6 +56,13 @@ val pmalloc : t -> pool:int -> int -> Ptr.t
 (** Allocate inside a pool; returns a {e relative-format} pointer. *)
 
 val pfree : t -> Ptr.t -> unit
+
+val set_meta_hook : t -> (pool:int -> offset:int64 -> unit) option -> unit
+(** Install a hook called before every allocator-metadata write, with
+    the word's pool-relative offset.  [Txn.instrument] uses it to
+    undo-log freelist updates so allocation is rolled back atomically
+    with the data stores of an interrupted transaction. *)
+
 val get_root : t -> pool:int -> int64
 val set_root : t -> pool:int -> int64 -> unit
 val allocated_bytes : t -> pool:int -> int64

@@ -80,6 +80,12 @@ type t = {
      register set. *)
   reg_rel : (int64, int64) Hashtbl.t;
   reg_rel_fifo : int64 Queue.t;
+  (* Store interception: called with the destination cell of every
+     store that targets pool memory, before the store executes.  This
+     is the paper's "compiler inserts the necessary runtime logging"
+     hook: Txn.instrument points it at the undo log so legacy structure
+     code becomes failure-atomic without source changes. *)
+  mutable store_interceptor : (Ptr.t -> unit) option;
 }
 
 let reg_rel_capacity = 32
@@ -100,7 +106,17 @@ let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ~mode () =
     dram_capacity;
     reg_rel = Hashtbl.create 64;
     reg_rel_fifo = Queue.create ();
+    store_interceptor = None;
   }
+
+let set_store_interceptor t f = t.store_interceptor <- f
+
+(* A store targets pool memory when its destination cell is a relative
+   pointer or a virtual address inside the NVM half. *)
+let intercept_store t (cell : Ptr.t) =
+  match t.store_interceptor with
+  | None -> ()
+  | Some f -> if Ptr.is_relative cell || Layout.is_nvm_va cell then f cell
 
 (* Remember that the virtual address [va] was materialized from the
    relative pointer [rel] (both forms live in registers). *)
@@ -162,7 +178,10 @@ let crash_and_restart t =
   t.pot_table_va <- Mem.map_fresh t.mem Layout.Dram 65536;
   t.vat_table_va <- Mem.map_fresh t.mem Layout.Dram 65536;
   Hashtbl.reset t.reg_rel;
-  Queue.clear t.reg_rel_fifo
+  Queue.clear t.reg_rel_fifo;
+  (* The interceptor is volatile (it belongs to the crashed process);
+     recovery code re-registers its own via Txn.instrument if needed. *)
+  t.store_interceptor <- None
 
 (* --- generic event helpers --------------------------------------------- *)
 
@@ -280,7 +299,9 @@ let load_word t ~site (p : Ptr.t) ~off : int64 =
   mem_load t va
 
 let store_word t ~site (p : Ptr.t) ~off (v : int64) : unit =
-  let va = resolve t ~site (addr p off) in
+  let cell = addr p off in
+  intercept_store t cell;
+  let va = resolve t ~site cell in
   mem_store t va v
 
 let load_f64 t ~site p ~off = Int64.float_of_bits (load_word t ~site p ~off)
@@ -314,6 +335,7 @@ let load_ptr t ~site (p : Ptr.t) ~off : Ptr.t =
    dictated by where the destination cell lives. *)
 let store_ptr t ~site (p : Ptr.t) ~off (value : Ptr.t) : unit =
   let cell = addr p off in
+  intercept_store t cell;
   match t.mode with
   | Volatile -> mem_store t cell value
   | Sw ->
@@ -354,6 +376,7 @@ let store_ptr t ~site (p : Ptr.t) ~off (value : Ptr.t) : unit =
       let dst_pa = Mem.translate_pa_exn t.mem dst_va in
       Cpu.store_p_pa t.cpu ~dst_va ~dst_pa ~xops:(rd_ops @ rs_ops);
       if dst_pa land 7 <> 0 then raise (Mem.Unaligned dst_va);
+      Nvml_simmem.Physmem.fire (Mem.phys t.mem) Nvml_simmem.Fi.Storep_retire;
       Mem.write_word_pa t.mem dst_pa stored
   | Explicit ->
       (* Handles are stored as-is; only the destination access needs a

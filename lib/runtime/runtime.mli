@@ -55,8 +55,16 @@ val open_pool : t -> string -> int64
 val detach_pool : t -> int -> unit
 
 val crash_and_restart : t -> unit
-(** Volatile memory, mappings, caches and registers vanish; pools
-    survive and must be re-opened by the caller. *)
+(** Simulated power failure plus reboot.
+
+    Erased: all DRAM contents and virtual mappings (every pool becomes
+    detached), microarchitectural state (TLBs, caches, POLB/VALB,
+    storeP queue), the volatile allocator, the kept-relative register
+    set, and any store interceptor ({!set_store_interceptor}) or pool
+    metadata hook — they belong to the crashed process.  Survives: pool
+    NVM frames (including allocator metadata, root slots and any undo
+    log) and the pool registry.  The caller re-opens pools with
+    {!open_pool}, which maps them at different bases. *)
 
 (** {1 Event helpers} *)
 
@@ -85,6 +93,14 @@ val store_ptr : t -> site:Site.t -> Ptr.t -> off:int -> Ptr.t -> unit
 (** Store a pointer-typed value, applying the Fig. 3 pointerAssignment
     semantics: the stored representation is dictated by where the
     destination cell lives.  In HW mode this is a storeP instruction. *)
+
+val set_store_interceptor : t -> (Ptr.t -> unit) option -> unit
+(** Install a function called with the destination cell of every
+    {!store_word}/{!store_ptr} that targets pool memory (relative cell
+    or NVM virtual address), before the store executes.  This is the
+    compiler-inserted instrumentation point [Txn.instrument] uses to
+    undo-log legacy stores; it is volatile state, cleared by
+    {!crash_and_restart}. *)
 
 (** {1 Pointer predicates (Fig. 4)} *)
 

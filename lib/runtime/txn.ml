@@ -20,6 +20,10 @@
 
 module Ptr = Nvml_core.Ptr
 module Xlate = Nvml_core.Xlate
+module Mem = Nvml_simmem.Mem
+module Physmem = Nvml_simmem.Physmem
+module Fi = Nvml_simmem.Fi
+module Pmop = Nvml_pool.Pmop
 module Telemetry = Nvml_telemetry.Telemetry
 
 let c_begins = Telemetry.counter "txn.begins"
@@ -33,7 +37,16 @@ let o_count = 8
 let o_capacity = 16
 let o_entries = 24
 
-type t = { rt : Runtime.t; pool : int; log : Ptr.t; capacity : int }
+type t = {
+  rt : Runtime.t;
+  pool : int;
+  log : Ptr.t;
+  capacity : int;
+  (* Reentrancy guard for instrumented runtimes: the log's own stores
+     (appends, rollback restores, state/count updates) must not be
+     re-logged by the store interceptor. *)
+  mutable busy : bool;
+}
 
 exception Log_full
 exception Not_active
@@ -50,9 +63,10 @@ let create rt ~pool ?(capacity = default_capacity) () =
   Runtime.store_word rt ~site log ~off:o_state 0L;
   Runtime.store_word rt ~site log ~off:o_count 0L;
   Runtime.store_word rt ~site log ~off:o_capacity (Int64.of_int capacity);
-  { rt; pool; log; capacity }
+  { rt; pool; log; capacity; busy = false }
 
 let header t = t.log
+let log_bytes t = o_entries + (t.capacity * 16)
 
 (* Re-find a log after restart from its (relative) handle. *)
 let attach rt log =
@@ -64,7 +78,14 @@ let attach rt log =
     | Runtime.Pool_region p -> p
     | Runtime.Dram_region -> invalid_arg "Txn.attach: log is not persistent"
   in
-  { rt; pool; log; capacity }
+  { rt; pool; log; capacity; busy = false }
+
+let with_busy t f =
+  if t.busy then f ()
+  else begin
+    t.busy <- true;
+    Fun.protect ~finally:(fun () -> t.busy <- false) f
+  end
 
 let state t = Runtime.load_word t.rt ~site t.log ~off:o_state
 let count t = Int64.to_int (Runtime.load_word t.rt ~site t.log ~off:o_count)
@@ -73,24 +94,27 @@ let is_active t = Int64.equal (state t) 1L
 let begin_ t =
   if is_active t then raise Already_active;
   if Telemetry.enabled () then Telemetry.incr c_begins;
-  Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
-  Runtime.store_word t.rt ~site t.log ~off:o_state 1L
+  with_busy t (fun () ->
+      Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+      Runtime.store_word t.rt ~site t.log ~off:o_state 1L)
 
 (* Record the current value of [cell] before it is overwritten.  The
    logged address is the cell's relative form so it stays valid across
    crashes and remaps. *)
 let log_cell t (cell : Ptr.t) =
-  let n = count t in
-  if n >= t.capacity then raise Log_full;
-  if Telemetry.enabled () then Telemetry.incr c_logged;
-  let rel_cell = Xlate.va2ra (Runtime.xlate t.rt) cell in
-  if not (Ptr.is_relative rel_cell) then
-    invalid_arg "Txn: transactional stores must target pool memory";
-  let old = Runtime.load_word t.rt ~site rel_cell ~off:0 in
-  let entry_off = o_entries + (n * 16) in
-  Runtime.store_word t.rt ~site t.log ~off:entry_off rel_cell;
-  Runtime.store_word t.rt ~site t.log ~off:(entry_off + 8) old;
-  Runtime.store_word t.rt ~site t.log ~off:o_count (Int64.of_int (n + 1))
+  with_busy t (fun () ->
+      let n = count t in
+      if n >= t.capacity then raise Log_full;
+      if Telemetry.enabled () then Telemetry.incr c_logged;
+      Physmem.fire (Mem.phys (Runtime.mem t.rt)) Fi.Txn_log_append;
+      let rel_cell = Xlate.va2ra (Runtime.xlate t.rt) cell in
+      if not (Ptr.is_relative rel_cell) then
+        invalid_arg "Txn: transactional stores must target pool memory";
+      let old = Runtime.load_word t.rt ~site rel_cell ~off:0 in
+      let entry_off = o_entries + (n * 16) in
+      Runtime.store_word t.rt ~site t.log ~off:entry_off rel_cell;
+      Runtime.store_word t.rt ~site t.log ~off:(entry_off + 8) old;
+      Runtime.store_word t.rt ~site t.log ~off:o_count (Int64.of_int (n + 1)))
 
 (* Transactional stores: log, then write through the normal runtime
    paths (so pointer-format semantics and timing apply unchanged). *)
@@ -106,20 +130,22 @@ let store_ptr t ~site:s (p : Ptr.t) ~off v =
 
 (* Replay the undo log backwards, restoring the exact raw words. *)
 let roll_back t =
-  for i = count t - 1 downto 0 do
-    let entry_off = o_entries + (i * 16) in
-    let cell = Runtime.load_word t.rt ~site t.log ~off:entry_off in
-    let old = Runtime.load_word t.rt ~site t.log ~off:(entry_off + 8) in
-    Runtime.store_word t.rt ~site cell ~off:0 old
-  done;
-  Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
-  Runtime.store_word t.rt ~site t.log ~off:o_state 0L
+  with_busy t (fun () ->
+      for i = count t - 1 downto 0 do
+        let entry_off = o_entries + (i * 16) in
+        let cell = Runtime.load_word t.rt ~site t.log ~off:entry_off in
+        let old = Runtime.load_word t.rt ~site t.log ~off:(entry_off + 8) in
+        Runtime.store_word t.rt ~site cell ~off:0 old
+      done;
+      Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+      Runtime.store_word t.rt ~site t.log ~off:o_state 0L)
 
 let commit t =
   if not (is_active t) then raise Not_active;
   if Telemetry.enabled () then Telemetry.incr c_commits;
-  Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
-  Runtime.store_word t.rt ~site t.log ~off:o_state 0L
+  with_busy t (fun () ->
+      Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+      Runtime.store_word t.rt ~site t.log ~off:o_state 0L)
 
 let abort t =
   if not (is_active t) then raise Not_active;
@@ -140,6 +166,35 @@ let recover t =
     Rolled_back n
   end
   else Clean
+
+(* --- user-transparent instrumentation ------------------------------------
+
+   The paper's Section VI: legacy library code is not rewritten against
+   [store_word]/[store_ptr] above — instead "the compiler inserts the
+   necessary runtime logging" around ordinary stores inside a persistent
+   transaction.  [instrument] models exactly that: it points the
+   runtime's store interceptor and the pool manager's metadata hook at
+   this log, so that while a transaction is active {e every} store
+   targeting pool memory (including freelist updates made by pmalloc /
+   pfree) is undo-logged first.  Structure code written against plain
+   [Runtime.store_*] becomes failure-atomic with no source changes.
+
+   The [busy] guard keeps the log's own stores out of the log; the
+   hooks are volatile and vanish on [Runtime.crash_and_restart], so
+   recovery code must re-register (or run uninstrumented). *)
+
+let instrument t =
+  Runtime.set_store_interceptor t.rt
+    (Some (fun cell -> if (not t.busy) && is_active t then log_cell t cell));
+  Pmop.set_meta_hook (Runtime.pmop t.rt)
+    (Some
+       (fun ~pool ~offset ->
+         if (not t.busy) && is_active t then
+           log_cell t (Ptr.make_relative ~pool ~offset)))
+
+let uninstrument rt =
+  Runtime.set_store_interceptor rt None;
+  Pmop.set_meta_hook (Runtime.pmop rt) None
 
 (* Run [f] in a transaction: commit on return, roll back on exception. *)
 let run t f =

@@ -25,6 +25,11 @@ val header : t -> Ptr.t
 
 val attach : Runtime.t -> Ptr.t -> t
 
+val log_bytes : t -> int
+(** Total size of the log object (header plus entry slots) — the
+    pool-offset extent a fault injector must treat as covered by the
+    log protocol's 8-byte-atomicity assumption. *)
+
 val is_active : t -> bool
 val count : t -> int
 (** Entries currently in the log. *)
@@ -46,7 +51,28 @@ val abort : t -> unit
 type recovery = Clean | Rolled_back of int
 
 val recover : t -> recovery
-(** Post-crash: undo an interrupted transaction if the log is active. *)
+(** Post-crash: undo an interrupted transaction if the log is active.
+
+    [Rolled_back n] restores the exact pre-transaction image when
+    [n > 0].  [Rolled_back 0] and [Clean] are both possible after a
+    crash {e between} the two commit stores (count is truncated before
+    the active flag clears), in which case the post-transaction image
+    is already durable — callers validating atomicity must accept
+    either snapshot for those two results. *)
+
+val instrument : t -> unit
+(** Register this transaction as the runtime's store logger — the
+    paper's "compiler inserts the necessary runtime logging": while a
+    transaction is active, every store targeting pool memory through
+    [Runtime.store_word]/[store_ptr] {e and} every allocator-metadata
+    write (pmalloc/pfree freelist updates) is undo-logged before it
+    executes, so unmodified legacy structure code becomes
+    failure-atomic between {!begin_} and {!commit}.  The hooks are
+    volatile: a [Runtime.crash_and_restart] clears them, and recovery
+    code re-registers on a freshly {!attach}ed log if desired. *)
+
+val uninstrument : Runtime.t -> unit
+(** Clear the runtime's store interceptor and allocator hook. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** Run the function transactionally: commit on return, roll back and

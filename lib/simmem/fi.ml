@@ -1,0 +1,46 @@
+(* Fault-injection event vocabulary.
+
+   Every persistence-relevant action in the stack is announced as one of
+   these events through the per-machine hook installed with
+   [Physmem.set_fi_hook].  The fault-injection engine counts them on a
+   reference run and then re-runs the workload, raising out of the hook
+   at a chosen event index to simulate a power failure at that exact
+   point in the store stream.
+
+   Events fire *before* the action takes effect, so a hook that raises
+   suppresses the store it announces: crashing "at event k" means the
+   machine dies with events [0, k-1] applied and event [k] lost. *)
+
+type event =
+  | Pm_store of {
+      frame : int;
+      word_index : int;
+      old_value : int64;
+      new_value : int64;
+    }
+      (* A word store about to land in an NVM frame. *)
+  | Storep_retire (* A hardware storeP is about to retire its value. *)
+  | Txn_log_append (* The undo log is about to append an entry. *)
+  | Alloc_meta_write of { pool : int; offset : int64 }
+      (* The pool allocator is about to update freelist metadata. *)
+
+let kind_name = function
+  | Pm_store _ -> "pm_store"
+  | Storep_retire -> "storep"
+  | Txn_log_append -> "log_append"
+  | Alloc_meta_write _ -> "alloc_meta"
+
+(* A torn word mixes the old and new value at byte granularity: bit [i]
+   of [keep_old_bytes] selects the old byte for byte lane [i].  This is
+   the adversarial sub-word model for media that only guarantees 8-byte
+   atomicity per *aligned word* but where a crash mid-cacheline-flush
+   can leave any byte-level interleaving of old and new data. *)
+let torn_word ~keep_old_bytes ~old_value ~new_value =
+  let mask = ref 0L in
+  for byte = 0 to 7 do
+    if keep_old_bytes land (1 lsl byte) <> 0 then
+      mask := Int64.logor !mask (Int64.shift_left 0xFFL (8 * byte))
+  done;
+  Int64.logor
+    (Int64.logand old_value !mask)
+    (Int64.logand new_value (Int64.lognot !mask))

@@ -1,0 +1,30 @@
+(** Fault-injection events: the vocabulary of persistence-relevant
+    actions announced through {!Physmem.set_fi_hook}.
+
+    Events fire {e before} the action they describe takes effect, so a
+    hook that raises suppresses the announced store — crashing "at event
+    [k]" leaves the machine with events [0..k-1] applied and event [k]
+    (and everything after it) lost. *)
+
+type event =
+  | Pm_store of {
+      frame : int;
+      word_index : int;
+      old_value : int64;
+      new_value : int64;
+    }  (** A word store about to land in an NVM frame. *)
+  | Storep_retire  (** A hardware storeP about to retire its value. *)
+  | Txn_log_append  (** The undo log about to append an entry. *)
+  | Alloc_meta_write of { pool : int; offset : int64 }
+      (** The pool allocator about to update freelist metadata;
+          [offset] is the word's pool-relative offset. *)
+
+val kind_name : event -> string
+(** Short stable tag for reports: ["pm_store"], ["storep"],
+    ["log_append"], ["alloc_meta"]. *)
+
+val torn_word : keep_old_bytes:int -> old_value:int64 -> new_value:int64 -> int64
+(** Byte-granular mix of [old_value] and [new_value]: bit [i] of
+    [keep_old_bytes] (an 8-bit mask) keeps the {e old} byte in lane
+    [i].  [0xFF] reproduces the old word, [0x00] the new one; anything
+    else is a torn write. *)

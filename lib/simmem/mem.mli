@@ -50,4 +50,6 @@ val write_string : t -> int64 -> string -> unit
 val read_string : t -> int64 -> int -> string
 
 val crash : t -> unit
-(** Drop DRAM contents and every mapping; NVM frames survive. *)
+(** Simulated power failure: erases every DRAM frame's contents
+    ({!Physmem.crash}) and every virtual mapping ({!Vspace.crash});
+    NVM frames survive bit for bit. *)

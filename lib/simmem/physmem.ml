@@ -21,6 +21,11 @@ type t = {
   mutable nvm_frames_allocated : int;
   mutable reads : int;
   mutable writes : int;
+  (* Fault injection: an armed hook sees every persistence-relevant
+     event before it takes effect; a frozen machine drops all stores
+     (power is off, nothing lands on the media any more). *)
+  mutable fi_hook : (Fi.event -> unit) option;
+  mutable frozen : bool;
 }
 
 let no_storage : frame =
@@ -37,6 +42,8 @@ let create () =
     nvm_frames_allocated = 0;
     reads = 0;
     writes = 0;
+    fi_hook = None;
+    frozen = false;
   }
 
 let region_of_frame frame =
@@ -101,9 +108,28 @@ let read_word t ~frame ~word_index =
   t.reads <- t.reads + 1;
   Bigarray.Array1.get (storage t frame) word_index
 
+(* Fire a [Pm_store] for a word about to land in an NVM frame.  Only
+   called with a hook armed; reading the old value costs a frame lookup,
+   which is why the unarmed paths below skip this entirely. *)
+let announce_nvm_store t f frame word_index value =
+  if frame >= Layout.nvm_phys_frame_base then
+    f
+      (Fi.Pm_store
+         {
+           frame;
+           word_index;
+           old_value = Bigarray.Array1.get (storage t frame) word_index;
+           new_value = value;
+         })
+
 let write_word t ~frame ~word_index value =
-  t.writes <- t.writes + 1;
-  Bigarray.Array1.set (storage t frame) word_index value
+  if not t.frozen then begin
+    t.writes <- t.writes + 1;
+    (match t.fi_hook with
+    | None -> ()
+    | Some f -> announce_nvm_store t f frame word_index value);
+    Bigarray.Array1.set (storage t frame) word_index value
+  end
 
 (* Packed-address accessors: [pa] is [frame * page_size + offset] as an
    unboxed int (as produced by [Vspace.translate_pa]).  The word index
@@ -116,11 +142,42 @@ let read_pa t pa =
     ((pa land (Layout.page_size - 1)) lsr 3)
 
 let write_pa t pa value =
-  t.writes <- t.writes + 1;
-  Bigarray.Array1.unsafe_set
-    (storage t (pa lsr Layout.page_shift))
-    ((pa land (Layout.page_size - 1)) lsr 3)
-    value
+  match t.fi_hook with
+  | None ->
+      if not t.frozen then begin
+        t.writes <- t.writes + 1;
+        Bigarray.Array1.unsafe_set
+          (storage t (pa lsr Layout.page_shift))
+          ((pa land (Layout.page_size - 1)) lsr 3)
+          value
+      end
+  | Some f ->
+      if not t.frozen then begin
+        t.writes <- t.writes + 1;
+        let frame = pa lsr Layout.page_shift in
+        let word_index = (pa land (Layout.page_size - 1)) lsr 3 in
+        announce_nvm_store t f frame word_index value;
+        Bigarray.Array1.unsafe_set (storage t frame) word_index value
+      end
+
+(* Hook management and the raw backdoors the injector itself uses. *)
+
+let set_fi_hook t hook = t.fi_hook <- hook
+let fi_armed t = t.fi_hook <> None
+
+let fire t event =
+  match t.fi_hook with
+  | Some f when not t.frozen -> f event
+  | _ -> ()
+
+let set_frozen t frozen = t.frozen <- frozen
+let frozen t = t.frozen
+
+let peek t ~frame ~word_index =
+  Bigarray.Array1.get (storage t frame) word_index
+
+let poke t ~frame ~word_index value =
+  Bigarray.Array1.set (storage t frame) word_index value
 
 (* Crash semantics: DRAM frames lose their contents and are released;
    NVM frames survive untouched.  The DRAM frame counter is recycled
@@ -140,7 +197,11 @@ let crash t =
   t.memo_frame <- -1;
   t.memo_storage <- no_storage;
   t.next_dram_frame <- 1;
-  t.dram_frames_allocated <- 0
+  t.dram_frames_allocated <- 0;
+  (* Power is back: the media accepts stores again.  The fi hook stays
+     armed — an injector that wants to observe the recovery run (or a
+     shell tracking stores across power cycles) keeps its view. *)
+  t.frozen <- false
 
 let dram_frames_allocated t = t.dram_frames_allocated
 let nvm_frames_allocated t = t.nvm_frames_allocated

@@ -33,8 +33,16 @@ val read_pa : t -> int -> int64
 val write_pa : t -> int -> int64 -> unit
 
 val crash : t -> unit
-(** DRAM frames lose their contents and are released, and the DRAM
-    frame counter is recycled; NVM frames survive untouched. *)
+(** Simulated power failure at the media level.
+
+    Erased: the contents of every DRAM frame (their backing storage is
+    released and the DRAM frame counter recycled, so old DRAM frame
+    numbers are dead).  Survives: every NVM frame, bit for bit, along
+    with the NVM frame counter and any armed fault-injection hook.
+    A {!set_frozen} freeze is lifted — power is back.  Higher layers
+    add their own crash semantics on top: see {!Vspace.crash} (all
+    mappings), {!Mem.crash}, and [Pmop.crash] (pool registry and pool
+    frames survive; volatile tables vanish). *)
 
 val dram_frames_allocated : t -> int
 val nvm_frames_allocated : t -> int
@@ -44,3 +52,36 @@ val writes : t -> int
 val reset_stats : t -> unit
 (** Zero the read/write counters (frame-allocation counts are state,
     not statistics, and are kept). *)
+
+(** {2 Fault injection}
+
+    One hook per machine sees every persistence-relevant event
+    {e before} it takes effect ({!Fi.event}); raising from the hook
+    therefore suppresses the announced store.  The hook survives
+    {!crash} so an injector can observe recovery too. *)
+
+val set_fi_hook : t -> (Fi.event -> unit) option -> unit
+(** Arm or disarm the fault-injection hook.  The unarmed write path
+    pays only a null test; the armed path additionally reads the old
+    value of every NVM word stored. *)
+
+val fi_armed : t -> bool
+
+val fire : t -> Fi.event -> unit
+(** Announce an event from an upper layer ([Txn], [Pmop], [Runtime])
+    to the hook, if armed and not frozen.  No-op otherwise. *)
+
+val set_frozen : t -> bool -> unit
+(** A frozen machine drops every store (reads still work): it models
+    the instant of power loss, so code unwinding from a crash exception
+    cannot accidentally keep writing to the media.  {!crash} unfreezes. *)
+
+val frozen : t -> bool
+
+val peek : t -> frame:int -> word_index:int -> int64
+(** Raw word read: no counters, no hook. *)
+
+val poke : t -> frame:int -> word_index:int -> int64 -> unit
+(** Raw word write: no counters, no hook, ignores freezing.  This is
+    the injector's backdoor for planting torn words ({!Fi.torn_word})
+    at the crash point. *)

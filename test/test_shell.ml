@@ -87,6 +87,20 @@ let test_stats_shape () =
   let lines = exec s "stats" in
   check_bool "five stat lines" true (List.length lines = 5)
 
+(* `crash torn` with a fixed seed must replay bit-identically: the
+   examples/ transcript diff relies on this. *)
+let test_torn_crash_deterministic () =
+  let session () =
+    let s = Shell.create ~seed:7 () in
+    List.concat_map (exec s)
+      [ "put 1 100"; "put 2 200"; "put 1 111"; "crash torn"; "size"; "crash";
+        "keys" ]
+  in
+  let a = session () and b = session () in
+  check_lines "identical replies" a b;
+  check_bool "the torn crash replied" true
+    (List.exists (contains ~needle:"torn store") a)
+
 let () =
   Alcotest.run "shell"
     [
@@ -100,6 +114,8 @@ let () =
       ( "persistence",
         [
           Alcotest.test_case "crash cycles" `Quick test_crash_persistence;
+          Alcotest.test_case "torn crash is deterministic" `Quick
+            test_torn_crash_deterministic;
           Alcotest.test_case "all structures" `Quick test_other_structures;
           Alcotest.test_case "all modes" `Quick test_modes;
         ] );
