@@ -4,7 +4,10 @@
                                           parses and carries the keys
                                           the perf trajectory reads
      check_stats.exe --same A B           assert byte equality (the
-                                          --jobs determinism check) *)
+                                          --jobs determinism check)
+     check_stats.exe --fuzz STATS.json    assert the fuzz.* counters a
+                                          `nvml fuzz --stats` run must
+                                          produce *)
 
 module Json = Nvml_telemetry.Json
 
@@ -39,9 +42,32 @@ let check_stats path =
   | _ -> fail "%s: missing or empty counters object" path);
   Printf.printf "%s: ok\n" path
 
+let check_fuzz path =
+  let doc =
+    match Json.of_string (read_file path) with
+    | Ok doc -> doc
+    | Error msg -> fail "%s: invalid JSON: %s" path msg
+  in
+  let counter key =
+    match Json.path [ "counters"; key ] doc with
+    | Some (Json.Int n) -> n
+    | Some _ -> fail "%s: counters.%s is not an integer" path key
+    | None -> fail "%s: missing counters.%s" path key
+  in
+  let runs = counter "fuzz.runs" in
+  let ops = counter "fuzz.ops" in
+  if runs <= 0 then fail "%s: fuzz.runs is %d, expected > 0" path runs;
+  if ops <= 0 then fail "%s: fuzz.ops is %d, expected > 0" path ops;
+  let violations = counter "fuzz.violations" in
+  if violations < 0 then fail "%s: negative fuzz.violations" path;
+  ignore (counter "fuzz.shrink_replays");
+  Printf.printf "%s: ok (fuzz.runs=%d fuzz.ops=%d fuzz.violations=%d)\n" path
+    runs ops violations
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "--same"; a; b ] ->
       if read_file a <> read_file b then fail "%s and %s differ" a b
+  | [ _; "--fuzz"; path ] -> check_fuzz path
   | [ _; path ] -> check_stats path
-  | _ -> fail "usage: check_stats [--same A B | STATS.json]"
+  | _ -> fail "usage: check_stats [--same A B | --fuzz STATS.json | STATS.json]"

@@ -22,6 +22,8 @@ module Interp = Nvml_minic.Interp
 module Inference = Nvml_comp.Inference
 module Pool = Nvml_exec.Pool
 module Faultinject = Nvml_faultinject.Faultinject
+module Modelcheck = Nvml_modelcheck.Modelcheck
+module Engine = Nvml_modelcheck.Engine
 module Telemetry = Nvml_telemetry.Telemetry
 module Json = Nvml_telemetry.Json
 module Profile = Nvml_kvstore.Profile
@@ -562,6 +564,144 @@ let faultinject_cmd =
       $ ops_arg $ every_n_arg $ at_arg $ torn_arg $ seed_arg $ max_points_arg
       $ break_arg $ jobs_arg)
 
+(* --- fuzz ----------------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let component_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "component"; "c" ] ~docv:"NAME"
+          ~doc:
+            "Component to fuzz (repeatable; default all). One of cache, \
+             valb, storep, vatb, freelist, pmop, semantics, zipf, \
+             structures (all containers) or structures:$(i,NAME).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "ops" ] ~docv:"N"
+          ~doc:
+            "Ops per component run (heavyweight harnesses scale this \
+             down; see DESIGN.md).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Stream seed. A run is deterministic in (component, seed, \
+             ops), so a reported violation replays bit-identically.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Sweep $(docv) consecutive seeds starting at --seed.")
+  in
+  let break_arg =
+    Arg.(
+      value & flag
+      & info [ "break" ]
+          ~doc:
+            "Fuzzer self-test: re-enable the historical bugs (quirks) in \
+             quirk-capable components and demand the fuzzer finds each \
+             one while every other component stays clean.")
+  in
+  let stats_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Record telemetry (fuzz.* counters included) and write the \
+             stats JSON document to $(docv).")
+  in
+  let run components ops seed seeds break jobs stats_file =
+    let instrumented f =
+      match stats_file with
+      | None -> f ()
+      | Some path ->
+          (* Enable telemetry for the whole run (not per component) so
+             parallel workers all see one stable enabled flag. *)
+          Telemetry.set_enabled true;
+          Telemetry.run_with_sink (Telemetry.fresh_sink ()) (fun () ->
+              let r = f () in
+              (match open_out path with
+              | oc ->
+                  Telemetry.write_stats_json oc;
+                  close_out oc;
+                  Fmt.epr "stats written to %s@." path
+              | exception Sys_error msg ->
+                  Fmt.epr "--stats: %s@." msg;
+                  exit 1);
+              r)
+    in
+    let pool = Pool.create ~jobs:(resolve_jobs jobs) () in
+    let reports =
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          instrumented @@ fun () ->
+          List.init seeds (fun i ->
+              match
+                Modelcheck.run ~pool ~break ~components ~ops ~seed:(seed + i)
+                  ()
+              with
+              | report -> report
+              | exception Modelcheck.Unknown_component name ->
+                  Fmt.epr "unknown component %S (known: %s)@." name
+                    (String.concat ", " (Modelcheck.names ()));
+                  exit 2))
+    in
+    List.iter (Fmt.pr "%a" Modelcheck.pp_report) reports;
+    if break then begin
+      if List.for_all Modelcheck.break_run_ok reports then
+        Fmt.pr "fuzz --break: every planted bug was found@."
+      else begin
+        Fmt.pr "fuzz --break: self-test FAILED (a planted bug escaped, or \
+                a clean component reported a violation)@.";
+        exit 1
+      end
+    end
+    else
+      List.iter
+        (fun (r : Modelcheck.report) ->
+          if r.Modelcheck.violations > 0 then begin
+            List.iter
+              (fun (e : Modelcheck.entry) ->
+                match e.Modelcheck.result.Engine.violation with
+                | Some _ ->
+                    Fmt.pr "replay: nvml fuzz --component %s --seed %d \
+                            --ops %d@."
+                      e.Modelcheck.spec_name e.Modelcheck.result.Engine.seed
+                      ops
+                | None -> ())
+              r.Modelcheck.entries;
+            exit 1
+          end)
+        reports
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Model-based differential fuzzing of the simulated components."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Each component (POLB cache, VALB, storeP unit, VATB B-tree, \
+              freelist allocator, pool manager, every persistent container, \
+              plus two cross-layer properties: SW-vs-HW pointer-semantics \
+              equivalence on the mini-C corpus and YCSB distribution \
+              statistics) runs in lockstep with an obviously-correct \
+              reference model on a seeded random op stream.  Any divergence \
+              or broken invariant is shrunk to a minimal counterexample by \
+              greedy delta-debugging and reported with a replayable seed.";
+           `P "Exits 1 on any violation (or a failed --break self-test).";
+         ])
+    Term.(
+      const run $ component_arg $ ops_arg $ seed_arg $ seeds_arg $ break_arg
+      $ jobs_arg $ stats_arg)
+
 (* --- shell ---------------------------------------------------------------------------- *)
 
 let shell_cmd =
@@ -620,4 +760,4 @@ let () =
        (Cmd.group
           (Cmd.info "nvml" ~version:"1.0.0" ~doc)
           [ kv_cmd; stats_cmd; knn_cmd; soundness_cmd; inference_cmd; run_cmd;
-            compile_cmd; faultinject_cmd; shell_cmd; info_cmd ]))
+            compile_cmd; faultinject_cmd; fuzz_cmd; shell_cmd; info_cmd ]))

@@ -8,6 +8,16 @@
 
 module Hit_miss = Nvml_telemetry.Stats.Hit_miss
 
+(* Deliberately re-enable a fixed bug, so the model-based fuzzer's
+   [--break] self-test can prove it would have caught it.  Never set
+   outside that self-test. *)
+type quirk =
+  | Stale_invalidate_stamp
+      (* pre-fix behaviour: [invalidate] clears the tag but leaves the
+         way's LRU stamp, and eviction picks the min-stamp way without
+         preferring invalid ones — so a later miss can evict a *valid*
+         line while the invalidated slot sits unused *)
+
 type t = {
   sets : int;
   ways : int;
@@ -16,6 +26,7 @@ type t = {
   tags : int array; (* sets * ways, -1 = invalid *)
   stamps : int array; (* LRU timestamps *)
   mutable clock : int;
+  mutable stale_stamp : bool; (* Stale_invalidate_stamp quirk enabled *)
   stats : Hit_miss.t;
 }
 
@@ -29,8 +40,11 @@ let create ~sets ~ways ~index_shift =
     tags = Array.make (sets * ways) (-1);
     stamps = Array.make (sets * ways) 0;
     clock = 0;
+    stale_stamp = false;
     stats = Hit_miss.create ();
   }
+
+let enable_quirk t Stale_invalidate_stamp = t.stale_stamp <- true
 
 let set_of t block = if t.pow2 then block land (t.sets - 1) else block mod t.sets
 
@@ -60,11 +74,24 @@ let access t addr =
   end
   else begin
     Hit_miss.miss t.stats;
-    (* Evict the LRU way. *)
-    let victim = ref 0 in
-    for i = 1 to t.ways - 1 do
-      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
-    done;
+    (* Fill an invalid way when one exists; only a full set evicts its
+       LRU line.  (The quirk restores the pre-fix pure min-stamp scan,
+       which — combined with the stale stamp [invalidate] used to leave
+       behind — evicted valid lines while invalidated slots sat idle.) *)
+    let victim = ref (-1) in
+    if not t.stale_stamp then begin
+      let i = ref 0 in
+      while !victim < 0 && !i < t.ways do
+        if Array.unsafe_get t.tags (base + !i) = -1 then victim := !i;
+        incr i
+      done
+    end;
+    if !victim < 0 then begin
+      victim := 0;
+      for i = 1 to t.ways - 1 do
+        if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+      done
+    end;
     t.tags.(base + !victim) <- block;
     t.stamps.(base + !victim) <- t.clock;
     false
@@ -82,19 +109,32 @@ let probe t addr =
   find 0
 
 (* Invalidate the block containing [addr] if present (e.g. POLB entry
-   shootdown when a pool is detached). *)
+   shootdown when a pool is detached).  The LRU stamp is reset with the
+   tag: leaving it behind made the invalidated way look recently used,
+   so a later miss would evict a valid line instead of reusing it. *)
 let invalidate t addr =
   let block = block_of t addr in
   let set = set_of t block in
   let base = set * t.ways in
   for i = 0 to t.ways - 1 do
-    if t.tags.(base + i) = block then t.tags.(base + i) <- -1
+    if t.tags.(base + i) = block then begin
+      t.tags.(base + i) <- -1;
+      if not t.stale_stamp then t.stamps.(base + i) <- 0
+    end
   done
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.stamps 0 (Array.length t.stamps) 0
 
+(* Debug view for the model-based fuzzer: the (tag, stamp) pairs of one
+   set, way order.  Invalid ways report tag -1. *)
+let ways_of_set t set =
+  if set < 0 || set >= t.sets then invalid_arg "Cache.ways_of_set";
+  let base = set * t.ways in
+  List.init t.ways (fun i -> (t.tags.(base + i), t.stamps.(base + i)))
+
+let sets t = t.sets
 let stats t = t.stats
 let hits t = Hit_miss.hits t.stats
 let misses t = Hit_miss.misses t.stats

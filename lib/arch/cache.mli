@@ -19,9 +19,27 @@ val probe : t -> int -> bool
 (** Presence test without insertion. *)
 
 val invalidate : t -> int -> unit
-(** Drop the block if present (e.g. POLB shootdown on pool detach). *)
+(** Drop the block if present (e.g. POLB shootdown on pool detach), LRU
+    stamp included, so the freed way is the next eviction victim. *)
 
 val flush : t -> unit
+
+(** {1 Fuzzer hooks} *)
+
+type quirk =
+  | Stale_invalidate_stamp
+      (** Pre-fix behaviour: [invalidate] leaves the way's LRU stamp and
+          eviction never prefers invalid ways, so a later miss evicts a
+          valid line while the invalidated slot sits unused.  Only for
+          the model-based fuzzer's [--break] self-test. *)
+
+val enable_quirk : t -> quirk -> unit
+
+val ways_of_set : t -> int -> (int * int) list
+(** The (tag, stamp) pairs of one set in way order (tag -1 = invalid) —
+    the observation the fuzzer checks LRU order against its model. *)
+
+val sets : t -> int
 
 val stats : t -> Nvml_telemetry.Stats.Hit_miss.t
 (** The shared hit/miss record; the remaining accessors delegate to it. *)

@@ -1,0 +1,51 @@
+(** The model-based differential fuzzing engine.
+
+    A component under test is packaged as a {!harness}: a seeded op
+    generator plus a factory that builds a fresh instance — the real
+    component and its obviously-correct reference model side by side —
+    and returns an apply function that executes one op on both and
+    raises {!Violation} on any observable divergence or broken
+    invariant.
+
+    [run] replays a seeded random op stream against the harness; on a
+    violation it shrinks the failing prefix (greedy delta-debugging
+    with a bounded replay budget) and reports the minimal op trace,
+    which replays bit-identically from (component, seed). *)
+
+exception Violation of string
+(** Raised by a harness [apply] when the component diverges from its
+    model or breaks an invariant.  Any other exception escaping [apply]
+    is reported as a violation too (the model said it must not
+    happen). *)
+
+type 'op harness = {
+  component : string;  (** registry name, also salts the op stream *)
+  gen : Random.State.t -> 'op;
+  init : seed:int -> ('op -> unit);
+      (** build a fresh component + model pair; the returned closure
+          applies one op to both and checks equivalence *)
+  pp : 'op -> string;
+}
+
+type packed = Packed : 'op harness -> packed
+
+type counterexample = {
+  step : int;  (** index of the failing op in the original stream *)
+  message : string;
+  trace : string list;  (** shrunk op sequence, pretty-printed *)
+  shrunk_from : int;  (** length of the original failing prefix *)
+}
+
+type result = {
+  component : string;
+  seed : int;
+  ops : int;  (** op-stream length requested *)
+  ops_run : int;  (** ops applied before stopping *)
+  violation : counterexample option;
+}
+
+val run : packed -> ops:int -> seed:int -> result
+(** Deterministic in (component, seed, ops): the op stream depends only
+    on those, never on wall time or the component's behaviour. *)
+
+val pp_result : result Fmt.t

@@ -1,0 +1,63 @@
+(** One fuzzing harness per simulated component: the implementation and
+    an obviously-correct reference model run in lockstep on a seeded op
+    stream, raising {!Engine.Violation} on any observable divergence.
+
+    [~break:true] re-enables the component's fixed bugs (quirks) so a
+    self-test can assert the fuzzer still finds them. *)
+
+module Cache_h : sig
+  val harness : break:bool -> unit -> Engine.packed
+  (** POLB set-associative cache vs per-set MRU lists: hit/miss results,
+      residency, and exact LRU order after every op. *)
+end
+
+module Valb_h : sig
+  val harness : break:bool -> unit -> Engine.packed
+  (** VALB range CAM vs an MRU entry list: lookups, one-way-per-pool
+      dedup, remapped-base refills, shootdowns and flushes. *)
+end
+
+module Storep_h : sig
+  val harness : unit -> Engine.packed
+  (** storeP unit vs a completion-time multiset: per-issue stalls and
+      the issued/stall/peak-occupancy statistics. *)
+end
+
+module Vatb_h : sig
+  val harness : unit -> Engine.packed
+  (** VATB range B-tree vs a slot table: lookups, removals, rebalance
+      invariants, and lookup path length bounded by the tree height. *)
+end
+
+module Freelist_h : sig
+  val harness : unit -> Engine.packed
+  (** In-arena first-fit allocator vs a sorted block-list model,
+      including scribbled application bytes and bogus frees that the
+      allocator must reject. *)
+end
+
+module Pmop_h : sig
+  val harness : unit -> Engine.packed
+  (** Pool manager: per-pool heaps and roots vs block-list models,
+      across crash/reopen cycles. *)
+end
+
+module Structure_h : sig
+  val harness : Nvml_structures.Intf.ordered_map -> Engine.packed
+  (** One persistent container (in HW mode, through the full runtime)
+      vs [Stdlib.Map], with crash/re-attach cycles. *)
+end
+
+module Semantics_h : sig
+  val harness : unit -> Engine.packed
+  (** Cross-layer: each op replays one corpus program under volatile,
+      SW (with and without the inference plan) and HW configurations,
+      checking output equality and that telemetry's per-site check
+      counters agree with the static classification. *)
+end
+
+module Zipf_h : sig
+  val harness : unit -> Engine.packed
+  (** Cross-layer: empirical rank frequencies of the zipfian/latest
+      samplers vs the closed-form Gray probabilities. *)
+end

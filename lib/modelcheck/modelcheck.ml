@@ -1,0 +1,147 @@
+(* The component registry and the fuzzing driver behind `nvml fuzz`. *)
+
+module Registry = Nvml_structures.Registry
+module Pool = Nvml_exec.Pool
+
+type spec = {
+  name : string;
+  breakable : bool;
+      (* has a quirk that re-enables a fixed bug for --break self-tests *)
+  scale : int; (* op-cost divisor: heavy harnesses run ops/scale ops *)
+  make : break:bool -> Engine.packed;
+}
+
+let structure_spec (module M : Nvml_structures.Intf.ORDERED_MAP) =
+  {
+    name = "structures:" ^ M.name;
+    breakable = false;
+    scale = 4;
+    make = (fun ~break:_ -> Harnesses.Structure_h.harness (module M));
+  }
+
+let specs () =
+  [
+    {
+      name = "cache";
+      breakable = true;
+      scale = 1;
+      make = (fun ~break -> Harnesses.Cache_h.harness ~break ());
+    };
+    {
+      name = "valb";
+      breakable = true;
+      scale = 1;
+      make = (fun ~break -> Harnesses.Valb_h.harness ~break ());
+    };
+    {
+      name = "storep";
+      breakable = false;
+      scale = 1;
+      make = (fun ~break:_ -> Harnesses.Storep_h.harness ());
+    };
+    {
+      name = "vatb";
+      breakable = false;
+      scale = 1;
+      make = (fun ~break:_ -> Harnesses.Vatb_h.harness ());
+    };
+    {
+      name = "freelist";
+      breakable = false;
+      scale = 1;
+      make = (fun ~break:_ -> Harnesses.Freelist_h.harness ());
+    };
+    {
+      name = "pmop";
+      breakable = false;
+      scale = 2;
+      make = (fun ~break:_ -> Harnesses.Pmop_h.harness ());
+    };
+  ]
+  @ List.map structure_spec Registry.all_maps
+  @ [
+      {
+        name = "semantics";
+        breakable = false;
+        scale = 16;
+        make = (fun ~break:_ -> Harnesses.Semantics_h.harness ());
+      };
+      {
+        name = "zipf";
+        breakable = false;
+        scale = 1;
+        make = (fun ~break:_ -> Harnesses.Zipf_h.harness ());
+      };
+    ]
+
+let names () = List.map (fun s -> s.name) (specs ())
+
+exception Unknown_component of string
+
+(* "structures" expands to every registered container; [] means all. *)
+let select requested =
+  let all = specs () in
+  match requested with
+  | [] -> all
+  | req ->
+      List.concat_map
+        (fun name ->
+          if name = "structures" then
+            List.filter
+              (fun s ->
+                String.length s.name > 11
+                && String.sub s.name 0 11 = "structures:")
+              all
+          else
+            match List.find_opt (fun s -> s.name = name) all with
+            | Some s -> [ s ]
+            | None -> raise (Unknown_component name))
+        req
+
+type entry = { spec_name : string; breakable : bool; result : Engine.result }
+type report = { entries : entry list; violations : int }
+
+let run ?pool ?(break = false) ~components ~ops ~seed () =
+  let selected = select components in
+  let tasks =
+    List.map
+      (fun s () ->
+        let ops = max 1 (ops / s.scale) in
+        let result = Engine.run (s.make ~break) ~ops ~seed in
+        { spec_name = s.name; breakable = s.breakable; result })
+      selected
+  in
+  let entries =
+    match pool with
+    | Some p -> Pool.run p tasks
+    | None -> List.map (fun t -> t ()) tasks
+  in
+  let violations =
+    List.length
+      (List.filter (fun e -> e.result.Engine.violation <> None) entries)
+  in
+  { entries; violations }
+
+(* A --break run succeeds when the fuzzer finds every planted bug and
+   nothing else: each quirk-capable component must report a violation,
+   every other component must stay clean. *)
+let break_run_ok report =
+  List.for_all
+    (fun e ->
+      let violated = e.result.Engine.violation <> None in
+      if e.breakable then violated else not violated)
+    report.entries
+
+let pp_report ppf report =
+  List.iter
+    (fun e -> Fmt.pf ppf "@[<v>%a@]@." Engine.pp_result e.result)
+    report.entries;
+  let n = List.length report.entries in
+  if report.violations = 0 then
+    Fmt.pf ppf "fuzz: %d component run%s, no violations@." n
+      (if n = 1 then "" else "s")
+  else
+    Fmt.pf ppf "fuzz: %d component run%s, %d VIOLATION%s@." n
+      (if n = 1 then "" else "s")
+      report.violations
+      (if report.violations = 1 then "" else "S")

@@ -116,11 +116,20 @@ let alloc a (size : int64) : int64 =
    by offset so neighbours are found during insertion. *)
 let free a (payload : int64) : unit =
   let b = payload -! header_size in
-  if b < heap_start || b >= capacity a then
+  let cap = capacity a in
+  if b < heap_start || b >= cap then
     raise (Corrupt_arena (Fmt.str "free: offset %Ld out of arena" payload));
   if not (block_allocated a b) then
     raise (Corrupt_arena (Fmt.str "double free at offset %Ld" payload));
   let size = block_size a b in
+  (* The start check alone is not enough: an interior or stale pointer
+     can land on application bytes that look like an allocated header
+     whose size runs past the arena — freeing it would corrupt the
+     accounting and chain a bogus block into the free list. *)
+  if size < min_block || Int64.rem size 16L <> 0L || b +! size > cap then
+    raise
+      (Corrupt_arena
+         (Fmt.str "free: block at %Ld has corrupt size %Ld" payload size));
   a.write off_allocated (allocated_bytes a -! size);
   a.write off_free_count (a.read off_free_count +! 1L);
   set_block a b ~size ~allocated:false;
@@ -178,4 +187,41 @@ let check_invariants a : int64 =
       (Corrupt_arena
          (Fmt.str "accounting mismatch: free %Ld + allocated %Ld <> heap %Ld"
             free_total (allocated_bytes a) (cap -! heap_start)));
+  (* Whole-heap walk: blocks must tile [heap_start, capacity) exactly,
+     every free block must be one the free-list walk above visited, and
+     the allocated blocks must sum to the header's accounting word (the
+     check above trusts that word; this one recomputes it). *)
+  let free_set = Hashtbl.create 16 in
+  let rec collect cur =
+    if not (Int64.equal cur 0L) then begin
+      Hashtbl.replace free_set cur ();
+      collect (block_next a cur)
+    end
+  in
+  collect (a.read off_free_head);
+  let rec tile b alloc_sum free_seen =
+    if Int64.equal b cap then (alloc_sum, free_seen)
+    else if b > cap then
+      raise (Corrupt_arena (Fmt.str "block at %Ld overruns the arena" b))
+    else begin
+      let size = block_size a b in
+      if size < min_block || Int64.rem size 16L <> 0L || b +! size > cap then
+        raise (Corrupt_arena (Fmt.str "block at %Ld has corrupt size %Ld" b size));
+      if block_allocated a b then tile (b +! size) (alloc_sum +! size) free_seen
+      else begin
+        if not (Hashtbl.mem free_set b) then
+          raise
+            (Corrupt_arena (Fmt.str "free block at %Ld not on the free list" b));
+        tile (b +! size) alloc_sum (free_seen + 1)
+      end
+    end
+  in
+  let alloc_sum, free_seen = tile heap_start 0L 0 in
+  if alloc_sum <> allocated_bytes a then
+    raise
+      (Corrupt_arena
+         (Fmt.str "allocated accounting %Ld but blocks sum to %Ld"
+            (allocated_bytes a) alloc_sum));
+  if free_seen <> Hashtbl.length free_set then
+    raise (Corrupt_arena "free list references blocks outside the heap walk");
   free_total

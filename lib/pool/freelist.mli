@@ -29,7 +29,9 @@ val alloc : access -> int64 -> int64
 
 val free : access -> int64 -> unit
 (** Free a payload offset, coalescing adjacent free blocks.
-    @raise Corrupt_arena on double free or foreign offsets. *)
+    @raise Corrupt_arena on double free, foreign offsets, or a header
+    whose size is unaligned, undersized, or runs past the arena end
+    (interior/stale pointers landing on application bytes). *)
 
 val capacity : access -> int64
 val allocated_bytes : access -> int64
@@ -39,6 +41,8 @@ val get_root : access -> int64
 val set_root : access -> int64 -> unit
 
 val check_invariants : access -> int64
-(** Verify free-list ordering, bounds, non-overlap and byte accounting;
-    returns total free bytes.
+(** Verify free-list ordering, bounds, non-overlap, and that the blocks
+    tile the heap exactly — allocated blocks summing to the accounting
+    word and every free block chained on the free list; returns total
+    free bytes.
     @raise Corrupt_arena on any violation. *)
