@@ -1,0 +1,17 @@
+module Freelist = Nvml_pool.Freelist
+let () =
+  let words : (int64, int64) Hashtbl.t = Hashtbl.create 64 in
+  let a = { Freelist.read = (fun off -> Option.value ~default:0L (Hashtbl.find_opt words off));
+            write = (fun off v -> Hashtbl.replace words off v) } in
+  Freelist.init a ~capacity:4096L;
+  let p = Freelist.alloc a 100L in
+  (* Plant a fake allocated header whose size overflows b + size *)
+  let huge = Int64.logor 0x7FFFFFFFFFFFFF00L 1L in
+  a.Freelist.write (Int64.add p 8L) huge;
+  let bogus = Int64.add p (Int64.add 8L Freelist.header_size) in
+  (match Freelist.free a bogus with
+   | () -> print_endline "ACCEPTED: overflow bypassed the size check"
+   | exception Freelist.Corrupt_arena m -> print_endline ("rejected: " ^ m));
+  (match Freelist.check_invariants a with
+   | _ -> print_endline "invariants: ok (corruption undetected)"
+   | exception Freelist.Corrupt_arena m -> print_endline ("invariants caught: " ^ m))
