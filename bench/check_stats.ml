@@ -7,6 +7,9 @@
                                           --jobs determinism check)
      check_stats.exe --fuzz STATS.json    assert the fuzz.* counters a
                                           `nvml fuzz --stats` run must
+                                          produce
+     check_stats.exe --media STATS.json   assert the media.* counters a
+                                          `nvml scrub --stats` run must
                                           produce *)
 
 module Json = Nvml_telemetry.Json
@@ -64,10 +67,48 @@ let check_fuzz path =
   Printf.printf "%s: ok (fuzz.runs=%d fuzz.ops=%d fuzz.violations=%d)\n" path
     runs ops violations
 
+let check_media path =
+  let doc =
+    match Json.of_string (read_file path) with
+    | Ok doc -> doc
+    | Error msg -> fail "%s: invalid JSON: %s" path msg
+  in
+  let counter key =
+    match Json.path [ "counters"; key ] doc with
+    | Some (Json.Int n) -> n
+    | Some _ -> fail "%s: counters.%s is not an integer" path key
+    | None -> fail "%s: missing counters.%s" path key
+  in
+  let runs = counter "media.scrub.runs" in
+  let pools = counter "media.scrub.pools" in
+  if runs <= 0 then fail "%s: media.scrub.runs is %d, expected > 0" path runs;
+  if pools <= 0 then fail "%s: media.scrub.pools is %d, expected > 0" path pools;
+  let detected = counter "media.scrub.detected" in
+  let repaired = counter "media.scrub.repaired" in
+  if repaired > detected then
+    fail "%s: media.scrub.repaired (%d) exceeds detected (%d)" path repaired
+      detected;
+  List.iter
+    (fun key -> if counter key < 0 then fail "%s: negative %s" path key)
+    [
+      "media.scrub.unrepairable"; "media.scrub.lost_objects";
+      "media.read.flips"; "media.read.poisons"; "media.read.transient_faults";
+      "media.read.retries"; "media.healed_words"; "media.seals";
+      "media.writes_refused"; "media.attach.verified"; "media.attach.dirty";
+      "media.attach.degraded";
+    ];
+  Printf.printf
+    "%s: ok (media.scrub.runs=%d pools=%d detected=%d repaired=%d)\n" path runs
+    pools detected repaired
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "--same"; a; b ] ->
       if read_file a <> read_file b then fail "%s and %s differ" a b
   | [ _; "--fuzz"; path ] -> check_fuzz path
+  | [ _; "--media"; path ] -> check_media path
   | [ _; path ] -> check_stats path
-  | _ -> fail "usage: check_stats [--same A B | --fuzz STATS.json | STATS.json]"
+  | _ ->
+      fail
+        "usage: check_stats [--same A B | --fuzz STATS.json | --media \
+         STATS.json | STATS.json]"

@@ -46,6 +46,7 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
     ("multipool", "pool-count capacity sweep", Experiments.multipool);
     ("txn", "transaction overhead", Experiments.txn_overhead);
     ("faultinject", "crash-point recovery sweep", Experiments.faultinject);
+    ("scrub", "media-error detection/repair coverage", Experiments.scrub);
     ("sweep", "NVM latency and working-set sweeps", Experiments.sweep);
     ("micro", "bechamel micro-benchmarks", Experiments.micro);
   ]

@@ -27,6 +27,9 @@ module Engine = Nvml_modelcheck.Engine
 module Telemetry = Nvml_telemetry.Telemetry
 module Json = Nvml_telemetry.Json
 module Profile = Nvml_kvstore.Profile
+module Media = Nvml_media.Media
+module Mediacheck = Nvml_pool.Mediacheck
+module Scrub = Nvml_pool.Scrub
 
 (* --- shared argument converters ---------------------------------------- *)
 
@@ -702,6 +705,203 @@ let fuzz_cmd =
       const run $ component_arg $ ops_arg $ seed_arg $ seeds_arg $ break_arg
       $ jobs_arg $ stats_arg)
 
+(* --- scrub ---------------------------------------------------------------------------- *)
+
+let scrub_cmd =
+  let pools_arg =
+    Arg.(value & opt int 3 & info [ "pools" ] ~docv:"N" ~doc:"Pools per cell.")
+  in
+  let records_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "records" ] ~docv:"N"
+          ~doc:
+            "Objects allocated per pool before sealing (a third are freed \
+             again so the free list has interior nodes).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 5e-4
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Per-word (per-line for poison) fault probability for each \
+             enabled kind; 0 disables injection.")
+  in
+  let kinds_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "kinds" ] ~docv:"KIND"
+          ~doc:
+            "Fault kinds to inject (repeatable): $(b,flip), $(b,poison), \
+             $(b,transient). Default: all three.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Cell seed (population and fault placement); a cell replays \
+             bit-identically from (seed, rate, kinds).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Sweep $(docv) consecutive seeds starting at --seed.")
+  in
+  let repair_arg =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Repair what the replica superblock can vouch for and re-seal; \
+             without it the scrub only reports and degrades.")
+  in
+  let report_arg =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Print the full per-pool findings report for every cell, not \
+             just the summary line.")
+  in
+  let allow_loss_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-loss" ]
+          ~doc:"Exit 0 even when unrepairable damage remains (smoke runs).")
+  in
+  let stats_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Record telemetry (media.* counters included) and write the \
+             stats JSON document to $(docv).")
+  in
+  let run pools records rate kinds seed seeds repair report allow_loss jobs
+      stats_file =
+    let kinds =
+      List.map
+        (fun k ->
+          match Media.kind_of_name k with
+          | Some k -> k
+          | None ->
+              Fmt.epr "--kinds expects flip, poison or transient, got %S@." k;
+              exit 2)
+        kinds
+    in
+    let replay_flags =
+      Fmt.str "--rate %g%s%s" rate
+        (String.concat ""
+           (List.map (fun k -> " --kinds " ^ Media.kind_name k) kinds))
+        (if repair then " --repair" else "")
+    in
+    let instrumented f =
+      match stats_file with
+      | None -> f ()
+      | Some path ->
+          Telemetry.set_enabled true;
+          Telemetry.run_with_sink (Telemetry.fresh_sink ()) (fun () ->
+              let r = f () in
+              (match open_out path with
+              | oc ->
+                  Telemetry.write_stats_json oc;
+                  close_out oc;
+                  Fmt.epr "stats written to %s@." path
+              | exception Sys_error msg ->
+                  Fmt.epr "--stats: %s@." msg;
+                  exit 1);
+              r)
+    in
+    let pool = Pool.create ~jobs:(resolve_jobs jobs) () in
+    let cells =
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          instrumented @@ fun () ->
+          Pool.run pool
+            (List.init seeds (fun i () ->
+                 Mediacheck.run_cell
+                   {
+                     Mediacheck.pools;
+                     records;
+                     rate;
+                     kinds;
+                     seed = seed + i;
+                     repair;
+                   })))
+    in
+    List.iter
+      (fun (c : Mediacheck.cell) ->
+        Fmt.pr "%a@." Mediacheck.pp_summary c;
+        if report then Fmt.pr "%a@." Scrub.pp_report c.Mediacheck.report;
+        List.iter
+          (fun m -> Fmt.pr "  MISPREDICTION %s@." m)
+          c.Mediacheck.mispredictions)
+      cells;
+    let mispredicted =
+      List.filter (fun c -> c.Mediacheck.mispredictions <> []) cells
+    in
+    if mispredicted <> [] then begin
+      List.iter
+        (fun (c : Mediacheck.cell) ->
+          Fmt.pr
+            "scrub: report disagrees with the injection ground truth — \
+             replay: nvml scrub --seed %d %s@."
+            c.Mediacheck.seed replay_flags)
+        mispredicted;
+      exit 2
+    end;
+    let lossy =
+      List.filter
+        (fun (c : Mediacheck.cell) ->
+          c.Mediacheck.report.Scrub.unrepairable > 0)
+        cells
+    in
+    if lossy <> [] && not allow_loss then begin
+      List.iter
+        (fun (c : Mediacheck.cell) ->
+          Fmt.pr "replay: nvml scrub --seed %d %s --report@." c.Mediacheck.seed
+            replay_flags)
+        lossy;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify and repair pool integrity metadata under seeded media-error \
+          injection."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Each cell builds pools on a fresh machine, populates and seals \
+              them, switches on the media-error injector (bit flips, \
+              poisoned lines, transient read faults — a pure function of \
+              (seed, frame, word)), and runs the scrub engine: every \
+              superblock checksum (primary and replica), every block-header \
+              checksum, the free-list chain, root reachability, and a \
+              payload probe of every live object.  With $(b,--repair) a \
+              corrupt primary superblock is restored from an intact replica \
+              and a corrupt replica is rewritten by re-sealing; pools with \
+              unrepairable primary-side damage are left attached read-only \
+              (degraded).";
+           `P
+             "Because fault placement is pure, the cell predicts every \
+              finding from the injector's ground truth before the scrub \
+              runs, and the two are compared exactly: any disagreement is \
+              reported as a MISPREDICTION and exits 2.  Exits 1 (with a \
+              replayable seed) if unrepairable damage remains and \
+              $(b,--allow-loss) was not given.";
+         ])
+    Term.(
+      const run $ pools_arg $ records_arg $ rate_arg $ kinds_arg $ seed_arg
+      $ seeds_arg $ repair_arg $ report_arg $ allow_loss_arg $ jobs_arg
+      $ stats_arg)
+
 (* --- shell ---------------------------------------------------------------------------- *)
 
 let shell_cmd =
@@ -760,4 +960,5 @@ let () =
        (Cmd.group
           (Cmd.info "nvml" ~version:"1.0.0" ~doc)
           [ kv_cmd; stats_cmd; knn_cmd; soundness_cmd; inference_cmd; run_cmd;
-            compile_cmd; faultinject_cmd; fuzz_cmd; shell_cmd; info_cmd ]))
+            compile_cmd; faultinject_cmd; fuzz_cmd; scrub_cmd; shell_cmd;
+            info_cmd ]))

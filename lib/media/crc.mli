@@ -1,0 +1,13 @@
+(** Table-driven CRC-32 (IEEE 802.3 polynomial, reflected) over 64-bit
+    words, plus a folded 16-bit variant sized for the spare high bits of
+    an allocator block header.  Pure functions: the integrity layer and
+    the scrub engine must agree on checksums across domains, so nothing
+    here may depend on ambient state. *)
+
+val crc32_words : int64 list -> int
+(** CRC-32 of the words' little-endian byte sequences, in [0, 2^32). *)
+
+val crc16_low48 : int64 -> int
+(** 16-bit checksum of the low 48 bits of a word (the storable part of
+    a block header), in [0, 2^16).  Folded from the CRC-32 so single-bit
+    errors anywhere in the 48 bits are always detected. *)

@@ -14,6 +14,8 @@ module Storep = Nvml_arch.Storep_unit
 module Btree = Nvml_arch.Range_btree
 module Freelist = Nvml_pool.Freelist
 module Pmop = Nvml_pool.Pmop
+module Scrub = Nvml_pool.Scrub
+module Media = Nvml_media.Media
 module Mem = Nvml_simmem.Mem
 module Ptr = Nvml_core.Ptr
 module Runtime = Nvml_runtime.Runtime
@@ -392,7 +394,9 @@ module Fl_model = struct
         [
           {
             off = Freelist.heap_start;
-            size = cap -! Freelist.heap_start;
+            (* The top [replica_size] bytes hold the replica superblock,
+               outside the heap tiling. *)
+            size = cap -! Freelist.replica_size -! Freelist.heap_start;
             allocated = false;
           };
         ];
@@ -709,6 +713,369 @@ module Pmop_h = struct
               | Check ->
                   for i = 0 to npools - 1 do
                     check_pool i
+                  done);
+      }
+end
+
+(* --- media faults: integrity metadata vs a corruption ledger -------------- *)
+
+(* The reference model here is a per-pool *corruption ledger*: exactly
+   which metadata words we flipped (primary superblock, replica
+   superblock, block headers), keyed by offset and remembering the
+   original value so a second flip of the same bit un-plants it.  The
+   ledger predicts, exactly:
+
+     - which findings a scrub must report (and which [--repair] must
+       fix: a corrupt primary is restored from an intact replica, a
+       corrupt replica is rewritten by the re-seal),
+     - which pools must come back read-only degraded after a crash,
+     - which allocator calls must be refused ([Media_error]) or
+       detected ([Corrupt_arena]) before mutating anything.
+
+   Bit flips are planted through [Pmop.scrub_access], the same raw
+   bypass the repair engine writes through.  Superblock flips are only
+   planted while the pool is sealed — on a dirty pool the checksum is
+   legitimately stale, exactly the window the journal (not the CRC)
+   covers, so a flip there would be undetectable by design. *)
+module Media_h = struct
+  type op =
+    | Pmalloc of int * int (* pool index, size *)
+    | Pfree of int * int (* pool index, live-list selector *)
+    | Set_root of int * int64
+    | Seal of int
+    | Flip_sb of int * int * int (* pool, superblock-word selector, bit *)
+    | Flip_replica of int * int * int
+    | Flip_header of int * int * int (* pool, live-block selector, bit *)
+    | Scrub of bool (* with --repair? *)
+    | Crash
+    | Check
+
+  let npools = 2
+  let pool_size = 32768
+
+  (* The seven checksum-relevant superblock words: magic, capacity,
+     free head, allocated bytes, alloc/free counters, integrity word.
+     The root slot (32) is excluded from the checksum by design. *)
+  let sb_words = [| 0L; 8L; 16L; 24L; 40L; 48L; 56L |]
+
+  let pp = function
+    | Pmalloc (p, n) -> Fmt.str "pmalloc pool=%d %d" p n
+    | Pfree (p, i) -> Fmt.str "pfree pool=%d #%d" p i
+    | Set_root (p, v) -> Fmt.str "set-root pool=%d 0x%Lx" p v
+    | Seal p -> Fmt.str "seal pool=%d" p
+    | Flip_sb (p, w, b) ->
+        Fmt.str "flip-superblock pool=%d word=%d bit=%d" p w b
+    | Flip_replica (p, w, b) ->
+        Fmt.str "flip-replica pool=%d word=%d bit=%d" p w b
+    | Flip_header (p, i, b) -> Fmt.str "flip-header pool=%d #%d bit=%d" p i b
+    | Scrub true -> "scrub --repair"
+    | Scrub false -> "scrub"
+    | Crash -> "crash+reopen"
+    | Check -> "check-invariants"
+
+  let gen rng =
+    let pool () = Random.State.int rng npools in
+    (* Flip bits stay below 13 so a corrupted free-head / capacity word
+       still lands inside the mapping: the walk must die on a checksum,
+       not on an unmapped address. *)
+    let bit () = Random.State.int rng 13 in
+    match Random.State.int rng 100 with
+    | n when n < 20 -> Pmalloc (pool (), 1 + Random.State.int rng 2000)
+    | n when n < 34 -> Pfree (pool (), Random.State.int rng 64)
+    | n when n < 42 -> Set_root (pool (), Random.State.int64 rng Int64.max_int)
+    | n when n < 50 -> Seal (pool ())
+    | n when n < 60 -> Flip_sb (pool (), Random.State.int rng 7, bit ())
+    | n when n < 68 -> Flip_replica (pool (), Random.State.int rng 7, bit ())
+    | n when n < 74 ->
+        Flip_header (pool (), Random.State.int rng 64, Random.State.int rng 64)
+    | n when n < 88 -> Scrub (Random.State.bool rng)
+    | n when n < 94 -> Crash
+    | _ -> Check
+
+  let harness ~break () =
+    Engine.Packed
+      {
+        Engine.component = "media";
+        gen;
+        pp;
+        init =
+          (fun ~seed:_ ->
+            let pm = Pmop.create (Mem.create ()) in
+            let name i = Fmt.str "mz%d" i in
+            let ids =
+              Array.init npools (fun i ->
+                  Pmop.create_pool pm ~name:(name i) ~size:pool_size)
+            in
+            let models =
+              Array.init npools (fun _ ->
+                  Fl_model.create (Int64.of_int pool_size))
+            in
+            let roots = Array.make npools 0L in
+            (* Corruption ledgers: flipped word offset -> original value. *)
+            let sb_bad = Array.init npools (fun _ -> Hashtbl.create 7) in
+            let rep_bad = Array.init npools (fun _ -> Hashtbl.create 7) in
+            let hdr_bad = Array.init npools (fun _ -> Hashtbl.create 7) in
+            (* [create_pool] hands every pool back sealed. *)
+            let sealed = Array.make npools true in
+            let degraded = Array.make npools false in
+            let walkable i =
+              Hashtbl.length sb_bad.(i) = 0
+              && Hashtbl.length hdr_bad.(i) = 0
+              && not degraded.(i)
+            in
+            let check_pool i =
+              ignore (Pmop.check_pool_invariants pm ~pool:ids.(i));
+              let sut = Pmop.allocated_bytes pm ~pool:ids.(i) in
+              let want = Fl_model.allocated_bytes models.(i) in
+              if not (Int64.equal sut want) then
+                fail "pool %d: allocated %Ld bytes, model %Ld" i sut want;
+              let root = Pmop.get_root pm ~pool:ids.(i) in
+              if not (Int64.equal root roots.(i)) then
+                fail "pool %d: root 0x%Lx, model 0x%Lx" i root roots.(i)
+            in
+            let check_flags () =
+              Array.iteri
+                (fun i id ->
+                  let sut = Pmop.is_degraded pm ~pool:id in
+                  if sut <> degraded.(i) then
+                    fail "pool %d: degraded=%b, model says %b" i sut
+                      degraded.(i))
+                ids
+            in
+            (* Flip one bit through the scrub bypass, maintaining the
+               ledger: flipping a word back to its original value
+               un-plants it. *)
+            let flip p table off bit =
+              let a = Pmop.scrub_access pm ~pool:ids.(p) in
+              let v = a.Freelist.read off in
+              let v' = Int64.logxor v (Int64.shift_left 1L bit) in
+              a.Freelist.write off v';
+              match Hashtbl.find_opt table off with
+              | None -> Hashtbl.replace table off v
+              | Some original ->
+                  if Int64.equal v' original then Hashtbl.remove table off
+            in
+            (* An allocator call against corrupted sealed metadata must
+               raise — and detection precedes the first write, so no
+               state may have changed. *)
+            let expect_detected what p f =
+              match f () with
+              | _ -> fail "%s on corrupted pool %d succeeded" what p
+              | exception (Engine.Violation _ as e) -> raise e
+              | exception _ -> ()
+            in
+            let expect_refused what p f =
+              match f () with
+              | _ -> fail "%s on degraded pool %d was not refused" what p
+              | exception Media.Media_error _ -> ()
+            in
+            fun op ->
+              match op with
+              | Pmalloc (p, n) ->
+                  if degraded.(p) then
+                    expect_refused "pmalloc" p (fun () ->
+                        Pmop.pmalloc pm ~pool:ids.(p) n)
+                  else if sealed.(p) && Hashtbl.length sb_bad.(p) > 0 then
+                    expect_detected "pmalloc" p (fun () ->
+                        Pmop.pmalloc pm ~pool:ids.(p) n)
+                  else begin
+                    let sut =
+                      match Pmop.pmalloc pm ~pool:ids.(p) n with
+                      | ptr -> Some (Ptr.offset_of ptr)
+                      | exception Freelist.Out_of_memory -> None
+                    in
+                    let want =
+                      match Fl_model.alloc models.(p) (Int64.of_int n) with
+                      | off -> Some off
+                      | exception Fl_model.No_fit -> None
+                    in
+                    match (sut, want) with
+                    | None, None -> ()
+                    | Some o, Some w when Int64.equal o w ->
+                        sealed.(p) <- false
+                    | Some o, Some w ->
+                        fail "pmalloc pool %d: offset %Ld, model %Ld" p o w
+                    | Some _, None ->
+                        fail "pmalloc pool %d: model OOM, allocator isn't" p
+                    | None, Some _ ->
+                        fail "pmalloc pool %d: OOM, but the model fits" p
+                  end
+              | Pfree (p, i) -> (
+                  if degraded.(p) then
+                    (* Refusal is eager: even a wild pointer must bounce
+                       off the read-only gate before being validated. *)
+                    expect_refused "pfree" p (fun () ->
+                        Pmop.pfree pm
+                          (Ptr.make_relative ~pool:ids.(p)
+                             ~offset:
+                               (Int64.add Freelist.heap_start
+                                  Freelist.header_size)))
+                  else
+                    match Fl_model.live models.(p) with
+                    | [] -> ()
+                    | live ->
+                        let payload, _ =
+                          List.nth live (i mod List.length live)
+                        in
+                        let ptr =
+                          Ptr.make_relative ~pool:ids.(p) ~offset:payload
+                        in
+                        let blk = Int64.sub payload Freelist.header_size in
+                        if sealed.(p) && Hashtbl.length sb_bad.(p) > 0 then
+                          expect_detected "pfree" p (fun () ->
+                              Pmop.pfree pm ptr)
+                        else if Hashtbl.mem hdr_bad.(p) blk then (
+                          match Pmop.pfree pm ptr with
+                          | () ->
+                              fail
+                                "pool %d: free over a corrupt header at %Ld \
+                                 accepted"
+                                p blk
+                          | exception Freelist.Corrupt_arena _ -> ())
+                        else begin
+                          Pmop.pfree pm ptr;
+                          Fl_model.free models.(p) payload;
+                          sealed.(p) <- false;
+                          if walkable p then check_pool p
+                        end)
+              | Set_root (p, v) ->
+                  if degraded.(p) then
+                    expect_refused "set-root" p (fun () ->
+                        Pmop.set_root pm ~pool:ids.(p) v)
+                  else if sealed.(p) && Hashtbl.length sb_bad.(p) > 0 then
+                    expect_detected "set-root" p (fun () ->
+                        Pmop.set_root pm ~pool:ids.(p) v)
+                  else begin
+                    Pmop.set_root pm ~pool:ids.(p) v;
+                    roots.(p) <- v;
+                    sealed.(p) <- false
+                  end
+              | Seal p ->
+                  Pmop.seal_pool pm ~pool:ids.(p);
+                  if (not degraded.(p)) && not sealed.(p) then begin
+                    sealed.(p) <- true;
+                    (* Sealing rewrites the whole replica area. *)
+                    Hashtbl.reset rep_bad.(p)
+                  end
+              | Flip_sb (p, w, b) ->
+                  if sealed.(p) then flip p sb_bad.(p) sb_words.(w) b
+              | Flip_replica (p, w, b) ->
+                  let rb =
+                    Int64.sub (Int64.of_int pool_size) Freelist.replica_size
+                  in
+                  flip p rep_bad.(p) (Int64.add rb sb_words.(w)) b
+              | Flip_header (p, i, b) -> (
+                  match Fl_model.live models.(p) with
+                  | [] -> ()
+                  | live ->
+                      let payload, _ =
+                        List.nth live (i mod List.length live)
+                      in
+                      let blk = Int64.sub payload Freelist.header_size in
+                      flip p hdr_bad.(p) blk b)
+              | Scrub r ->
+                  let sc = Scrub.create pm in
+                  if break then Scrub.enable_quirk sc Scrub.Blind_primary;
+                  let report = Scrub.run sc ~repair:r in
+                  Array.iteri
+                    (fun i id ->
+                      let pr =
+                        match
+                          List.find_opt
+                            (fun (pr : Scrub.pool_report) -> pr.Scrub.pool = id)
+                            report.Scrub.pools
+                        with
+                        | Some pr -> pr
+                        | None -> fail "scrub skipped pool %d" i
+                      in
+                      let sb0 = Hashtbl.length sb_bad.(i) > 0 in
+                      let rep0 = Hashtbl.length rep_bad.(i) > 0 in
+                      let hdr0 = Hashtbl.length hdr_bad.(i) > 0 in
+                      let has pred =
+                        List.exists
+                          (fun (f : Scrub.finding) -> pred f)
+                          pr.Scrub.findings
+                      in
+                      let prim (f : Scrub.finding) =
+                        f.Scrub.kind = Scrub.Superblock_primary
+                      in
+                      let repl (f : Scrub.finding) =
+                        f.Scrub.kind = Scrub.Superblock_replica
+                      in
+                      let hdrk (f : Scrub.finding) =
+                        match f.Scrub.kind with
+                        | Scrub.Block_header _ -> true
+                        | _ -> false
+                      in
+                      let spurious (f : Scrub.finding) =
+                        match f.Scrub.kind with
+                        | Scrub.Freelist_chain | Scrub.Root
+                        | Scrub.Poisoned_payload _ ->
+                            true
+                        | _ -> false
+                      in
+                      if has prim <> sb0 then
+                        fail "pool %d: scrub %s primary-superblock corruption"
+                          i
+                          (if sb0 then "missed" else "invented");
+                      if has repl <> rep0 then
+                        fail "pool %d: scrub %s replica corruption" i
+                          (if rep0 then "missed" else "invented");
+                      if has hdrk <> hdr0 then
+                        fail "pool %d: scrub %s block-header corruption" i
+                          (if hdr0 then "missed" else "invented");
+                      if has spurious then
+                        fail "pool %d: scrub reported a spurious finding" i;
+                      (* Repair predictions: a corrupt primary is
+                         restored iff the replica vouches; a corrupt
+                         replica is rewritten iff the whole primary side
+                         checks out. *)
+                      let restored = r && sb0 && not rep0 in
+                      let rep_fix = r && rep0 && (not sb0) && not hdr0 in
+                      let prim_fixed =
+                        has (fun f -> prim f && f.Scrub.repaired)
+                      in
+                      if prim_fixed <> restored then
+                        fail "pool %d: primary repaired=%b, model says %b" i
+                          prim_fixed restored;
+                      let repl_fixed =
+                        has (fun f -> repl f && f.Scrub.repaired)
+                      in
+                      if repl_fixed <> rep_fix then
+                        fail "pool %d: replica repaired=%b, model says %b" i
+                          repl_fixed rep_fix;
+                      if restored then Hashtbl.reset sb_bad.(i);
+                      if rep_fix then Hashtbl.reset rep_bad.(i);
+                      let deg_now = (sb0 && not restored) || hdr0 in
+                      if deg_now then degraded.(i) <- true
+                      else if r then degraded.(i) <- false;
+                      (* else: a degraded pool stays degraded even if the
+                         damage was reverted bit-by-bit — only a repair
+                         pass hands it back. *)
+                      if (restored || rep_fix) && not degraded.(i) then
+                        (* [Repaired] pools are re-sealed. *)
+                        sealed.(i) <- true)
+                    ids;
+                  check_flags ();
+                  for i = 0 to npools - 1 do
+                    if walkable i then check_pool i
+                  done
+              | Crash ->
+                  Pmop.crash pm;
+                  for i = 0 to npools - 1 do
+                    ignore (Pmop.open_pool pm (name i));
+                    (* The verified attach degrades exactly the pools
+                       whose primary superblock no longer checks out. *)
+                    degraded.(i) <- Hashtbl.length sb_bad.(i) > 0
+                  done;
+                  check_flags ();
+                  for i = 0 to npools - 1 do
+                    if walkable i then check_pool i
+                  done
+              | Check ->
+                  check_flags ();
+                  for i = 0 to npools - 1 do
+                    if walkable i then check_pool i
                   done);
       }
 end

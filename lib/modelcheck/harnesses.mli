@@ -42,6 +42,17 @@ module Pmop_h : sig
       across crash/reopen cycles. *)
 end
 
+module Media_h : sig
+  val harness : break:bool -> unit -> Engine.packed
+  (** Integrity metadata under injected bit flips, vs a per-pool
+      corruption ledger: the ledger predicts every scrub finding, what
+      [--repair] restores (primary from replica, replica by re-seal),
+      which pools attach read-only degraded after a crash, and which
+      allocator calls must be refused or detected before mutating
+      anything.  The [Blind_primary] quirk re-enables a scrub that
+      trusted the primary superblock without checksumming it. *)
+end
+
 module Structure_h : sig
   val harness : Nvml_structures.Intf.ordered_map -> Engine.packed
   (** One persistent container (in HW mode, through the full runtime)

@@ -57,6 +57,12 @@ let specs () =
       scale = 2;
       make = (fun ~break:_ -> Harnesses.Pmop_h.harness ());
     };
+    {
+      name = "media";
+      breakable = true;
+      scale = 4;
+      make = (fun ~break -> Harnesses.Media_h.harness ~break ());
+    };
   ]
   @ List.map structure_spec Registry.all_maps
   @ [

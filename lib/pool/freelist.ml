@@ -11,13 +11,30 @@
      32  root-object slot (application anchor, like pmemobj's root)
      40  allocation count (stats)
      48  free count (stats)
-     56  reserved
+     56  integrity word: 0 = dirty (in use); odd = sealed, with the
+         CRC-32 of the superblock words in bits 16..47
      64  start of heap
+     capacity-64  replica superblock: a copy of words 0..56 (minus the
+         root slot, which is live application data) taken at seal time
 
    Block layout: a 16-byte header (word 0: block size in bytes including
-   the header, with bit 0 = allocated flag; word 1: next free offset,
-   meaningful when free) followed by the payload.  Sizes are multiples
-   of 16 so payloads are 16-aligned. *)
+   the header in bits 1..47, bit 0 = allocated flag, and a CRC-16 of the
+   low 48 bits in bits 48..63; word 1: next free offset, meaningful when
+   free) followed by the payload.  Sizes are multiples of 16 so payloads
+   are 16-aligned; pools are capped at 4 GiB, so 47 bits of size are
+   spare room and the header checksum costs no extra space or writes.
+
+   Integrity model: every header write is checksum-tagged and every
+   header read verified, so a media bit flip, a stale pointer, or
+   application bytes masquerading as a header are all rejected instead
+   of corrupting the accounting.  The superblock checksum is only valid
+   while the arena is sealed (quiescent): the pool manager marks the
+   arena dirty before the first metadata write of a session and re-seals
+   on detach, the same clean/dirty protocol as a journaling filesystem's
+   mount bit.  The root slot is deliberately outside the superblock
+   checksum — it is written through the data path, not the allocator. *)
+
+module Crc = Nvml_media.Crc
 
 type access = {
   read : int64 -> int64; (* read the word at a byte offset in the arena *)
@@ -32,9 +49,11 @@ let off_allocated = 24L
 let off_root = 32L
 let off_alloc_count = 40L
 let off_free_count = 48L
+let off_integrity = 56L
 let heap_start = 64L
 let header_size = 16L
 let min_block = 32L
+let replica_size = 64L
 
 exception Corrupt_arena of string
 exception Out_of_memory
@@ -42,11 +61,38 @@ exception Out_of_memory
 let ( +! ) = Int64.add
 let ( -! ) = Int64.sub
 
-let block_size_word a b = a.read b
+let heap_limit ~capacity = capacity -! replica_size
+
+(* --- checksummed block headers --------------------------------------- *)
+
+let header_payload_mask = 0x0000FFFFFFFFFFFFL
+
+let tag_header w48 =
+  Int64.logor (Int64.shift_left (Int64.of_int (Crc.crc16_low48 w48)) 48) w48
+
+let header_fault w =
+  let lo = Int64.logand w header_payload_mask in
+  if Int64.to_int (Int64.shift_right_logical w 48) = Crc.crc16_low48 lo then None
+  else Some lo
+
+(* Verified header read: the CRC rejects media rot and application
+   bytes alike before the size is believed.  Raises [Corrupt_arena] —
+   callers that want to keep walking past damage (the scrub engine) use
+   [verify_header] instead. *)
+let block_size_word a b =
+  let w = a.read b in
+  match header_fault w with
+  | None -> Int64.logand w header_payload_mask
+  | Some _ ->
+      raise
+        (Corrupt_arena (Fmt.str "block header at %Ld fails its checksum" b))
+
+let header_corrupt a b = header_fault (a.read b) <> None
+
 let block_size a b = Int64.logand (block_size_word a b) (Int64.lognot 1L)
 let block_allocated a b = Int64.logand (block_size_word a b) 1L = 1L
 let set_block a b ~size ~allocated =
-  a.write b (if allocated then Int64.logor size 1L else size)
+  a.write b (tag_header (if allocated then Int64.logor size 1L else size))
 let block_next a b = a.read (b +! 8L)
 let set_block_next a b next = a.write (b +! 8L) next
 
@@ -59,9 +105,82 @@ let set_root a v = a.write off_root v
 
 let is_initialized a = Int64.equal (a.read off_magic) magic
 
+(* --- superblock seal / verify / replica ------------------------------ *)
+
+(* Words covered by the superblock checksum, in checksum order.  The
+   root slot (32) is excluded: it is live application data written
+   through the data path, checked structurally by the scrub engine
+   instead.  The integrity word itself (56) is excluded since it holds
+   the checksum. *)
+let sb_covered =
+  [ off_magic; off_capacity; off_free_head; off_allocated;
+    off_alloc_count; off_free_count ]
+
+(* 0 is reserved to mean "dirty", so a checksum of 0 is remapped. *)
+let sb_crc_of values =
+  match Crc.crc32_words values with 0 -> 0xFFFFFFFF | c -> c
+
+let integrity_word_of values =
+  Int64.logor (Int64.shift_left (Int64.of_int (sb_crc_of values)) 16) 1L
+
+let replica_base a = capacity a -! replica_size
+
+let seal a =
+  let values = List.map a.read sb_covered in
+  let iw = integrity_word_of values in
+  a.write off_integrity iw;
+  let rb = replica_base a in
+  List.iter2 (fun off v -> a.write (rb +! off) v) sb_covered values;
+  a.write (rb +! off_integrity) iw
+
+let mark_dirty a = a.write off_integrity 0L
+let is_sealed a = Int64.logand (a.read off_integrity) 1L = 1L
+
+type sb_state =
+  | Sealed  (** checksum present and verified *)
+  | Dirty  (** in use at last power-off; trust the journal, not the CRC *)
+  | Uninitialized  (** no magic, no seal: creation never completed *)
+  | Corrupt of string
+
+let verify_at a ~base =
+  let iw = a.read (base +! off_integrity) in
+  if Int64.equal iw 0L then
+    if Int64.equal (a.read (base +! off_magic)) magic then Dirty
+    else Uninitialized
+  else if Int64.logand iw 1L <> 1L then
+    Corrupt (Fmt.str "malformed integrity word %Lx" iw)
+  else
+    let values = List.map (fun off -> a.read (base +! off)) sb_covered in
+    let want = integrity_word_of values in
+    if not (Int64.equal iw want) then Corrupt "superblock checksum mismatch"
+    else if not (Int64.equal (a.read (base +! off_magic)) magic) then
+      Corrupt "bad magic under a valid checksum"
+    else Sealed
+
+let superblock_state a = verify_at a ~base:0L
+
+(* The replica is only consulted when the primary is unreadable, so its
+   capacity word cannot be taken from the (possibly corrupt) primary:
+   the caller supplies the registry's capacity. *)
+let replica_state a ~capacity:cap =
+  let base = cap -! replica_size in
+  match verify_at a ~base with
+  | Sealed ->
+      if Int64.equal (a.read (base +! off_capacity)) cap then Sealed
+      else Corrupt "replica capacity disagrees with the pool registry"
+  | s -> s
+
+let replica_intact a ~capacity =
+  match replica_state a ~capacity with Sealed -> true | _ -> false
+
+let restore_from_replica a ~capacity:cap =
+  let base = cap -! replica_size in
+  List.iter (fun off -> a.write off (a.read (base +! off))) sb_covered;
+  a.write off_integrity (a.read (base +! off_integrity))
+
 let init a ~capacity =
   let capacity = Int64.logand capacity (Int64.lognot 15L) in
-  if capacity < heap_start +! min_block then
+  if capacity < heap_start +! min_block +! replica_size then
     invalid_arg "Freelist.init: arena too small";
   a.write off_magic magic;
   a.write off_capacity capacity;
@@ -69,7 +188,9 @@ let init a ~capacity =
   a.write off_root 0L;
   a.write off_alloc_count 0L;
   a.write off_free_count 0L;
-  set_block a heap_start ~size:(capacity -! heap_start) ~allocated:false;
+  a.write off_integrity 0L;
+  let heap_end = heap_limit ~capacity in
+  set_block a heap_start ~size:(heap_end -! heap_start) ~allocated:false;
   set_block_next a heap_start 0L;
   a.write off_free_head heap_start
 
@@ -116,17 +237,16 @@ let alloc a (size : int64) : int64 =
    by offset so neighbours are found during insertion. *)
 let free a (payload : int64) : unit =
   let b = payload -! header_size in
-  let cap = capacity a in
-  if b < heap_start || b >= cap then
+  let heap_end = heap_limit ~capacity:(capacity a) in
+  if b < heap_start || b >= heap_end then
     raise (Corrupt_arena (Fmt.str "free: offset %Ld out of arena" payload));
   if not (block_allocated a b) then
     raise (Corrupt_arena (Fmt.str "double free at offset %Ld" payload));
   let size = block_size a b in
-  (* The start check alone is not enough: an interior or stale pointer
-     can land on application bytes that look like an allocated header
-     whose size runs past the arena — freeing it would corrupt the
-     accounting and chain a bogus block into the free list. *)
-  if size < min_block || Int64.rem size 16L <> 0L || b +! size > cap then
+  (* The checksum already rejects application bytes posing as a header;
+     these structural checks stay as a second line of defence against
+     the 2^-16 collision and as documentation of what a header is. *)
+  if size < min_block || Int64.rem size 16L <> 0L || b +! size > heap_end then
     raise
       (Corrupt_arena
          (Fmt.str "free: block at %Ld has corrupt size %Ld" payload size));
@@ -161,11 +281,11 @@ let free a (payload : int64) : unit =
    total free bytes.  Used by tests and by the quickcheck suite. *)
 let check_invariants a : int64 =
   if not (is_initialized a) then raise (Corrupt_arena "bad magic");
-  let cap = capacity a in
+  let heap_end = heap_limit ~capacity:(capacity a) in
   let rec walk prev cur total =
     if Int64.equal cur 0L then total
     else begin
-      if cur < heap_start || cur >= cap then
+      if cur < heap_start || cur >= heap_end then
         raise (Corrupt_arena (Fmt.str "free block %Ld out of arena" cur));
       (match prev with
       | Some p ->
@@ -182,12 +302,12 @@ let check_invariants a : int64 =
     end
   in
   let free_total = walk None (a.read off_free_head) 0L in
-  if free_total +! allocated_bytes a <> cap -! heap_start then
+  if free_total +! allocated_bytes a <> heap_end -! heap_start then
     raise
       (Corrupt_arena
          (Fmt.str "accounting mismatch: free %Ld + allocated %Ld <> heap %Ld"
-            free_total (allocated_bytes a) (cap -! heap_start)));
-  (* Whole-heap walk: blocks must tile [heap_start, capacity) exactly,
+            free_total (allocated_bytes a) (heap_end -! heap_start)));
+  (* Whole-heap walk: blocks must tile [heap_start, heap_end) exactly,
      every free block must be one the free-list walk above visited, and
      the allocated blocks must sum to the header's accounting word (the
      check above trusts that word; this one recomputes it). *)
@@ -200,12 +320,13 @@ let check_invariants a : int64 =
   in
   collect (a.read off_free_head);
   let rec tile b alloc_sum free_seen =
-    if Int64.equal b cap then (alloc_sum, free_seen)
-    else if b > cap then
+    if Int64.equal b heap_end then (alloc_sum, free_seen)
+    else if b > heap_end then
       raise (Corrupt_arena (Fmt.str "block at %Ld overruns the arena" b))
     else begin
       let size = block_size a b in
-      if size < min_block || Int64.rem size 16L <> 0L || b +! size > cap then
+      if size < min_block || Int64.rem size 16L <> 0L || b +! size > heap_end
+      then
         raise (Corrupt_arena (Fmt.str "block at %Ld has corrupt size %Ld" b size));
       if block_allocated a b then tile (b +! size) (alloc_sum +! size) free_seen
       else begin

@@ -1,0 +1,283 @@
+(* The end-to-end scrub scenario behind `nvml scrub` and the bench
+   coverage matrix: build pools, seal them, switch on the media-error
+   injector, and score the scrub engine against the injector's own
+   ground truth.
+
+   The scoring is exact, not statistical.  Fault placement is a pure
+   function of [(seed, frame, word)] ({!Nvml_media.Media.decide}), so
+   before running the scrub we can predict — from the pre-injection
+   block map — every finding it must produce: which superblocks fail
+   verification, where the heap walk must die, which free-list chains
+   no longer parse, which roots dangle, how many objects lost payload
+   words, what [--repair] can restore and what must leave the pool
+   degraded.  Any disagreement between prediction and report is a
+   *misprediction*: a bug in the integrity stack (or in the model), and
+   the callers treat it as such.
+
+   Each cell is share-nothing — its own machine, pools, injector and
+   RNG, all derived from the cell seed — so sweeping seeds across
+   domains is bit-identical to running them sequentially. *)
+
+module Mem = Nvml_simmem.Mem
+module Layout = Nvml_simmem.Layout
+module Media = Nvml_media.Media
+module Ptr = Nvml_core.Ptr
+
+let ( +! ) = Int64.add
+let ( -! ) = Int64.sub
+
+type config = {
+  pools : int;
+  records : int;  (** objects allocated per pool before sealing *)
+  rate : float;
+  kinds : Media.kind list;  (** empty means all kinds *)
+  seed : int;
+  repair : bool;
+}
+
+type cell = {
+  seed : int;
+  report : Scrub.report;
+  sites : int;  (** corrupt metadata words the injector planted *)
+  lost_predicted : int;
+  mispredictions : string list;  (** empty: ground truth and scrub agree *)
+  flips : int;
+  poisons : int;
+  transients : int;
+}
+
+let pool_size = 65536
+let sb_words = [ 0L; 8L; 16L; 24L; 40L; 48L; 56L ]
+
+(* Deterministic population: a mix of live objects, freed holes (so the
+   free list has interior nodes) and a root pointing at a live object. *)
+let populate pm ~pool ~records rng =
+  let live = ref [] in
+  for _ = 1 to records do
+    let size = 16 + Random.State.int rng 480 in
+    match Pmop.pmalloc pm ~pool size with
+    | ptr -> live := ptr :: !live
+    | exception Freelist.Out_of_memory -> ()
+  done;
+  let live = List.rev !live in
+  List.iteri (fun j ptr -> if j mod 3 = 0 then Pmop.pfree pm ptr) live;
+  (match List.filteri (fun j _ -> j mod 3 <> 0) live with
+  | ptr :: _ -> Pmop.set_root pm ~pool ptr
+  | [] -> ());
+  Pmop.seal_pool pm ~pool
+
+let run_cell config =
+  let mem = Mem.create () in
+  let pm = Pmop.create mem in
+  let ids =
+    Array.init config.pools (fun i ->
+        Pmop.create_pool pm ~name:(Fmt.str "cell%d" i) ~size:pool_size)
+  in
+  Array.iteri
+    (fun i id ->
+      let rng = Random.State.make [| 0x5cab; config.seed; i |] in
+      populate pm ~pool:id ~records:config.records rng)
+    ids;
+  (* Pre-injection survey: the trusted block map of each pool. *)
+  let surveys =
+    Array.map
+      (fun id ->
+        let cap = Int64.of_int (Pmop.pool_size pm id) in
+        let heap_end = Freelist.heap_limit ~capacity:cap in
+        let a = Pmop.scrub_access pm ~pool:id in
+        let rec go b acc =
+          if b >= heap_end then List.rev acc
+          else
+            let size = Freelist.block_size a b in
+            go (b +! size) ((b, size, Freelist.block_allocated a b) :: acc)
+        in
+        (go Freelist.heap_start [], cap))
+      ids
+  in
+  let inj =
+    Media.create
+      ?kinds:(match config.kinds with [] -> None | ks -> Some ks)
+      ~rate:config.rate ~seed:config.seed ()
+  in
+  Media.attach (Mem.phys mem) inj;
+  (* Predict every pool's findings from the injector's pure placement
+     function, *before* the scrub runs (repair writes heal words). *)
+  let sites = ref 0 in
+  let lost_total = ref 0 in
+  let predictions =
+    Array.mapi
+      (fun i id ->
+        let blocks, cap = surveys.(i) in
+        let frames = Array.of_list (Pmop.pool_frames pm ~pool:id) in
+        let fault off =
+          let off = Int64.to_int off in
+          Media.decide inj
+            ~frame:frames.(off / Layout.page_size)
+            ~word_index:(off mod Layout.page_size / 8)
+        in
+        let corrupt off =
+          match fault off with
+          | Some (Media.Bit_flip | Media.Poison_line) -> true
+          | Some Media.Transient | None -> false
+        in
+        let poisoned off =
+          match fault off with Some Media.Poison_line -> true | _ -> false
+        in
+        let rb = cap -! Freelist.replica_size in
+        let prim_bad = List.exists corrupt sb_words in
+        let rep_bad = List.exists (fun o -> corrupt (rb +! o)) sb_words in
+        List.iter (fun o -> if corrupt o then incr sites) sb_words;
+        List.iter (fun o -> if corrupt (rb +! o) then incr sites) sb_words;
+        List.iter
+          (fun (b, _, allocated) ->
+            if corrupt b then incr sites;
+            if (not allocated) && corrupt (b +! 8L) then incr sites)
+          blocks;
+        (* Replay the heap walk: it dies at the first corrupt header;
+           before that, every allocated block with a poisoned payload
+           word is a lost object. *)
+        let rec sim bs reached lost next_bad =
+          match bs with
+          | [] -> (None, List.rev reached, lost, next_bad)
+          | ((b, size, allocated) as blk) :: rest ->
+              if corrupt b then (Some b, List.rev reached, lost, next_bad)
+              else
+                let poisoned_payload =
+                  allocated
+                  &&
+                  let w = ref (b +! Freelist.header_size) in
+                  let hit = ref false in
+                  while !w < b +! size do
+                    if poisoned !w then hit := true;
+                    w := !w +! 8L
+                  done;
+                  !hit
+                in
+                sim rest (blk :: reached)
+                  (if poisoned_payload then lost + 1 else lost)
+                  (next_bad || ((not allocated) && corrupt (b +! 8L)))
+        in
+        let dead, reached, lost, next_bad = sim blocks [] 0 false in
+        lost_total := !lost_total + lost;
+        let restored = config.repair && prim_bad && not rep_bad in
+        let usable = (not prim_bad) || restored in
+        let chain = usable && dead = None && next_bad in
+        let a = Pmop.scrub_access pm ~pool:id in
+        let root =
+          match a.Freelist.read Freelist.off_root with
+          | exception Media.Media_error _ -> true
+          | r ->
+              dead = None
+              && (not (Ptr.is_null r))
+              && Ptr.is_relative r
+              && Ptr.pool_of r = id
+              && not
+                   (List.exists
+                      (fun (b, size, allocated) ->
+                        allocated
+                        && Ptr.offset_of r >= b +! Freelist.header_size
+                        && Ptr.offset_of r < b +! size)
+                      reached)
+        in
+        let rep_fix =
+          config.repair && rep_bad && usable && dead = None && (not chain)
+          && not root
+        in
+        let degraded =
+          (prim_bad && not restored) || dead <> None || chain || root
+        in
+        (prim_bad, restored, rep_bad, rep_fix, dead, chain, root, lost,
+         degraded))
+      ids
+  in
+  let sc = Scrub.create pm in
+  let report = Scrub.run sc ~repair:config.repair in
+  (* Score the report against the predictions. *)
+  let mis = ref [] in
+  Array.iteri
+    (fun i id ->
+      let ( prim_bad,
+            restored,
+            rep_bad,
+            rep_fix,
+            dead,
+            chain,
+            root,
+            lost,
+            degraded ) =
+        predictions.(i)
+      in
+      let misreport fmt =
+        Fmt.kstr (fun m -> mis := Fmt.str "pool %d: %s" i m :: !mis) fmt
+      in
+      match
+        List.find_opt
+          (fun (r : Scrub.pool_report) -> r.Scrub.pool = id)
+          report.Scrub.pools
+      with
+      | None -> misreport "missing from the scrub report"
+      | Some pr ->
+          let has pred = List.exists pred pr.Scrub.findings in
+          let expect name want got =
+            if want <> got then
+              misreport "%s: predicted %b, scrub reported %b" name want got
+          in
+          expect "primary corruption" prim_bad
+            (has (fun (f : Scrub.finding) ->
+                 f.Scrub.kind = Scrub.Superblock_primary));
+          expect "primary repair" restored
+            (has (fun (f : Scrub.finding) ->
+                 f.Scrub.kind = Scrub.Superblock_primary && f.Scrub.repaired));
+          expect "replica corruption" rep_bad
+            (has (fun (f : Scrub.finding) ->
+                 f.Scrub.kind = Scrub.Superblock_replica));
+          expect "replica repair" rep_fix
+            (has (fun (f : Scrub.finding) ->
+                 f.Scrub.kind = Scrub.Superblock_replica && f.Scrub.repaired));
+          (let found =
+             List.find_opt
+               (fun (f : Scrub.finding) ->
+                 match f.Scrub.kind with
+                 | Scrub.Block_header _ -> true
+                 | _ -> false)
+               pr.Scrub.findings
+           in
+           match (dead, found) with
+           | None, None -> ()
+           | Some b, Some { Scrub.kind = Scrub.Block_header b'; _ }
+             when Int64.equal b b' ->
+               ()
+           | Some b, Some { Scrub.kind = Scrub.Block_header b'; _ } ->
+               misreport "walk died at %Ld, predicted %Ld" b' b
+           | Some b, _ -> misreport "corrupt header at %Ld undetected" b
+           | None, Some _ -> misreport "header finding on a clean heap");
+          expect "free-list chain" chain
+            (has (fun (f : Scrub.finding) ->
+                 f.Scrub.kind = Scrub.Freelist_chain));
+          expect "root reachability" root
+            (has (fun (f : Scrub.finding) -> f.Scrub.kind = Scrub.Root));
+          if pr.Scrub.lost_objects <> lost then
+            misreport "lost objects: predicted %d, scrub reported %d" lost
+              pr.Scrub.lost_objects;
+          expect "degraded" degraded (Pmop.is_degraded pm ~pool:id))
+    ids;
+  {
+    seed = config.seed;
+    report;
+    sites = !sites;
+    lost_predicted = !lost_total;
+    mispredictions = List.rev !mis;
+    flips = Media.flips_served inj;
+    poisons = Media.poisons_served inj;
+    transients = Media.transients_served inj;
+  }
+
+let pp_summary ppf c =
+  Fmt.pf ppf
+    "seed %d: %d corrupt metadata site%s, %d detected, %d repaired, %d \
+     unrepairable, %d object%s lost"
+    c.seed c.sites
+    (if c.sites = 1 then "" else "s")
+    c.report.Scrub.detected c.report.Scrub.repaired
+    c.report.Scrub.unrepairable c.report.Scrub.lost_objects
+    (if c.report.Scrub.lost_objects = 1 then "" else "s")

@@ -1,0 +1,41 @@
+(** End-to-end scrub scenario with exact ground-truth scoring — the
+    engine behind [nvml scrub] and the bench coverage matrix.
+
+    A {e cell} builds pools, populates and seals them, attaches a
+    seeded media-error injector, and runs the scrub engine.  Because
+    fault placement is a pure function of [(seed, frame, word)], the
+    cell first {e predicts} every finding the scrub must produce (and
+    every repair [--repair] must perform) from the pre-injection block
+    map, then scores the actual report against that prediction.  A
+    non-empty [mispredictions] list means the integrity stack and the
+    ground truth disagree — a bug, not noise.
+
+    Cells are share-nothing (own machine, pools, injector, RNG, all
+    derived from the seed), so a seed sweep is bit-identical under any
+    [--jobs] split. *)
+
+type config = {
+  pools : int;
+  records : int;  (** objects allocated per pool before sealing *)
+  rate : float;
+  kinds : Nvml_media.Media.kind list;  (** empty means all kinds *)
+  seed : int;
+  repair : bool;
+}
+
+type cell = {
+  seed : int;
+  report : Scrub.report;
+  sites : int;  (** corrupt metadata words the injector planted *)
+  lost_predicted : int;
+  mispredictions : string list;  (** empty: ground truth and scrub agree *)
+  flips : int;
+  poisons : int;
+  transients : int;
+}
+
+val pool_size : int
+(** Size of every pool a cell creates (bytes). *)
+
+val run_cell : config -> cell
+val pp_summary : cell Fmt.t

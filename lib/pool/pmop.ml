@@ -19,11 +19,17 @@ module Fi = Nvml_simmem.Fi
 module Ptr = Nvml_core.Ptr
 module Xlate = Nvml_core.Xlate
 module Telemetry = Nvml_telemetry.Telemetry
+module Media = Nvml_media.Media
 
 let c_pool_creates = Telemetry.counter "pool.creates"
 let c_pool_opens = Telemetry.counter "pool.opens"
 let c_pmallocs = Telemetry.counter "pool.pmallocs"
 let c_pfrees = Telemetry.counter "pool.pfrees"
+let c_attach_verified = Telemetry.counter "media.attach.verified"
+let c_attach_dirty = Telemetry.counter "media.attach.dirty"
+let c_attach_degraded = Telemetry.counter "media.attach.degraded"
+let c_seals = Telemetry.counter "media.seals"
+let c_write_refused = Telemetry.counter "media.writes_refused"
 
 type pool = {
   id : int;
@@ -31,6 +37,13 @@ type pool = {
   size : int; (* bytes, page-rounded *)
   frames : int list; (* persistent physical NVM frames *)
   mutable base : int64 option; (* POT entry: None when detached *)
+  mutable degraded : bool;
+      (* attached read-only: the superblock failed verification and was
+         not (or could not be) repaired.  Volatile attach state. *)
+  mutable dirtied : bool;
+      (* this attach session has broken the seal (or attached a dirty
+         image); the first metadata write of a sealed session verifies
+         the superblock checksum, then marks the arena dirty *)
 }
 
 type t = {
@@ -44,6 +57,9 @@ type t = {
   mutable meta_hook : (pool:int -> offset:int64 -> unit) option;
       (* called before every allocator-metadata write; lets a
          transaction undo-log freelist updates (see Txn.instrument) *)
+  mutable degraded_count : int;
+      (* pools currently attached read-only; lets the runtime's store
+         path guard cost one integer test when everything is healthy *)
 }
 
 exception Unknown_pool of string
@@ -58,6 +74,7 @@ let create mem =
     restarts = 0;
     vat = [||];
     meta_hook = None;
+    degraded_count = 0;
   }
 
 let mem t = t.mem
@@ -90,8 +107,22 @@ let pool_id_of_name t name = (find_pool_by_name t name).id
 let pool_size t id = (find_pool t id).size
 let pool_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.pools [] |> List.sort compare
 
-(* Arena accessor for an open pool: reads/writes by intra-pool offset. *)
-let arena_access t (p : pool) : Freelist.access =
+let set_degraded t (p : pool) v =
+  if p.degraded <> v then begin
+    p.degraded <- v;
+    t.degraded_count <- t.degraded_count + (if v then 1 else -1)
+  end
+
+let refuse_write (p : pool) =
+  if Telemetry.enabled () then Telemetry.incr c_write_refused;
+  raise
+    (Media.Media_error
+       (Fmt.str "%s: pool is attached read-only (degraded)" p.name))
+
+(* Arena accessor for an open pool: reads/writes by intra-pool offset.
+   Recursive because the seal-breaking write below re-enters the writer
+   for the dirty marker itself. *)
+let rec arena_access t (p : pool) : Freelist.access =
   match p.base with
   | None -> raise (Already_open (p.name ^ ": not mapped"))
   | Some base ->
@@ -99,6 +130,23 @@ let arena_access t (p : pool) : Freelist.access =
         Freelist.read = (fun off -> Mem.read_word t.mem (Int64.add base off));
         write =
           (fun off v ->
+            if p.degraded then refuse_write p;
+            if not p.dirtied then begin
+              (* First metadata write of a sealed session: this is the
+                 dereference point for the checksummed superblock —
+                 verify it before trusting the free list it describes,
+                 then break the seal.  Setting [dirtied] first keeps the
+                 dirty marker's own write from recursing. *)
+              let a = arena_access t p in
+              (match Freelist.superblock_state a with
+              | Freelist.Sealed | Freelist.Dirty | Freelist.Uninitialized -> ()
+              | Freelist.Corrupt reason ->
+                  raise
+                    (Media.Media_error
+                       (Fmt.str "%s: superblock: %s" p.name reason)));
+              p.dirtied <- true;
+              Freelist.mark_dirty a
+            end;
             Physmem.fire (Mem.phys t.mem)
               (Fi.Alloc_meta_write { pool = p.id; offset = off });
             (match t.meta_hook with
@@ -107,7 +155,33 @@ let arena_access t (p : pool) : Freelist.access =
             Mem.write_word t.mem (Int64.add base off) v);
       }
 
+(* Maintenance accessor for the scrub engine: reads are still subject
+   to the media model (scrub catches [Media_error] itself), but writes
+   bypass the degraded refusal, the seal protocol, fault-injection
+   events and the transaction hook — repair is not an application
+   mutation. *)
+let scrub_access t ~pool : Freelist.access =
+  let p = find_pool t pool in
+  match p.base with
+  | None -> raise (Already_open (p.name ^ ": not mapped"))
+  | Some base ->
+      {
+        Freelist.read = (fun off -> Mem.read_word t.mem (Int64.add base off));
+        write = (fun off v -> Mem.write_word t.mem (Int64.add base off) v);
+      }
+
 let set_meta_hook t hook = t.meta_hook <- hook
+
+(* Re-seal a quiescent pool: refresh the superblock checksum and the
+   replica snapshot.  No-op for degraded (read-only) pools and for
+   pools whose seal is already valid. *)
+let seal_pool t ~pool =
+  let p = find_pool t pool in
+  if p.base <> None && (not p.degraded) && p.dirtied then begin
+    Freelist.seal (arena_access t p);
+    p.dirtied <- false;
+    if Telemetry.enabled () then Telemetry.incr c_seals
+  end
 
 (* Create a pool: allocate its NVM frames, map it, initialize its
    embedded allocator, and return its system-wide unique id. *)
@@ -125,10 +199,16 @@ let create_pool t ~name ~size =
       (Layout.pages_of_bytes size)
   in
   let base = Mem.map_existing t.mem Layout.Nvm frames in
-  let pool = { id; name; size; frames; base = Some base } in
+  let pool =
+    { id; name; size; frames; base = Some base; degraded = false; dirtied = true }
+  in
   Hashtbl.replace t.pools id pool;
   Hashtbl.replace t.by_name name id;
   Freelist.init (arena_access t pool) ~capacity:(Int64.of_int size);
+  (* A fresh pool starts sealed: its checksums and replica are valid
+     until the first allocation of this session breaks the seal. *)
+  Freelist.seal (arena_access t pool);
+  pool.dirtied <- false;
   rebuild_vat t;
   id
 
@@ -145,8 +225,49 @@ let open_pool t name =
   let base = Mem.map_existing t.mem Layout.Nvm p.frames in
   p.base <- Some base;
   rebuild_vat t;
-  if not (Freelist.is_initialized (arena_access t p)) then
-    raise (Freelist.Corrupt_arena (name ^ ": pool image lost its header"));
+  (* Verified attach.  A sealed image must pass its checksum; a dirty
+     image is a crash picture whose consistency the undo-log journal
+     governs, exactly as before the integrity layer existed.  A corrupt
+     (or unreadable) superblock degrades the attach to read-only rather
+     than propagating garbage — the scrub engine decides whether the
+     replica can repair it. *)
+  let a = arena_access t p in
+  let state =
+    try Freelist.superblock_state a
+    with Media.Media_error m -> Freelist.Corrupt ("unreadable: " ^ m)
+  in
+  (match state with
+  | Freelist.Sealed ->
+      set_degraded t p false;
+      p.dirtied <- false;
+      if Telemetry.enabled () then Telemetry.incr c_attach_verified
+  | Freelist.Dirty ->
+      set_degraded t p false;
+      p.dirtied <- true;
+      if Telemetry.enabled () then Telemetry.incr c_attach_dirty
+  | Freelist.Uninitialized ->
+      (* No magic and no seal: creation never completed.  If the
+         replica still vouches for the pool this is media damage and
+         worth a degraded attach; otherwise the image is simply gone. *)
+      let cap = Int64.of_int p.size in
+      if
+        try Freelist.replica_intact a ~capacity:cap
+        with Media.Media_error _ -> false
+      then begin
+        set_degraded t p true;
+        p.dirtied <- true;
+        if Telemetry.enabled () then Telemetry.incr c_attach_degraded
+      end
+      else begin
+        p.base <- None;
+        Mem.unmap t.mem ~base ~bytes:p.size;
+        rebuild_vat t;
+        raise (Freelist.Corrupt_arena (name ^ ": pool image lost its header"))
+      end
+  | Freelist.Corrupt _ ->
+      set_degraded t p true;
+      p.dirtied <- true;
+      if Telemetry.enabled () then Telemetry.incr c_attach_degraded);
   base
 
 let detach_pool t id =
@@ -154,15 +275,27 @@ let detach_pool t id =
   match p.base with
   | None -> ()
   | Some base ->
+      (* A clean detach leaves the image sealed, so the next attach can
+         verify it end to end; degraded pools are left untouched. *)
+      seal_pool t ~pool:id;
       Mem.unmap t.mem ~base ~bytes:p.size;
       p.base <- None;
+      set_degraded t p false;
       rebuild_vat t
 
 (* Simulated machine crash: volatile memory and all mappings vanish;
    pool frames and the registry survive. *)
 let crash t =
   Mem.crash t.mem;
-  Hashtbl.iter (fun _ p -> p.base <- None) t.pools;
+  Hashtbl.iter
+    (fun _ p ->
+      p.base <- None;
+      (* Degraded is attach-session state: the next open re-verifies the
+         (persistent) checksums and re-derives it. *)
+      p.degraded <- false;
+      p.dirtied <- true)
+    t.pools;
+  t.degraded_count <- 0;
   t.vat <- [||];
   t.meta_hook <- None (* hooks are volatile state — reinstall after restart *);
   t.restarts <- t.restarts + 1
@@ -200,6 +333,7 @@ let provider t : Xlate.provider =
 let pmalloc t ~pool size : Ptr.t =
   if Telemetry.enabled () then Telemetry.incr c_pmallocs;
   let p = find_pool t pool in
+  if p.degraded then refuse_write p;
   let payload = Freelist.alloc (arena_access t p) (Int64.of_int size) in
   Ptr.make_relative ~pool ~offset:payload
 
@@ -208,6 +342,7 @@ let pfree t (ptr : Ptr.t) =
   if not (Ptr.is_relative ptr) then
     invalid_arg "Pmop.pfree: not a persistent pointer";
   let p = find_pool t (Ptr.pool_of ptr) in
+  if p.degraded then refuse_write p;
   Freelist.free (arena_access t p) (Ptr.offset_of ptr)
 
 (* The per-pool root-object slot: the only well-known anchor an
@@ -222,3 +357,64 @@ let allocated_bytes t ~pool =
 
 let check_pool_invariants t ~pool =
   Freelist.check_invariants (arena_access t (find_pool t pool))
+
+(* --- degraded-mode bookkeeping for the runtime and the scrub engine -- *)
+
+let pool_name t id = (find_pool t id).name
+let pool_frames t ~pool = (find_pool t pool).frames
+let is_degraded t ~pool = (find_pool t pool).degraded
+let is_sealed_attach t ~pool = not (find_pool t pool).dirtied
+let any_degraded t = t.degraded_count > 0
+
+let set_pool_degraded t ~pool v = set_degraded t (find_pool t pool) v
+
+let mark_pool_repaired t ~pool =
+  let p = find_pool t pool in
+  set_degraded t p false;
+  p.dirtied <- false
+
+(* Store-path guard: called by the runtime (only when [any_degraded])
+   with the destination cell of every data store, in either pointer
+   format.  DRAM targets are never refused. *)
+let assert_cell_writable t (cell : Ptr.t) =
+  let pool =
+    if Ptr.is_relative cell then Some (Ptr.pool_of cell)
+    else if Layout.is_nvm_va cell then
+      match pool_of_va t cell with Some (id, _) -> Some id | None -> None
+    else None
+  in
+  match pool with
+  | Some id -> (
+      match Hashtbl.find_opt t.pools id with
+      | Some p when p.degraded -> refuse_write p
+      | _ -> ())
+  | None -> ()
+
+(* Structural validation of a root pointer before the application
+   dereferences it: a pointer-shaped root must land inside its own
+   pool's heap.  Opaque (non-pointer) root words and DRAM targets are
+   the application's business. *)
+let check_root_target t (root : Ptr.t) =
+  let target =
+    if Ptr.is_null root then None
+    else if Ptr.is_relative root then
+      Some (Ptr.pool_of root, Ptr.offset_of root)
+    else if Layout.is_nvm_va root then
+      match pool_of_va t root with
+      | Some (id, base) -> Some (id, Int64.sub root base)
+      | None -> None
+    else None
+  in
+  match target with
+  | None -> ()
+  | Some (id, offset) ->
+      let p = find_pool t id in
+      let heap_end = Freelist.heap_limit ~capacity:(Int64.of_int p.size) in
+      if
+        offset < Int64.add Freelist.heap_start Freelist.header_size
+        || offset >= heap_end
+      then
+        raise
+          (Media.Media_error
+             (Fmt.str "%s: root pointer offset %Ld is outside the heap"
+                p.name offset))

@@ -1,7 +1,15 @@
 (* The volatile (DRAM) allocator — the ordinary malloc of the simulated
    process.  Shares the free-list implementation with the persistent
    allocator; the arena lives in a DRAM mapping, so its contents are
-   lost on crash, exactly like a real heap. *)
+   lost on crash, exactly like a real heap.
+
+   The free-list's integrity layer is inert here: the arena is never
+   sealed (its integrity word stays 0/dirty — DRAM has no power-off
+   image to verify, and the media model only covers NVM frames), so
+   attach verification and the replica never come into play.  The
+   header CRC still tags every block for free, though, which turns wild
+   frees into a deterministic [Corrupt_arena] instead of silent heap
+   corruption. *)
 
 module Mem = Nvml_simmem.Mem
 module Layout = Nvml_simmem.Layout

@@ -112,8 +112,12 @@ let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ~mode () =
 let set_store_interceptor t f = t.store_interceptor <- f
 
 (* A store targets pool memory when its destination cell is a relative
-   pointer or a virtual address inside the NVM half. *)
+   pointer or a virtual address inside the NVM half.  When any pool is
+   attached read-only degraded (media damage, see [Pmop]), the data
+   path refuses stores into it with a typed [Media_error] — the guard
+   costs one integer test while every pool is healthy. *)
 let intercept_store t (cell : Ptr.t) =
+  if Pmop.any_degraded t.pm then Pmop.assert_cell_writable t.pm cell;
   match t.store_interceptor with
   | None -> ()
   | Some f -> if Ptr.is_relative cell || Layout.is_nvm_va cell then f cell
@@ -545,7 +549,14 @@ let root_cell ~pool = Ptr.make_relative ~pool ~offset:Freelist.off_root
 let set_root t ~site ~pool (p : Ptr.t) =
   store_ptr t ~site (root_cell ~pool) ~off:0 p
 
-let get_root t ~site ~pool : Ptr.t = load_ptr t ~site (root_cell ~pool) ~off:0
+(* Container roots are the one anchor applications follow blindly after
+   a restart, so a pointer-shaped root is bounds-checked against its
+   pool's heap before it is handed out: a rotted root raises a typed
+   [Media_error] here instead of dereferencing garbage downstream. *)
+let get_root t ~site ~pool : Ptr.t =
+  let p = load_ptr t ~site (root_cell ~pool) ~off:0 in
+  Pmop.check_root_target t.pm p;
+  p
 
 (* --- telemetry publication ---------------------------------------------- *)
 

@@ -155,17 +155,25 @@ let abort t =
 type recovery = Clean | Rolled_back of int
 
 (* Post-crash recovery: an active log means the crash interrupted a
-   transaction — undo it. *)
+   transaction — undo it.  The log lives in pool memory, so the media
+   can have damaged it between the crash and this recovery; an
+   unreadable log word is re-raised with enough context to find the
+   pool, rather than surfacing as a bare device error mid-rollback. *)
 let recover t =
   if Telemetry.enabled () then Telemetry.incr c_recoveries;
-  if is_active t then begin
-    let n = count t in
-    if Telemetry.enabled () then
-      Telemetry.event ~args:[ ("rolled_back", n) ] "txn.recover";
-    roll_back t;
-    Rolled_back n
-  end
-  else Clean
+  try
+    if is_active t then begin
+      let n = count t in
+      if Telemetry.enabled () then
+        Telemetry.event ~args:[ ("rolled_back", n) ] "txn.recover";
+      roll_back t;
+      Rolled_back n
+    end
+    else Clean
+  with Nvml_media.Media.Media_error m ->
+    raise
+      (Nvml_media.Media.Media_error
+         (Fmt.str "recovery: undo log of pool %d unreadable: %s" t.pool m))
 
 (* --- user-transparent instrumentation ------------------------------------
 

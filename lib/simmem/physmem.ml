@@ -26,6 +26,11 @@ type t = {
      (power is off, nothing lands on the media any more). *)
   mutable fi_hook : (Fi.event -> unit) option;
   mutable frozen : bool;
+  (* Media model: an armed read hook sees every word leaving an NVM
+     frame and may transform it (bit rot) or raise (poisoned line); the
+     write note lets the model heal a location that is re-written. *)
+  mutable media_read : (frame:int -> word_index:int -> int64 -> int64) option;
+  mutable media_write : (frame:int -> word_index:int -> unit) option;
 }
 
 let no_storage : frame =
@@ -44,6 +49,8 @@ let create () =
     writes = 0;
     fi_hook = None;
     frozen = false;
+    media_read = None;
+    media_write = None;
   }
 
 let region_of_frame frame =
@@ -106,7 +113,8 @@ let frame_of_phys pa = Int64.to_int (Int64.shift_right_logical pa Layout.page_sh
 
 let read_word t ~frame ~word_index =
   t.reads <- t.reads + 1;
-  Bigarray.Array1.get (storage t frame) word_index
+  let v = Bigarray.Array1.get (storage t frame) word_index in
+  match t.media_read with None -> v | Some f -> f ~frame ~word_index v
 
 (* Fire a [Pm_store] for a word about to land in an NVM frame.  Only
    called with a hook armed; reading the old value costs a frame lookup,
@@ -128,7 +136,8 @@ let write_word t ~frame ~word_index value =
     (match t.fi_hook with
     | None -> ()
     | Some f -> announce_nvm_store t f frame word_index value);
-    Bigarray.Array1.set (storage t frame) word_index value
+    Bigarray.Array1.set (storage t frame) word_index value;
+    match t.media_write with None -> () | Some f -> f ~frame ~word_index
   end
 
 (* Packed-address accessors: [pa] is [frame * page_size + offset] as an
@@ -137,9 +146,24 @@ let write_word t ~frame ~word_index value =
    bound check is elided. *)
 let read_pa t pa =
   t.reads <- t.reads + 1;
-  Bigarray.Array1.unsafe_get
-    (storage t (pa lsr Layout.page_shift))
-    ((pa land (Layout.page_size - 1)) lsr 3)
+  let v =
+    Bigarray.Array1.unsafe_get
+      (storage t (pa lsr Layout.page_shift))
+      ((pa land (Layout.page_size - 1)) lsr 3)
+  in
+  match t.media_read with
+  | None -> v
+  | Some f ->
+      f ~frame:(pa lsr Layout.page_shift)
+        ~word_index:((pa land (Layout.page_size - 1)) lsr 3)
+        v
+
+let note_media_write t pa =
+  match t.media_write with
+  | None -> ()
+  | Some f ->
+      f ~frame:(pa lsr Layout.page_shift)
+        ~word_index:((pa land (Layout.page_size - 1)) lsr 3)
 
 let write_pa t pa value =
   match t.fi_hook with
@@ -149,7 +173,8 @@ let write_pa t pa value =
         Bigarray.Array1.unsafe_set
           (storage t (pa lsr Layout.page_shift))
           ((pa land (Layout.page_size - 1)) lsr 3)
-          value
+          value;
+        note_media_write t pa
       end
   | Some f ->
       if not t.frozen then begin
@@ -157,7 +182,8 @@ let write_pa t pa value =
         let frame = pa lsr Layout.page_shift in
         let word_index = (pa land (Layout.page_size - 1)) lsr 3 in
         announce_nvm_store t f frame word_index value;
-        Bigarray.Array1.unsafe_set (storage t frame) word_index value
+        Bigarray.Array1.unsafe_set (storage t frame) word_index value;
+        note_media_write t pa
       end
 
 (* Hook management and the raw backdoors the injector itself uses. *)
@@ -172,6 +198,10 @@ let fire t event =
 
 let set_frozen t frozen = t.frozen <- frozen
 let frozen t = t.frozen
+
+let set_media_read t hook = t.media_read <- hook
+let set_media_write_note t hook = t.media_write <- hook
+let media_armed t = t.media_read <> None || t.media_write <> None
 
 let peek t ~frame ~word_index =
   Bigarray.Array1.get (storage t frame) word_index
@@ -200,7 +230,10 @@ let crash t =
   t.dram_frames_allocated <- 0;
   (* Power is back: the media accepts stores again.  The fi hook stays
      armed — an injector that wants to observe the recovery run (or a
-     shell tracking stores across power cycles) keeps its view. *)
+     shell tracking stores across power cycles) keeps its view.  The
+     media hooks survive too: NVM defects are a property of the device,
+     not of the power cycle, so a crash mid-scrub replays bit-identical
+     faults from the same (seed, point). *)
   t.frozen <- false
 
 let dram_frames_allocated t = t.dram_frames_allocated

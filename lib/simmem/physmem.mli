@@ -78,10 +78,25 @@ val set_frozen : t -> bool -> unit
 
 val frozen : t -> bool
 
+(** {2 Media model}
+
+    One read hook and one write note per machine let a media-error
+    model ([Nvml_media.Media]) sit under every NVM access: the read
+    hook sees each word leaving a frame and may transform it (bit rot)
+    or raise (a poisoned line); the write note fires after a store
+    lands, so the model can heal a re-written location.  Both hooks
+    survive {!crash} — device defects outlive power cycles. *)
+
+val set_media_read : t -> (frame:int -> word_index:int -> int64 -> int64) option -> unit
+val set_media_write_note : t -> (frame:int -> word_index:int -> unit) option -> unit
+val media_armed : t -> bool
+
 val peek : t -> frame:int -> word_index:int -> int64
-(** Raw word read: no counters, no hook. *)
+(** Raw word read: no counters, no hook, no media model. *)
 
 val poke : t -> frame:int -> word_index:int -> int64 -> unit
-(** Raw word write: no counters, no hook, ignores freezing.  This is
-    the injector's backdoor for planting torn words ({!Fi.torn_word})
-    at the crash point. *)
+(** Raw word write: no counters, no hook, ignores freezing, and does
+    {e not} fire the media write note (so it never heals a media
+    fault).  This is the injectors' backdoor for planting torn words
+    ({!Fi.torn_word}) at the crash point and for corrupting checksummed
+    metadata by hand in tests. *)

@@ -1,0 +1,220 @@
+(* Tests for the media-error layer: the seeded injector's fault model,
+   the checksummed superblock with its replica, degraded-mode attach,
+   and the scrub/repair engine — the headline scenario is a corrupted
+   primary superblock that attaches read-only and is restored to
+   read-write from the replica by [scrub --repair]. *)
+
+module Layout = Nvml_simmem.Layout
+module Mem = Nvml_simmem.Mem
+module Physmem = Nvml_simmem.Physmem
+module Ptr = Nvml_core.Ptr
+module Media = Nvml_media.Media
+module Pmop = Nvml_pool.Pmop
+module Freelist = Nvml_pool.Freelist
+module Scrub = Nvml_pool.Scrub
+
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let make () =
+  let mem = Mem.create () in
+  (mem, Pmop.create mem)
+
+(* A sealed pool with a few live objects, a freed hole and a root. *)
+let build_pool pm ~name =
+  let pool = Pmop.create_pool pm ~name ~size:65536 in
+  let ps = List.init 8 (fun i -> Pmop.pmalloc pm ~pool (32 + (i * 16))) in
+  Pmop.pfree pm (List.nth ps 3);
+  Pmop.set_root pm ~pool (List.hd ps);
+  Pmop.seal_pool pm ~pool;
+  pool
+
+(* Flip one bit of a pool-relative superblock word behind the media
+   model's back ([poke] does not heal, unlike a store). *)
+let flip_sb_word mem pm ~pool ~offset =
+  let frame = List.hd (Pmop.pool_frames pm ~pool) in
+  let word_index = Int64.to_int offset / 8 in
+  let phys = Mem.phys mem in
+  let v = Physmem.peek phys ~frame ~word_index in
+  Physmem.poke phys ~frame ~word_index (Int64.logxor v 16L)
+
+(* --- headline: corrupt primary, replica-backed repair ------------------- *)
+
+let test_degraded_attach_and_repair () =
+  let mem, pm = make () in
+  let pool = build_pool pm ~name:"p" in
+  let root_before = Pmop.get_root pm ~pool in
+  Pmop.detach_pool pm pool;
+  flip_sb_word mem pm ~pool ~offset:40L (* alloc_count, CRC-covered *);
+  ignore (Pmop.open_pool pm "p");
+  check_bool "corrupt primary attaches degraded" true
+    (Pmop.is_degraded pm ~pool);
+  check_i64 "reads still served" root_before (Pmop.get_root pm ~pool);
+  check_bool "pmalloc refused read-only" true
+    (try
+       ignore (Pmop.pmalloc pm ~pool 64);
+       false
+     with Media.Media_error _ -> true);
+  check_bool "set_root refused read-only" true
+    (try
+       Pmop.set_root pm ~pool 0L;
+       false
+     with Media.Media_error _ -> true);
+  (* scrub --repair: the intact replica restores the primary. *)
+  let report = Scrub.run (Scrub.create pm) ~repair:true in
+  let pr = List.find (fun (r : Scrub.pool_report) -> r.Scrub.pool = pool)
+      report.Scrub.pools in
+  check_bool "pool reported repaired" true (pr.Scrub.state = Scrub.Repaired);
+  check_bool "primary finding repaired" true
+    (List.exists
+       (fun (f : Scrub.finding) ->
+         f.Scrub.kind = Scrub.Superblock_primary && f.Scrub.repaired)
+       pr.Scrub.findings);
+  check_bool "degraded state cleared" false (Pmop.is_degraded pm ~pool);
+  check_i64 "root survived the round trip" root_before
+    (Pmop.get_root pm ~pool);
+  ignore (Pmop.pmalloc pm ~pool 64);
+  ignore (Pmop.check_pool_invariants pm ~pool)
+
+let test_scrub_without_repair_stays_degraded () =
+  let mem, pm = make () in
+  let pool = build_pool pm ~name:"p" in
+  Pmop.detach_pool pm pool;
+  flip_sb_word mem pm ~pool ~offset:48L (* free_count, CRC-covered *);
+  ignore (Pmop.open_pool pm "p");
+  let report = Scrub.run (Scrub.create pm) ~repair:false in
+  let pr = List.find (fun (r : Scrub.pool_report) -> r.Scrub.pool = pool)
+      report.Scrub.pools in
+  check_bool "detected but not repaired" true
+    (pr.Scrub.state = Scrub.Degraded && report.Scrub.repaired = 0);
+  check_bool "still degraded" true (Pmop.is_degraded pm ~pool)
+
+(* --- injector fault model ----------------------------------------------- *)
+
+(* Search the pool's frames with the pure placement function for a word
+   the injector will fault — reading through [decide] never perturbs
+   the injector's state. *)
+let find_fault pm inj ~pool ~kind =
+  let frames = Pmop.pool_frames pm ~pool in
+  let found = ref None in
+  List.iteri
+    (fun fi frame ->
+      for w = 0 to Layout.words_per_page - 1 do
+        if !found = None && Media.decide inj ~frame ~word_index:w = Some kind
+        then found := Some (Int64.of_int ((fi * Layout.page_size) + (w * 8)))
+      done)
+    frames;
+  !found
+
+let test_poisoned_line_raises () =
+  let mem, pm = make () in
+  let pool = build_pool pm ~name:"p" in
+  let inj = Media.create ~kinds:[ Media.Poison_line ] ~rate:0.05 ~seed:11 () in
+  Media.attach (Mem.phys mem) inj;
+  match find_fault pm inj ~pool ~kind:Media.Poison_line with
+  | None -> Alcotest.fail "no poisoned line at rate 0.05"
+  | Some off ->
+      let a = Pmop.scrub_access pm ~pool in
+      check_bool "poisoned read raises Media_error" true
+        (try
+           ignore (a.Freelist.read off);
+           false
+         with Media.Media_error _ -> true);
+      check_bool "poison served counted" true (Media.poisons_served inj > 0)
+
+let test_stores_heal () =
+  let mem, pm = make () in
+  let pool = build_pool pm ~name:"p" in
+  let inj = Media.create ~kinds:[ Media.Bit_flip ] ~rate:0.05 ~seed:3 () in
+  Media.attach (Mem.phys mem) inj;
+  match find_fault pm inj ~pool ~kind:Media.Bit_flip with
+  | None -> Alcotest.fail "no flipped word at rate 0.05"
+  | Some off ->
+      let a = Pmop.scrub_access pm ~pool in
+      let flipped = a.Freelist.read off in
+      a.Freelist.write off flipped;
+      check_i64 "store re-establishes the cell" flipped (a.Freelist.read off);
+      check_bool "heal recorded" true (Media.healed_words inj > 0)
+
+let test_transients_are_transparent () =
+  let mem, pm = make () in
+  let pool = build_pool pm ~name:"t" in
+  let inj = Media.create ~kinds:[ Media.Transient ] ~rate:0.2 ~seed:5 () in
+  Media.attach (Mem.phys mem) inj;
+  (* A whole alloc/free storm under 20% transient faults: every read is
+     retried internally, so nothing surfaces. *)
+  let ps = List.init 16 (fun i -> Pmop.pmalloc pm ~pool (24 + (i * 8))) in
+  List.iter (Pmop.pfree pm) ps;
+  ignore (Pmop.check_pool_invariants pm ~pool);
+  check_bool "transient faults were actually exercised" true
+    (Media.transients_served inj > 0)
+
+let test_injector_survives_crash () =
+  let mem, pm = make () in
+  let pool = build_pool pm ~name:"p" in
+  let inj = Media.create ~kinds:[ Media.Poison_line ] ~rate:0.05 ~seed:11 () in
+  Media.attach (Mem.phys mem) inj;
+  let off =
+    match find_fault pm inj ~pool ~kind:Media.Poison_line with
+    | Some off -> off
+    | None -> Alcotest.fail "no poisoned line at rate 0.05"
+  in
+  Pmop.crash pm;
+  check_bool "media model still armed after crash" true
+    (Physmem.media_armed (Mem.phys mem));
+  ignore (Pmop.open_pool pm "p");
+  let a = Pmop.scrub_access pm ~pool in
+  check_bool "same fault surfaces after restart" true
+    (try
+       ignore (a.Freelist.read off);
+       false
+     with Media.Media_error _ -> true)
+
+(* --- determinism --------------------------------------------------------- *)
+
+let test_placement_is_pure () =
+  let mk () =
+    let mem, pm = make () in
+    let pool = build_pool pm ~name:"d" in
+    let inj = Media.create ~rate:0.01 ~seed:42 () in
+    Media.attach (Mem.phys mem) inj;
+    let faults = ref [] in
+    List.iter
+      (fun frame ->
+        for w = 0 to Layout.words_per_page - 1 do
+          match Media.decide inj ~frame ~word_index:w with
+          | Some k -> faults := (frame, w, Media.kind_name k) :: !faults
+          | None -> ()
+        done)
+      (Pmop.pool_frames pm ~pool);
+    !faults
+  in
+  let a = mk () and b = mk () in
+  check_bool "identical machines draw identical fault maps" true (a = b);
+  check_bool "fault map is non-trivial" true (List.length a > 0)
+
+let () =
+  Alcotest.run "media"
+    [
+      ( "degraded-attach",
+        [
+          Alcotest.test_case "corrupt primary: ro attach, replica repair"
+            `Quick test_degraded_attach_and_repair;
+          Alcotest.test_case "scrub without --repair stays degraded" `Quick
+            test_scrub_without_repair_stays_degraded;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "poisoned line raises" `Quick
+            test_poisoned_line_raises;
+          Alcotest.test_case "stores heal" `Quick test_stores_heal;
+          Alcotest.test_case "transients are transparent" `Quick
+            test_transients_are_transparent;
+          Alcotest.test_case "survives crash" `Quick
+            test_injector_survives_crash;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "placement is pure" `Quick test_placement_is_pure;
+        ] );
+    ]

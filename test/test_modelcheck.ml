@@ -101,7 +101,10 @@ let make_arena () =
 (* Pre-fix, [free] validated only the block start, so an interior
    pointer landing on application bytes that spell an allocated header
    with a size running past the arena end was accepted — corrupting the
-   accounting and chaining a bogus block into the free list. *)
+   accounting and chaining a bogus block into the free list.  The
+   header checksum now rejects the phantom header one layer earlier:
+   application bytes that happen to parse as a size will not also carry
+   a matching CRC. *)
 let test_freelist_rejects_interior_pointer () =
   let a = make_arena () in
   Freelist.init a ~capacity:4096L;
@@ -112,7 +115,8 @@ let test_freelist_rejects_interior_pointer () =
   let bogus = Int64.add p (Int64.add 8L Freelist.header_size) in
   Alcotest.check_raises "interior pointer rejected"
     (Freelist.Corrupt_arena
-       (Fmt.str "free: block at %Ld has corrupt size 8192" bogus))
+       (Fmt.str "block header at %Ld fails its checksum"
+          (Int64.sub bogus Freelist.header_size)))
     (fun () -> Freelist.free a bogus);
   ignore (Freelist.check_invariants a)
 

@@ -104,6 +104,24 @@ let test_double_free_detected () =
        false
      with Freelist.Corrupt_arena _ -> true)
 
+(* A forged allocated-looking header planted in payload data must not
+   fool pfree: the size word reads 0x7FFF...F00|1 — large enough that
+   [base + size] overflows any naive bounds arithmetic — but its CRC-16
+   tag is wrong, so the header checksum rejects it before any size
+   check runs.  (Folded from an old standalone overflow probe.) *)
+let test_forged_header_rejected () =
+  let mem, pm = make () in
+  let pool = Pmop.create_pool pm ~name:"p" ~size:65536 in
+  let x = Xlate.make (Pmop.provider pm) in
+  let p = Pmop.pmalloc pm ~pool 64 in
+  Mem.write_word mem (Xlate.ra2va x p) (Int64.logor 0x7FFFFFFFFFFFFF00L 1L);
+  let bogus = Int64.add p Freelist.header_size in
+  Alcotest.check_raises "forged header fails its checksum"
+    (Freelist.Corrupt_arena
+       (Printf.sprintf "block header at %Ld fails its checksum"
+          (Ptr.offset_of p)))
+    (fun () -> Pmop.pfree pm bogus)
+
 let test_oom () =
   let _, pm = make () in
   let pool = Pmop.create_pool pm ~name:"p" ~size:8192 in
@@ -293,6 +311,8 @@ let () =
           Alcotest.test_case "distinct blocks" `Quick test_pmalloc_distinct;
           Alcotest.test_case "free-reuse" `Quick test_pfree_reuse;
           Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "forged header" `Quick
+            test_forged_header_rejected;
           Alcotest.test_case "out of memory" `Quick test_oom;
           Alcotest.test_case "churn invariants" `Quick
             test_invariants_after_churn;
