@@ -10,7 +10,15 @@
                                           produce
      check_stats.exe --media STATS.json   assert the media.* counters a
                                           `nvml scrub --stats` run must
-                                          produce *)
+                                          produce
+     check_stats.exe --bench BENCH.json   assert the perf-trajectory
+                                          document (BENCH_<n>.json) is
+                                          well-formed; with
+                                          --baseline BASE.json
+                                          [--max-regress F] additionally
+                                          fail if fast-mode wall-clock
+                                          regressed by more than F
+                                          (default 1.2, i.e. +20%) *)
 
 module Json = Nvml_telemetry.Json
 
@@ -101,14 +109,93 @@ let check_media path =
     "%s: ok (media.scrub.runs=%d pools=%d detected=%d repaired=%d)\n" path runs
     pools detected repaired
 
+let parse_doc path =
+  match Json.of_string (read_file path) with
+  | Ok doc -> doc
+  | Error msg -> fail "%s: invalid JSON: %s" path msg
+
+let number = function
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let check_bench ?baseline ?(max_regress = 1.2) path =
+  let doc = parse_doc path in
+  (match Json.member "kind" doc with
+  | Some (Json.String "bench-trajectory") -> ()
+  | _ -> fail "%s: kind is not \"bench-trajectory\"" path);
+  let num keys =
+    match number (Json.path keys doc) with
+    | Some f -> f
+    | None -> fail "%s: missing numeric %s" path (String.concat "." keys)
+  in
+  let suite = num [ "suite_wall_s" ] in
+  if suite <= 0.0 then fail "%s: suite_wall_s is not positive" path;
+  let fast = num [ "mode_breakdown"; "fast_wall_s" ] in
+  let cycle = num [ "mode_breakdown"; "cycle_wall_s" ] in
+  let other = num [ "mode_breakdown"; "other_wall_s" ] in
+  if fast < 0.0 || cycle < 0.0 || other < 0.0 then
+    fail "%s: negative mode breakdown entry" path;
+  if fast +. cycle +. other > suite *. 1.05 +. 0.05 then
+    fail "%s: mode breakdown (%.3f) exceeds suite_wall_s (%.3f)" path
+      (fast +. cycle +. other) suite;
+  (match Json.member "experiments" doc with
+  | Some (Json.List (_ :: _ as exps)) ->
+      List.iter
+        (fun e ->
+          let name =
+            match Json.member "name" e with
+            | Some (Json.String s) -> s
+            | _ -> fail "%s: experiment entry without a name" path
+          in
+          (match Json.member "mode" e with
+          | Some (Json.String ("fast" | "cycle" | "other")) -> ()
+          | _ -> fail "%s: %s: bad mode (want fast|cycle|other)" path name);
+          List.iter
+            (fun key ->
+              match number (Json.member key e) with
+              | Some f when f >= 0.0 -> ()
+              | Some _ -> fail "%s: %s: negative %s" path name key
+              | None -> fail "%s: %s: missing numeric %s" path name key)
+            [ "wall_s"; "ops"; "ops_per_s" ])
+        exps
+  | _ -> fail "%s: missing or empty experiments list" path);
+  (match baseline with
+  | None -> ()
+  | Some base_path ->
+      let base = parse_doc base_path in
+      let base_fast =
+        match number (Json.path [ "mode_breakdown"; "fast_wall_s" ] base) with
+        | Some f -> f
+        | None -> fail "%s: missing mode_breakdown.fast_wall_s" base_path
+      in
+      if base_fast > 0.0 && fast > base_fast *. max_regress then
+        fail
+          "%s: fast-mode wall-clock regressed: %.3fs > %.3fs (baseline %.3fs \
+           x %.2f)"
+          path fast (base_fast *. max_regress) base_fast max_regress;
+      Printf.printf
+        "%s: fast-mode wall %.3fs within %.2fx of baseline %.3fs\n" path fast
+        max_regress base_fast);
+  Printf.printf "%s: ok (suite %.3fs; fast %.3fs, cycle %.3fs, other %.3fs)\n"
+    path suite fast cycle other
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "--same"; a; b ] ->
       if read_file a <> read_file b then fail "%s and %s differ" a b
   | [ _; "--fuzz"; path ] -> check_fuzz path
   | [ _; "--media"; path ] -> check_media path
+  | [ _; "--bench"; path ] -> check_bench path
+  | [ _; "--bench"; path; "--baseline"; base ] -> check_bench ~baseline:base path
+  | [ _; "--bench"; path; "--baseline"; base; "--max-regress"; f ] -> (
+      match float_of_string_opt f with
+      | Some max_regress when max_regress > 0.0 ->
+          check_bench ~baseline:base ~max_regress path
+      | _ -> fail "--max-regress expects a positive float, got %S" f)
   | [ _; path ] -> check_stats path
   | _ ->
       fail
         "usage: check_stats [--same A B | --fuzz STATS.json | --media \
-         STATS.json | STATS.json]"
+         STATS.json | --bench BENCH.json [--baseline BASE.json \
+         [--max-regress F]] | STATS.json]"

@@ -35,6 +35,7 @@ let matrix_cache : (string * Runtime.mode, Harness.result) Hashtbl.t =
 let run_one ctx ?cfg name mode =
   if ctx.verbose then
     Printf.eprintf "  [run] %s / %s...\n%!" name (Runtime.mode_name mode);
+  Report.ops_add ctx.spec.Workload.operation_count;
   Harness.run_benchmark name ~mode ?cfg ctx.spec
 
 let matrix ctx name mode =
@@ -959,6 +960,18 @@ let micro _ctx =
                incr counter;
                Nvml_arch.Range_btree.lookup btree
                  (Int64.of_int ((!counter land 63) * 65536 + 64))));
+        (* Checksum guard: the CRC table is built once at module init,
+           so per-call cost must stay table-lookup flat — a rebuild
+           regression shows up here as a ~100x jump. *)
+        Test.make ~name:"crc32 (8-word block)"
+          (Staged.stage (fun () ->
+               incr counter;
+               Nvml_media.Crc.crc32_words
+                 [ Int64.of_int !counter; 2L; 3L; 4L; 5L; 6L; 7L; 8L ]));
+        Test.make ~name:"crc16_low48 (header word)"
+          (Staged.stage (fun () ->
+               incr counter;
+               Nvml_media.Crc.crc16_low48 (Int64.of_int !counter)));
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -1000,6 +1013,7 @@ let profile ctx =
   let p =
     Profile.run ~par:(Nvml_exec.Pool.run ctx.pool) ~benchmark ctx.spec
   in
+  Report.ops_add (2 * ctx.spec.Workload.operation_count) (* SW + HW cells *);
   last_profile := Some p;
   let dval name = try List.assoc name p.Profile.derived with Not_found -> nan in
   check_site_profile
@@ -1071,6 +1085,11 @@ let faultinject ctx =
       (fun (w, spec) -> F.run ~par:(Nvml_exec.Pool.run ctx.pool) ~spec w)
       cases
   in
+  List.iter
+    (fun (r : F.report) ->
+      (* reference pass + one full workload replay per crash point *)
+      Report.ops_add ((List.length r.F.outcomes + 1) * r.F.ops))
+    reports;
   table
     ~header:
       [ "workload"; "ops"; "events"; "points"; "clean"; "rolled back";
@@ -1173,6 +1192,8 @@ let scrub ctx =
          ])
        rows cells);
   let all = List.concat cells in
+  (* one populate-seal-scrub pass over pools x records per cell *)
+  Report.ops_add (List.length all * 3 * 48);
   metric "scrub.sites" (float_of_int (sites all));
   metric "scrub.detected" (float_of_int (detected all));
   metric "scrub.repaired" (float_of_int (repaired all));

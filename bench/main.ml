@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- fig11 table5 # selected experiments
      dune exec bench/main.exe -- --jobs 4     # parallel simulation cells
      dune exec bench/main.exe -- --json out.json
+     dune exec bench/main.exe -- --bench BENCH_6.json  # perf trajectory
      dune exec bench/main.exe -- --stats stats.json --trace trace.json
      dune exec bench/main.exe -- --metrics-json m.json  # metrics only
      dune exec bench/main.exe -- --list
@@ -51,6 +52,20 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
     ("micro", "bechamel micro-benchmarks", Experiments.micro);
   ]
 
+(* Execution-mode classification for the --bench trajectory document:
+   which core each experiment drives.  "fast" experiments run the
+   verification engines, which default to fast functional simulation
+   since PR 6; "cycle" experiments measure timing and always run the
+   cycle-accurate core; "other" experiments do no simulation worth
+   classifying (static tables, compiler output, micro-benchmarks). *)
+let mode_of_experiment = function
+  | "faultinject" | "scrub" -> "fast"
+  | "table5" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "profile"
+  | "table6" | "knn" | "soundness" | "ablation" | "extended" | "multipool"
+  | "txn" | "sweep" ->
+      "cycle"
+  | _ -> "other"
+
 (* Minimal JSON emission — just what the report needs, no dependency. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -81,7 +96,7 @@ let write_json oc ~spec ~quick ~jobs ~timings ~total =
   p "  \"total_wall_s\": %.3f,\n" total;
   p "  \"experiments\": [\n";
   List.iteri
-    (fun i (name, wall) ->
+    (fun i (name, wall, _) ->
       p "    {\"name\": \"%s\", \"wall_s\": %.3f}%s\n" (json_escape name) wall
         (if i = List.length timings - 1 then "" else ","))
     timings;
@@ -94,6 +109,43 @@ let write_json oc ~spec ~quick ~jobs ~timings ~total =
         (if i = List.length metrics - 1 then "" else ","))
     metrics;
   p "  }\n";
+  p "}\n";
+  close_out oc
+
+(* The perf-trajectory document (BENCH_<n>.json): suite wall-clock, a
+   wall-clock breakdown by execution mode, and per-experiment wall,
+   operation count and ops/sec.  Schema checked by
+   [check_stats --bench]. *)
+let write_bench_json oc ~quick ~jobs ~timings ~total =
+  let p fmt = Printf.fprintf oc fmt in
+  let wall_of m =
+    List.fold_left
+      (fun acc (name, wall, _) ->
+        if mode_of_experiment name = m then acc +. wall else acc)
+      0.0 timings
+  in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"kind\": \"bench-trajectory\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"suite_wall_s\": %.3f,\n" total;
+  p "  \"mode_breakdown\": {\"fast_wall_s\": %.3f, \"cycle_wall_s\": %.3f, \
+     \"other_wall_s\": %.3f},\n"
+    (wall_of "fast") (wall_of "cycle") (wall_of "other");
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, wall, ops) ->
+      let ops_per_s = if wall > 0.0 then float_of_int ops /. wall else 0.0 in
+      p
+        "    {\"name\": \"%s\", \"mode\": \"%s\", \"wall_s\": %.3f, \
+         \"ops\": %d, \"ops_per_s\": %s}%s\n"
+        (json_escape name)
+        (mode_of_experiment name)
+        wall ops (json_float ops_per_s)
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  p "  ]\n";
   p "}\n";
   close_out oc
 
@@ -134,6 +186,7 @@ let () =
   end;
   let jobs_arg, args = extract_value_arg "--jobs" args in
   let json_path, args = extract_value_arg "--json" args in
+  let bench_path, args = extract_value_arg "--bench" args in
   let stats_path, args = extract_value_arg "--stats" args in
   let trace_path, args = extract_value_arg "--trace" args in
   let metrics_path, args = extract_value_arg "--metrics-json" args in
@@ -161,6 +214,7 @@ let () =
           exit 1)
   in
   let json_out = open_sink "--json" json_path in
+  let bench_out = open_sink "--bench" bench_path in
   let stats_out = open_sink "--stats" stats_path in
   let trace_out = open_sink "--trace" trace_path in
   let metrics_out = open_sink "--metrics-json" metrics_path in
@@ -202,14 +256,19 @@ let () =
     List.map
       (fun (name, _, f) ->
         let te = Unix.gettimeofday () in
+        ignore (Report.ops_take () : int);
         f ctx;
-        (name, Unix.gettimeofday () -. te))
+        let wall = Unix.gettimeofday () -. te in
+        (name, wall, Report.ops_take ()))
       chosen
   in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\nTotal wall time: %.1fs\n" total;
   (match json_out with
   | Some oc -> write_json oc ~spec ~quick ~jobs ~timings ~total
+  | None -> ());
+  (match bench_out with
+  | Some oc -> write_bench_json oc ~quick ~jobs ~timings ~total
   | None -> ());
   (match metrics_out with
   | Some oc -> write_metrics_json oc

@@ -77,6 +77,26 @@ let metrics_reset () =
   metrics := [];
   Mutex.unlock metrics_lock
 
+(* Per-experiment operation tally for the --bench trajectory document
+   (BENCH_<n>.json): experiments add the number of simulated operations
+   they executed (structure ops, crash points, scrub records, ...); the
+   driver takes — reads and resets — the tally around each experiment
+   to derive ops/sec.  Guarded by the same lock because worker-domain
+   result handlers may record it. *)
+let ops_tally = ref 0
+
+let ops_add n =
+  Mutex.lock metrics_lock;
+  ops_tally := !ops_tally + n;
+  Mutex.unlock metrics_lock
+
+let ops_take () =
+  Mutex.lock metrics_lock;
+  let n = !ops_tally in
+  ops_tally := 0;
+  Mutex.unlock metrics_lock;
+  n
+
 (* --- telemetry profile sections ----------------------------------------- *)
 
 (* The "check-site profile" section: per-site dynamic-check counts from

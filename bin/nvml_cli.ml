@@ -397,6 +397,19 @@ let file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"A mini-C source file.")
 
+(* Shared across the verification engines (fuzz, faultinject, scrub):
+   they default to fast functional simulation and offer the
+   cycle-accurate core as an opt-out. *)
+let timing_arg =
+  Arg.(
+    value & flag
+    & info [ "timing" ]
+        ~doc:
+          "Run the cycle-accurate core instead of the default fast \
+           functional mode.  Functional results (checks, crash points, \
+           verdicts, reports) are identical either way; only wall-clock \
+           and timing statistics differ.")
+
 let run_cmd =
   let persistent =
     Arg.(
@@ -404,9 +417,18 @@ let run_cmd =
       & info [ "persistent"; "p" ]
           ~doc:"Place the heap in a persistent pool (libvmmalloc-style).")
   in
-  let run path mode persistent =
+  let fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:
+            "Fast functional mode: skip cache/TLB/branch/storeP timing \
+             (cycles = instructions).  Program output is identical to \
+             the default cycle-accurate run.")
+  in
+  let run path mode persistent fast =
     let program = parse_file path in
-    let rt = Runtime.create ~mode () in
+    let rt = Runtime.create ~timing:(not fast) ~mode () in
     let heap =
       if persistent && mode <> Runtime.Volatile then
         Runtime.Pool_region
@@ -432,7 +454,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a mini-C source file on the simulator.")
-    Term.(const run $ file_arg $ mode_arg $ persistent)
+    Term.(const run $ file_arg $ mode_arg $ persistent $ fast_arg)
 
 let compile_cmd =
   let run path =
@@ -514,7 +536,7 @@ let faultinject_cmd =
              report the violations the checker finds.")
   in
   let run mode workload structure records ops every_n at torn seed max_points
-      break_recovery jobs =
+      break_recovery jobs timing =
     let w =
       match String.lowercase_ascii workload with
       | "counter" -> Faultinject.counter_workload ~ops ()
@@ -537,7 +559,7 @@ let faultinject_cmd =
     let report =
       Fun.protect
         ~finally:(fun () -> Pool.shutdown pool)
-        (fun () -> Faultinject.run ~par:(Pool.run pool) ~mode ~spec w)
+        (fun () -> Faultinject.run ~par:(Pool.run pool) ~mode ~spec ~timing w)
     in
     Fmt.pr "%a@." Faultinject.pp_report report;
     if report.Faultinject.violations <> [] then exit 1
@@ -565,7 +587,7 @@ let faultinject_cmd =
     Term.(
       const run $ mode_arg $ workload_arg $ structure_arg $ records_arg
       $ ops_arg $ every_n_arg $ at_arg $ torn_arg $ seed_arg $ max_points_arg
-      $ break_arg $ jobs_arg)
+      $ break_arg $ jobs_arg $ timing_arg)
 
 (* --- fuzz ----------------------------------------------------------------------------- *)
 
@@ -618,7 +640,7 @@ let fuzz_cmd =
             "Record telemetry (fuzz.* counters included) and write the \
              stats JSON document to $(docv).")
   in
-  let run components ops seed seeds break jobs stats_file =
+  let run components ops seed seeds break jobs stats_file timing =
     let instrumented f =
       match stats_file with
       | None -> f ()
@@ -646,8 +668,8 @@ let fuzz_cmd =
           instrumented @@ fun () ->
           List.init seeds (fun i ->
               match
-                Modelcheck.run ~pool ~break ~components ~ops ~seed:(seed + i)
-                  ()
+                Modelcheck.run ~pool ~break ~timing ~components ~ops
+                  ~seed:(seed + i) ()
               with
               | report -> report
               | exception Modelcheck.Unknown_component name ->
@@ -703,7 +725,7 @@ let fuzz_cmd =
          ])
     Term.(
       const run $ component_arg $ ops_arg $ seed_arg $ seeds_arg $ break_arg
-      $ jobs_arg $ stats_arg)
+      $ jobs_arg $ stats_arg $ timing_arg)
 
 (* --- scrub ---------------------------------------------------------------------------- *)
 
@@ -781,7 +803,11 @@ let scrub_cmd =
              stats JSON document to $(docv).")
   in
   let run pools records rate kinds seed seeds repair report allow_loss jobs
-      stats_file =
+      stats_file timing =
+    (* The scrub engine drives raw memory with no simulated core, so it
+       is already purely functional; --timing is accepted for CLI
+       uniformity with fuzz/faultinject and changes nothing. *)
+    ignore (timing : bool);
     let kinds =
       List.map
         (fun k ->
@@ -900,7 +926,7 @@ let scrub_cmd =
     Term.(
       const run $ pools_arg $ records_arg $ rate_arg $ kinds_arg $ seed_arg
       $ seeds_arg $ repair_arg $ report_arg $ allow_loss_arg $ jobs_arg
-      $ stats_arg)
+      $ stats_arg $ timing_arg)
 
 (* --- shell ---------------------------------------------------------------------------- *)
 

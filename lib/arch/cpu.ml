@@ -7,7 +7,24 @@
    Cycle accounting: every instruction costs one issue cycle, which
    covers an L1-cache and L1-TLB hit; deeper levels, branch
    mispredictions, POLB/VALB latencies on the address-generation path
-   and storeP structural stalls add stall cycles on top. *)
+   and storeP structural stalls add stall cycles on top.
+
+   Two execution speeds behind the same narration API:
+
+   - [timing = true] (default): the cycle-accurate mode above.  Every
+     entry point is bit-for-bit unchanged from the pre-split code, so
+     pinned profile outputs stay byte-identical.
+   - [timing = false]: the fast functional mode.  Each µ-event retires
+     in its 1-cycle issue slot and no microarchitectural structure is
+     touched — no branch predictor, TLBs, caches, POLB/VALB/VATB or
+     storeP FSM — so [cycles = instrs] and every stall source reads 0.
+     Event counts (instructions, loads, stores, storePs, branches,
+     DRAM/NVM accesses) are narration-derived and stay identical to the
+     cycle-accurate mode; only timing-state-dependent statistics
+     (mispredictions, hit rates, POW/VAW walks, stalls) collapse.
+     Functional behaviour lives outside this module entirely, so the
+     verification engines keep every pointer-format check, translation
+     and crash-point/media hook while skipping the timing simulation. *)
 
 module Mem = Nvml_simmem.Mem
 module Layout = Nvml_simmem.Layout
@@ -17,9 +34,15 @@ module Telemetry = Nvml_telemetry.Telemetry
 (* Depth of each VAW walk into the VATB B-tree (nodes visited). *)
 let vatb_depth_histo = Telemetry.histo "vatb.walk_depth"
 
+(* Capacity of the reusable storeP operand buffer.  A storeP narrates
+   at most one Rd and one Rs conversion; the slack tolerates synthetic
+   multi-operand tests. *)
+let xop_buffer_capacity = 8
+
 type t = {
   cfg : Config.t;
   mem : Mem.t;
+  timing : bool; (* false = fast functional mode: skip all timing state *)
   bp : Branch_predictor.t;
   l1_tlb : Cache.t;
   l2_tlb : Cache.t;
@@ -30,6 +53,12 @@ type t = {
   valb : Valb.t;
   vatb : Range_btree.t; (* kernel VATB, walked by the VAW on VALB miss *)
   storep_unit : Storep_unit.t;
+  (* Reusable storeP operand buffer: flat preallocated arrays instead of
+     a per-storeP list.  [xop_pool.(i) >= 0] is a POLB op on that pool;
+     [xop_pool.(i) < 0] is a VALB op on [xop_va.(i)]. *)
+  xop_pool : int array;
+  xop_va : int64 array;
+  mutable xop_len : int;
   mutable cycles : int;
   mutable instrs : int;
   mutable loads : int;
@@ -54,26 +83,58 @@ type t = {
   mutable st_storep : int; (* storeP structural stalls *)
 }
 
-let create cfg mem =
+let create ?(timing = true) cfg mem =
+  (* Fast functional mode never exercises the timing components, but the
+     telemetry accessors still publish them — so build degenerate
+     one-entry stand-ins instead of the config-sized arrays.  The
+     verification engines construct a fresh machine per crash point /
+     fuzz case; skipping the L2/L3 tag arrays (tens of KWords each)
+     keeps that construction off the major heap. *)
   {
     cfg;
     mem;
-    bp = Branch_predictor.of_config cfg;
+    timing;
+    bp =
+      (if timing then Branch_predictor.of_config cfg
+       else Branch_predictor.create ~table_bits:0 ~history_bits:0);
     l1_tlb =
-      Cache.create
-        ~sets:(cfg.l1_tlb_entries / cfg.l1_tlb_ways)
-        ~ways:cfg.l1_tlb_ways ~index_shift:Layout.page_shift;
+      (if timing then
+         Cache.create
+           ~sets:(cfg.l1_tlb_entries / cfg.l1_tlb_ways)
+           ~ways:cfg.l1_tlb_ways ~index_shift:Layout.page_shift
+       else Cache.create ~sets:1 ~ways:1 ~index_shift:Layout.page_shift);
     l2_tlb =
-      Cache.create
-        ~sets:(cfg.l2_tlb_entries / cfg.l2_tlb_ways)
-        ~ways:cfg.l2_tlb_ways ~index_shift:Layout.page_shift;
-    l1 = Cache.create ~sets:cfg.l1_sets ~ways:cfg.l1_ways ~index_shift:cfg.line_shift;
-    l2 = Cache.of_size ~kib:cfg.l2_kib ~ways:cfg.l2_ways ~line_shift:cfg.line_shift;
-    l3 = Cache.of_size ~kib:cfg.l3_kib ~ways:cfg.l3_ways ~line_shift:cfg.line_shift;
-    polb = Cache.create ~sets:1 ~ways:cfg.polb_entries ~index_shift:0;
-    valb = Valb.create ~entries:cfg.valb_entries;
+      (if timing then
+         Cache.create
+           ~sets:(cfg.l2_tlb_entries / cfg.l2_tlb_ways)
+           ~ways:cfg.l2_tlb_ways ~index_shift:Layout.page_shift
+       else Cache.create ~sets:1 ~ways:1 ~index_shift:Layout.page_shift);
+    l1 =
+      (if timing then
+         Cache.create ~sets:cfg.l1_sets ~ways:cfg.l1_ways
+           ~index_shift:cfg.line_shift
+       else Cache.create ~sets:1 ~ways:1 ~index_shift:cfg.line_shift);
+    l2 =
+      (if timing then
+         Cache.of_size ~kib:cfg.l2_kib ~ways:cfg.l2_ways
+           ~line_shift:cfg.line_shift
+       else Cache.create ~sets:1 ~ways:1 ~index_shift:cfg.line_shift);
+    l3 =
+      (if timing then
+         Cache.of_size ~kib:cfg.l3_kib ~ways:cfg.l3_ways
+           ~line_shift:cfg.line_shift
+       else Cache.create ~sets:1 ~ways:1 ~index_shift:cfg.line_shift);
+    polb =
+      (if timing then Cache.create ~sets:1 ~ways:cfg.polb_entries ~index_shift:0
+       else Cache.create ~sets:1 ~ways:1 ~index_shift:0);
+    valb = Valb.create ~entries:(if timing then cfg.valb_entries else 1);
     vatb = Range_btree.create ();
-    storep_unit = Storep_unit.create ~entries:cfg.storep_fsm_entries;
+    storep_unit =
+      Storep_unit.create
+        ~entries:(if timing then cfg.storep_fsm_entries else 1);
+    xop_pool = Array.make xop_buffer_capacity (-1);
+    xop_va = Array.make xop_buffer_capacity 0L;
+    xop_len = 0;
     cycles = 0;
     instrs = 0;
     loads = 0;
@@ -94,6 +155,7 @@ let create cfg mem =
   }
 
 let config t = t.cfg
+let timing t = t.timing
 
 (* --- plain instructions and branches --------------------------------- *)
 
@@ -104,10 +166,13 @@ let instr t n =
 let branch t ~pc ~taken =
   t.instrs <- t.instrs + 1;
   t.branches <- t.branches + 1;
-  let miss = Branch_predictor.branch t.bp ~pc ~taken in
-  let penalty = if miss then t.cfg.branch_miss_penalty else 0 in
-  t.st_branch <- t.st_branch + penalty;
-  t.cycles <- t.cycles + 1 + penalty
+  if t.timing then begin
+    let miss = Branch_predictor.branch t.bp ~pc ~taken in
+    let penalty = if miss then t.cfg.branch_miss_penalty else 0 in
+    t.st_branch <- t.st_branch + penalty;
+    t.cycles <- t.cycles + 1 + penalty
+  end
+  else t.cycles <- t.cycles + 1
 
 (* --- memory hierarchy -------------------------------------------------- *)
 
@@ -151,8 +216,11 @@ let data_access_pa t ~va ~pa =
   (match region with
   | Layout.Dram -> t.dram_accesses <- t.dram_accesses + 1
   | Layout.Nvm -> t.nvm_accesses <- t.nvm_accesses + 1);
-  let stall = tlb_stall t va + cache_stall t pa region in
-  t.cycles <- t.cycles + 1 + stall
+  if t.timing then begin
+    let stall = tlb_stall t va + cache_stall t pa region in
+    t.cycles <- t.cycles + 1 + stall
+  end
+  else t.cycles <- t.cycles + 1
 
 let data_access t va =
   data_access_pa t ~va ~pa:(Mem.translate_pa_exn t.mem va)
@@ -192,13 +260,17 @@ let polb_latency t ~pool =
    whose address register holds a relative pointer: the latency is
    exposed. *)
 let polb_translate t ~pool =
-  let lat = polb_latency t ~pool in
-  t.st_xlate <- t.st_xlate + lat;
-  t.cycles <- t.cycles + lat
+  if t.timing then begin
+    let lat = polb_latency t ~pool in
+    t.st_xlate <- t.st_xlate + lat;
+    t.cycles <- t.cycles + lat
+  end
 
 (* VALB lookup (va2ra): on a miss the VAW walks the VATB B-tree, one
    kernel access per node visited, then refills the VALB. *)
 let valb_latency t ~va =
+  if not t.timing then 0
+  else
   match Valb.lookup t.valb va with
   | Some _ -> t.cfg.valb_latency
   | None ->
@@ -224,34 +296,72 @@ let valb_latency t ~va =
    the core.  [dst_va] is the resolved destination of the store. *)
 type xop = [ `Polb of int | `Valb of int64 ]
 
-let store_p_pa t ~dst_va ~dst_pa ~(xops : xop list) =
+(* Reusable operand buffer: the narration layer pushes this storeP's
+   conversions (at most Rd + Rs), [store_p_buffered] drains them.  The
+   push/drain pair replaces the per-storeP [xop list] allocation on the
+   hot path; the latency fold visits the buffer in push order, exactly
+   as the list fold visited [rd_ops @ rs_ops]. *)
+
+let xop_reset t = t.xop_len <- 0
+
+let xop_push_polb t ~pool =
+  t.xop_pool.(t.xop_len) <- pool;
+  t.xop_len <- t.xop_len + 1
+
+let xop_push_valb t ~va =
+  t.xop_pool.(t.xop_len) <- -1;
+  t.xop_va.(t.xop_len) <- va;
+  t.xop_len <- t.xop_len + 1
+
+let store_p_buffered t ~dst_va ~dst_pa =
   t.instrs <- t.instrs + 1;
   t.storeps <- t.storeps + 1;
-  let latency_of = function
-    | `Polb pool -> polb_latency t ~pool
-    | `Valb va -> valb_latency t ~va
-  in
-  let unit_latency =
-    1 + List.fold_left (fun acc op -> max acc (latency_of op)) 0 xops
-  in
-  let stall = Storep_unit.issue t.storep_unit ~now:t.cycles ~latency:unit_latency in
-  t.st_storep <- t.st_storep + stall;
-  t.cycles <- t.cycles + stall;
+  if t.timing then begin
+    let lat = ref 0 in
+    for i = 0 to t.xop_len - 1 do
+      let pool = Array.unsafe_get t.xop_pool i in
+      let l =
+        if pool >= 0 then polb_latency t ~pool
+        else valb_latency t ~va:(Array.unsafe_get t.xop_va i)
+      in
+      if l > !lat then lat := l
+    done;
+    let stall =
+      Storep_unit.issue t.storep_unit ~now:t.cycles ~latency:(1 + !lat)
+    in
+    t.st_storep <- t.st_storep + stall;
+    t.cycles <- t.cycles + stall
+  end;
+  t.xop_len <- 0;
   t.stores <- t.stores + 1;
   data_access_pa t ~va:dst_va ~pa:dst_pa
+
+let store_p_pa t ~dst_va ~dst_pa ~(xops : xop list) =
+  t.xop_len <- 0;
+  List.iter
+    (function
+      | `Polb pool -> xop_push_polb t ~pool
+      | `Valb va -> xop_push_valb t ~va)
+    xops;
+  store_p_buffered t ~dst_va ~dst_pa
 
 let store_p t ~dst_va ~(xops : xop list) =
   store_p_pa t ~dst_va ~dst_pa:(Mem.translate_pa_exn t.mem dst_va) ~xops
 
 (* --- kernel-table maintenance ------------------------------------------- *)
 
+(* Both kernel-table hooks only feed timing state (the VAW walk and the
+   lookaside shootdowns), so fast mode skips them entirely. *)
 let map_pool t ~base ~size ~pool =
-  Range_btree.insert t.vatb ~base ~size:(Int64.of_int size) ~pool
+  if t.timing then
+    Range_btree.insert t.vatb ~base ~size:(Int64.of_int size) ~pool
 
 let unmap_pool t ~base ~pool =
-  ignore (Range_btree.remove t.vatb base);
-  Valb.invalidate_pool t.valb pool;
-  Cache.invalidate t.polb pool
+  if t.timing then begin
+    ignore (Range_btree.remove t.vatb base);
+    Valb.invalidate_pool t.valb pool;
+    Cache.invalidate t.polb pool
+  end
 
 (* Volatile microarchitectural state vanishes on crash/restart. *)
 let flush_volatile t =

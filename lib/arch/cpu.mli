@@ -6,12 +6,24 @@
     Cycle accounting: every instruction costs one issue cycle, which
     covers an L1-cache and L1-TLB hit; deeper levels, mispredictions,
     exposed POLB/VALB latencies and storeP structural stalls add stall
-    cycles on top. *)
+    cycles on top.
+
+    Two-speed simulation: with [~timing:false] the core runs in fast
+    functional mode — every event counter (instrs, loads, stores,
+    storeps, branches, dram/nvm accesses) is still maintained, but no
+    cache/TLB/predictor/lookaside/storeP state is touched and
+    [cycles = instrs].  Functional outputs (and hence check outcomes,
+    crash points, scrub reports) are identical in both modes. *)
 
 type t
 
-val create : Config.t -> Nvml_simmem.Mem.t -> t
+val create : ?timing:bool -> Config.t -> Nvml_simmem.Mem.t -> t
+(** [timing] defaults to [true] (cycle-accurate mode). *)
+
 val config : t -> Config.t
+
+val timing : t -> bool
+(** [true] iff this core models timing (cycle-accurate mode). *)
 
 val instr : t -> int -> unit
 val branch : t -> pc:int -> taken:bool -> unit
@@ -43,6 +55,19 @@ val store_p : t -> dst_va:int64 -> xops:xop list -> unit
 
 val store_p_pa : t -> dst_va:int64 -> dst_pa:int -> xops:xop list -> unit
 (** {!store_p} with the destination translation already done. *)
+
+(** {2 Allocation-free storeP narration}
+
+    The reusable operand buffer replaces the per-storeP [xop list] on
+    the hot path: push this instruction's operand conversions (at most
+    one per source register), then retire with {!store_p_buffered},
+    which drains the buffer.  Equivalent to {!store_p_pa} with the same
+    operands in push order. *)
+
+val xop_reset : t -> unit
+val xop_push_polb : t -> pool:int -> unit
+val xop_push_valb : t -> va:int64 -> unit
+val store_p_buffered : t -> dst_va:int64 -> dst_pa:int -> unit
 
 val map_pool : t -> base:int64 -> size:int -> pool:int -> unit
 (** Install the pool range in the VATB. *)

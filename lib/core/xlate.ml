@@ -14,6 +14,9 @@ type provider = {
   pool_of_va : int64 -> (int * int64) option;
       (* VAT lookup: virtual address -> (pool id, pool base) of the pool
          whose mapping covers it, None if the VA is in no pool *)
+  generation : int ref;
+      (* bumped by the provider on every mapping change (create, open,
+         detach, crash); lets translation memoize lookups safely *)
 }
 
 (* Conversion/check accounting, reported in Table V. *)
@@ -33,9 +36,30 @@ let add_counters a b =
   a.dynamic_checks <- a.dynamic_checks + b.dynamic_checks;
   a.volatile_escapes <- a.volatile_escapes + b.volatile_escapes
 
-type t = { provider : provider; counters : counters }
+type t = {
+  provider : provider;
+  counters : counters;
+  (* One-entry pool -> base memo over [provider.pool_base].  Pointer
+     chases hit the same pool again and again, so this caches the last
+     successful POT lookup.  A hit also requires the provider's mapping
+     generation to be unchanged, so remaps and detaches (including ones
+     done directly on the pool manager) invalidate it automatically.
+     [memo_pool = -1] means empty.  Counters are never short-circuited —
+     they are functional outputs. *)
+  mutable memo_pool : int;
+  mutable memo_base : int64;
+  mutable memo_gen : int;
+}
 
-let make provider = { provider; counters = fresh_counters () }
+let make provider =
+  {
+    provider;
+    counters = fresh_counters ();
+    memo_pool = -1;
+    memo_base = 0L;
+    memo_gen = -1;
+  }
+
 let counters t = t.counters
 
 exception Pool_detached of int
@@ -51,9 +75,16 @@ let ra2va t (p : Ptr.t) : int64 =
   else begin
     t.counters.ra2va <- t.counters.ra2va + 1;
     let pool = Ptr.pool_of p in
-    match t.provider.pool_base pool with
-    | Some base -> Int64.add base (Ptr.offset_of p)
-    | None -> raise (Pool_detached pool)
+    if pool = t.memo_pool && !(t.provider.generation) = t.memo_gen then
+      Int64.add t.memo_base (Ptr.offset_of p)
+    else
+      match t.provider.pool_base pool with
+      | Some base ->
+          t.memo_pool <- pool;
+          t.memo_base <- base;
+          t.memo_gen <- !(t.provider.generation);
+          Int64.add base (Ptr.offset_of p)
+      | None -> raise (Pool_detached pool)
   end
 
 (* Virtual -> relative.  A DRAM virtual address has no relative form;

@@ -13,6 +13,11 @@ type provider = {
   pool_of_va : int64 -> (int * int64) option;
       (** VAT lookup: virtual address → (pool ID, pool base) of the
           covering pool, [None] if the address is in no pool. *)
+  generation : int ref;
+      (** The provider must bump this on every mapping change (pool
+          create, open, detach, crash).  Translation memoizes repeated
+          [pool_base] lookups and uses the generation to invalidate, so
+          a stale bump means stale translations. *)
 }
 
 (** Conversion and check accounting (reported in Table V). *)

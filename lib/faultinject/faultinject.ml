@@ -458,11 +458,15 @@ let points_of r spec =
    [Nvml_exec.Pool.run pool] for a parallel sweep; results are
    identical to the sequential default. *)
 let run ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
-    ?(spec = default_spec) w =
+    ?(spec = default_spec) ?(timing = false) w =
   (match mode with
   | Runtime.Volatile ->
       invalid_arg "Faultinject.run: the Volatile mode has nothing to recover"
   | _ -> ());
+  (* Crash-point enumeration and recovery verdicts are functional, so
+     the reference pass and every crash pass default to the fast core;
+     [~timing:true] restores cycle-accurate simulation (same report). *)
+  Runtime.with_default_timing timing @@ fun () ->
   let r = reference ~mode w in
   let points = points_of r spec in
   let outcomes = par (List.map (fun p () -> crash_run ~mode w r spec p) points) in

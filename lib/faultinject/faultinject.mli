@@ -98,12 +98,16 @@ val run :
   ?par:((unit -> outcome) list -> outcome list) ->
   ?mode:Runtime.mode ->
   ?spec:spec ->
+  ?timing:bool ->
   workload ->
   report
 (** Run the sweep.  Each crash pass builds a share-nothing machine, so
     [par] (e.g. [Nvml_exec.Pool.run pool]) may run them on worker
     domains: results are in submission order and identical to the
-    sequential default.  [mode] defaults to [Hw].
+    sequential default.  [mode] defaults to [Hw].  [timing] defaults to
+    [false]: crash-point enumeration and recovery verdicts are
+    functional, so the sweep uses fast functional simulation; pass
+    [true] for the cycle-accurate core (identical report, slower).
     @raise Invalid_argument for [Volatile] mode. *)
 
 val pp_tally : tally Fmt.t

@@ -1,25 +1,22 @@
 (* CRC-32 (IEEE, reflected, poly 0xEDB88320) over little-endian byte
-   streams of 64-bit words.  A 256-entry table is built once at module
-   init; all entry points are pure after that. *)
+   streams of 64-bit words.  The 256-entry table is built exactly once
+   at module init and holds plain (unboxed) native ints — CRC-32 state
+   fits in 32 bits, so 63-bit ints carry it losslessly and the hot loop
+   does no Int32 boxing.  All entry points are pure after init. *)
 
 let table =
-  let t = Array.make 256 0l in
+  let t = Array.make 256 0 in
   for n = 0 to 255 do
-    let c = ref (Int32.of_int n) in
+    let c = ref n in
     for _ = 0 to 7 do
-      c :=
-        if Int32.logand !c 1l <> 0l then
-          Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-        else Int32.shift_right_logical !c 1
+      c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
     done;
     t.(n) <- !c
   done;
   t
 
-let step crc byte =
-  Int32.logxor
-    table.(Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xFFl))
-    (Int32.shift_right_logical crc 8)
+let[@inline] step crc byte =
+  Array.unsafe_get table ((crc lxor byte) land 0xFF) lxor (crc lsr 8)
 
 let crc32_bytes_of_word crc ~bytes (w : int64) =
   let crc = ref crc in
@@ -29,11 +26,12 @@ let crc32_bytes_of_word crc ~bytes (w : int64) =
   done;
   !crc
 
-let finish crc = Int32.to_int (Int32.logxor crc 0xFFFFFFFFl) land 0xFFFFFFFF
+let finish crc = crc lxor 0xFFFFFFFF
 
 let crc32_words words =
-  finish (List.fold_left (fun c w -> crc32_bytes_of_word c ~bytes:8 w) 0xFFFFFFFFl words)
+  finish
+    (List.fold_left (fun c w -> crc32_bytes_of_word c ~bytes:8 w) 0xFFFFFFFF words)
 
 let crc16_low48 w =
-  let c = finish (crc32_bytes_of_word 0xFFFFFFFFl ~bytes:6 w) in
+  let c = finish (crc32_bytes_of_word 0xFFFFFFFF ~bytes:6 w) in
   (c lxor (c lsr 16)) land 0xFFFF

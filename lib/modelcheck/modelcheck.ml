@@ -2,6 +2,7 @@
 
 module Registry = Nvml_structures.Registry
 module Pool = Nvml_exec.Pool
+module Runtime = Nvml_runtime.Runtime
 
 type spec = {
   name : string;
@@ -107,7 +108,11 @@ let select requested =
 type entry = { spec_name : string; breakable : bool; result : Engine.result }
 type report = { entries : entry list; violations : int }
 
-let run ?pool ?(break = false) ~components ~ops ~seed () =
+let run ?pool ?(break = false) ?(timing = false) ~components ~ops ~seed () =
+  (* Model checking only compares functional outputs, so the engines
+     default to fast functional simulation; [~timing:true] restores the
+     cycle-accurate core (the results are identical either way). *)
+  Runtime.with_default_timing timing @@ fun () ->
   let selected = select components in
   let tasks =
     List.map

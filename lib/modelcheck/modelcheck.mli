@@ -30,6 +30,7 @@ type report = { entries : entry list; violations : int }
 val run :
   ?pool:Nvml_exec.Pool.t ->
   ?break:bool ->
+  ?timing:bool ->
   components:string list ->
   ops:int ->
   seed:int ->
@@ -38,7 +39,10 @@ val run :
 (** Fuzz the selected components with the same [seed].  [break] enables
     each component's quirks (planted bugs) first.  With [pool] the
     components run on the domain pool; results keep submission order, so
-    output is identical to the sequential run. *)
+    output is identical to the sequential run.  [timing] defaults to
+    [false]: model checking compares only functional outputs, so the
+    internal runtimes use fast functional simulation; pass [true] to
+    run the cycle-accurate core (identical verdicts, slower). *)
 
 val break_run_ok : report -> bool
 (** A --break run succeeds iff every breakable component reported a

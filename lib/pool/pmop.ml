@@ -60,6 +60,9 @@ type t = {
   mutable degraded_count : int;
       (* pools currently attached read-only; lets the runtime's store
          path guard cost one integer test when everything is healthy *)
+  map_generation : int ref;
+      (* bumped on every mapping change; shared with the translation
+         provider so Xlate can memoize pool-base lookups safely *)
 }
 
 exception Unknown_pool of string
@@ -75,11 +78,13 @@ let create mem =
     vat = [||];
     meta_hook = None;
     degraded_count = 0;
+    map_generation = ref 0;
   }
 
 let mem t = t.mem
 
 let rebuild_vat t =
+  incr t.map_generation;
   let entries =
     Hashtbl.fold
       (fun _ p acc ->
@@ -296,6 +301,7 @@ let crash t =
       p.dirtied <- true)
     t.pools;
   t.degraded_count <- 0;
+  incr t.map_generation;
   t.vat <- [||];
   t.meta_hook <- None (* hooks are volatile state — reinstall after restart *);
   t.restarts <- t.restarts + 1
@@ -324,6 +330,7 @@ let provider t : Xlate.provider =
       | Some p -> p.base
       | None -> None);
     pool_of_va = (fun va -> pool_of_va t va);
+    generation = t.map_generation;
   }
 
 (* --- persistent allocation (pmalloc / pfree) ------------------------- *)

@@ -90,7 +90,25 @@ type t = {
 
 let reg_rel_capacity = 32
 
-let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ~mode () =
+(* Ambient execution-mode default: engines that spin up many internal
+   runtimes (model checking, fault injection) flip this around their
+   whole run instead of threading [?timing] through every harness.
+   Read once per [create]; workers inherit the value set before task
+   submission (the pool join is a barrier), so [--jobs N] stays
+   deterministic. *)
+let default_timing = Atomic.make true
+
+let set_default_timing v = Atomic.set default_timing v
+
+let with_default_timing v f =
+  let prev = Atomic.exchange default_timing v in
+  Fun.protect ~finally:(fun () -> Atomic.set default_timing prev) f
+
+let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ?timing ~mode
+    () =
+  let timing =
+    match timing with Some v -> v | None -> Atomic.get default_timing
+  in
   let mem = Mem.create () in
   let pm = Pmop.create mem in
   {
@@ -100,7 +118,7 @@ let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ~mode () =
     pm;
     valloc = Valloc.create mem ~capacity:dram_capacity;
     x = Xlate.make (Pmop.provider pm);
-    cpu = Cpu.create cfg mem;
+    cpu = Cpu.create ~timing cfg mem;
     pot_table_va = Mem.map_fresh mem Layout.Dram 65536;
     vat_table_va = Mem.map_fresh mem Layout.Dram 65536;
     dram_capacity;
@@ -135,6 +153,7 @@ let remember_rel t ~va ~rel =
 let recall_rel t ~va = Hashtbl.find_opt t.reg_rel va
 
 let mode t = t.mode
+let timing t = Cpu.timing t.cpu
 let cpu t = t.cpu
 let mem t = t.mem
 let pmop t = t.pm
@@ -356,29 +375,36 @@ let store_ptr t ~site (p : Ptr.t) ~off (value : Ptr.t) : unit =
   | Hw ->
       let dst_va = Xlate.ra2va t.x cell in
       let cell_loc = Checks.determine_x cell in
-      let rd_ops =
-        if Ptr.is_relative cell then [ `Polb (Ptr.pool_of cell) ] else []
-      in
-      let stored, rs_ops =
+      (* Operand conversions go straight into the core's reusable xop
+         buffer (destination first, then source — same order as the old
+         [rd_ops @ rs_ops] lists) so the hot path allocates nothing. *)
+      Cpu.xop_reset t.cpu;
+      if Ptr.is_relative cell then Cpu.xop_push_polb t.cpu ~pool:(Ptr.pool_of cell);
+      let stored =
         match (cell_loc, Ptr.format value) with
-        | Layout.Nvm, Ptr.Relative -> (value, [])
-        | Layout.Nvm, Ptr.Virtual -> (
-            if Ptr.is_null value then (value, [])
-            else
+        | Layout.Nvm, Ptr.Relative -> value
+        | Layout.Nvm, Ptr.Virtual ->
+            if Ptr.is_null value then value
+            else (
               (* If this virtual address was materialized from a
                  relative pointer still live in a register, the compiler
                  stores that relative form directly — no VALB needed
                  (the Section IV "keep relative opportunistically"
                  optimization). *)
               match recall_rel t ~va:value with
-              | Some rel -> (rel, [])
-              | None -> (Xlate.va2ra t.x value, [ `Valb value ]))
+              | Some rel -> rel
+              | None ->
+                  let r = Xlate.va2ra t.x value in
+                  Cpu.xop_push_valb t.cpu ~va:value;
+                  r)
         | Layout.Dram, Ptr.Relative ->
-            (Xlate.ra2va t.x value, [ `Polb (Ptr.pool_of value) ])
-        | Layout.Dram, Ptr.Virtual -> (value, [])
+            let r = Xlate.ra2va t.x value in
+            Cpu.xop_push_polb t.cpu ~pool:(Ptr.pool_of value);
+            r
+        | Layout.Dram, Ptr.Virtual -> value
       in
       let dst_pa = Mem.translate_pa_exn t.mem dst_va in
-      Cpu.store_p_pa t.cpu ~dst_va ~dst_pa ~xops:(rd_ops @ rs_ops);
+      Cpu.store_p_buffered t.cpu ~dst_va ~dst_pa;
       if dst_pa land 7 <> 0 then raise (Mem.Unaligned dst_va);
       Nvml_simmem.Physmem.fire (Mem.phys t.mem) Nvml_simmem.Fi.Storep_retire;
       Mem.write_word_pa t.mem dst_pa stored

@@ -33,9 +33,30 @@ val all_modes : mode list
 
 type t
 
-val create : ?cfg:Config.t -> ?dram_capacity:int -> mode:mode -> unit -> t
+val create :
+  ?cfg:Config.t -> ?dram_capacity:int -> ?timing:bool -> mode:mode -> unit -> t
+(** [timing] selects cycle-accurate ([true]) or fast functional
+    ([false]) simulation; when omitted it falls back to the ambient
+    default (see {!set_default_timing}).  Both modes perform identical
+    pointer-format checks, POW/VAW translations, crash-point hooks and
+    media hooks; fast mode skips all cache/TLB/predictor/storeP timing,
+    so [cycles = instrs] and timing statistics read as zero. *)
 
 val mode : t -> mode
+
+val timing : t -> bool
+(** [true] iff this runtime's core models timing. *)
+
+val set_default_timing : bool -> unit
+(** Set the ambient default used by {!create} when [?timing] is
+    omitted.  Process-wide; initial value is [true]. *)
+
+val with_default_timing : bool -> (unit -> 'a) -> 'a
+(** [with_default_timing v f] runs [f ()] with the ambient default set
+    to [v], restoring the previous value afterwards (even on raise).
+    Engines that create runtimes internally (model checking, fault
+    injection) use this to switch whole runs to fast mode. *)
+
 val cpu : t -> Cpu.t
 val mem : t -> Nvml_simmem.Mem.t
 val pmop : t -> Nvml_pool.Pmop.t

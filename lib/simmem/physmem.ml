@@ -78,6 +78,22 @@ let alloc_frame t region =
       t.nvm_frames_allocated <- t.nvm_frames_allocated + 1;
       f
 
+(* Reserve [n] consecutive frame numbers; returns the first.  Same
+   numbering as [n] successive [alloc_frame] calls, without building
+   the list — contiguous mappings pair this with [Vspace.map_seg]. *)
+let alloc_frame_run t region n =
+  match region with
+  | Layout.Dram ->
+      let f = t.next_dram_frame in
+      t.next_dram_frame <- f + n;
+      t.dram_frames_allocated <- t.dram_frames_allocated + n;
+      f
+  | Layout.Nvm ->
+      let f = t.next_nvm_frame in
+      t.next_nvm_frame <- f + n;
+      t.nvm_frames_allocated <- t.nvm_frames_allocated + n;
+      f
+
 let alloc_frames t region n = List.init n (fun _ -> alloc_frame t region)
 
 let frame_exists t frame = Hashtbl.mem t.frames frame

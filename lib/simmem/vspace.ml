@@ -21,6 +21,15 @@ module Hit_miss = Nvml_telemetry.Stats.Hit_miss
 
 type t = {
   page_table : (int, int) Hashtbl.t; (* virtual page -> physical frame *)
+  (* Contiguous mappings — a fresh arena, a pool's frame run — are one
+     [(first vpage, pages, first frame)] segment instead of a hashtable
+     entry per page: a 128 MiB DRAM arena is one cons cell, not 32768
+     inserts.  The verification engines boot a fresh machine per crash
+     point / fuzz case, so mapping cost sits on their hot path.  The
+     list stays short (arena, kernel tables, pools); it is scanned only
+     on a translation-cache *and* page-table miss, and each page's
+     translation then refills the cache. *)
+  mutable segments : (int * int * int) list;
   tc_vpage : int array; (* translation-cache tags, -1 = empty *)
   tc_frame : int array;
   tc_stats : Hit_miss.t; (* translation-cache hits/misses *)
@@ -31,6 +40,7 @@ type t = {
 let create () =
   {
     page_table = Hashtbl.create 4096;
+    segments = [];
     tc_vpage = Array.make tc_size (-1);
     tc_frame = Array.make tc_size 0;
     tc_stats = Hit_miss.create ();
@@ -73,13 +83,41 @@ let map_range t ~base ~frames =
     (fun i frame -> map_page t ~vpage:(Layout.page_of_va base + i) ~frame)
     frames
 
+(* Map [pages] consecutive pages onto [pages] consecutive frames in one
+   segment.  Equivalent to [map_range] with the list
+   [first_frame; first_frame + 1; ...] but O(1). *)
+let map_seg t ~vpage ~pages ~first_frame =
+  if pages > 0 then t.segments <- (vpage, pages, first_frame) :: t.segments
+
+(* Drop [first, first + pages) from the segment list, splitting any
+   segment the range lands inside. *)
+let seg_unmap t ~first ~pages =
+  let last = first + pages - 1 in
+  if
+    List.exists
+      (fun (v0, n, _) -> first <= v0 + n - 1 && last >= v0)
+      t.segments
+  then
+    t.segments <-
+      List.concat_map
+        (fun ((v0, n, f0) as seg) ->
+          let v1 = v0 + n - 1 in
+          if last < v0 || first > v1 then [ seg ]
+          else
+            (if first > v0 then [ (v0, first - v0, f0) ] else [])
+            @
+            if last < v1 then [ (last + 1, v1 - last, f0 + (last + 1 - v0)) ]
+            else [])
+        t.segments
+
 let unmap_range t ~base ~pages =
   let first = Layout.page_of_va base in
   for vpage = first to first + pages - 1 do
     Hashtbl.remove t.page_table vpage;
     let idx = vpage land (tc_size - 1) in
     if t.tc_vpage.(idx) = vpage then t.tc_vpage.(idx) <- -1
-  done
+  done;
+  seg_unmap t ~first ~pages
 
 (* Frame backing the page of [va], or -1 when unmapped. *)
 let frame_of_va t va =
@@ -96,7 +134,19 @@ let frame_of_va t va =
         Array.unsafe_set t.tc_vpage idx vpage;
         Array.unsafe_set t.tc_frame idx frame;
         frame
-    | None -> -1
+    | None ->
+        let rec scan = function
+          | [] -> -1
+          | (v0, n, f0) :: rest ->
+              if vpage >= v0 && vpage < v0 + n then begin
+                let frame = f0 + (vpage - v0) in
+                Array.unsafe_set t.tc_vpage idx vpage;
+                Array.unsafe_set t.tc_frame idx frame;
+                frame
+              end
+              else scan rest
+        in
+        scan t.segments
   end
 
 (* Packed translation: the physical address as an unboxed int
@@ -118,7 +168,9 @@ let translate_exn t va =
 
 let is_mapped t va = translate t va <> None
 
-let mapped_pages t = Hashtbl.length t.page_table
+let mapped_pages t =
+  Hashtbl.length t.page_table
+  + List.fold_left (fun acc (_, n, _) -> acc + n) 0 t.segments
 
 let tc_stats t = t.tc_stats
 let reset_stats t = Hit_miss.reset t.tc_stats
@@ -127,6 +179,7 @@ let reset_stats t = Hit_miss.reset t.tc_stats
    The bump pointers are reset too — a fresh process address space. *)
 let crash t =
   Hashtbl.reset t.page_table;
+  t.segments <- [];
   Array.fill t.tc_vpage 0 tc_size (-1);
   t.dram_brk <- Int64.of_int Layout.page_size;
   t.nvm_brk <- Layout.nvm_va_base

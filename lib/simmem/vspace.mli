@@ -19,6 +19,13 @@ val skew_nvm_brk : t -> int -> unit
 
 val map_page : t -> vpage:int -> frame:int -> unit
 val map_range : t -> base:int64 -> frames:int list -> unit
+
+val map_seg : t -> vpage:int -> pages:int -> first_frame:int -> unit
+(** Map [pages] consecutive pages onto consecutive frames starting at
+    [first_frame], as one O(1) segment instead of a page-table entry
+    per page.  Translation results are identical to the equivalent
+    {!map_range}. *)
+
 val unmap_range : t -> base:int64 -> pages:int -> unit
 
 val translate : t -> int64 -> (int * int) option
