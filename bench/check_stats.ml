@@ -11,12 +11,18 @@
      check_stats.exe --media STATS.json   assert the media.* counters a
                                           `nvml scrub --stats` run must
                                           produce
+     check_stats.exe --latency M.json     assert a `--metrics-json`
+                                          document carries well-formed
+                                          <prefix>.latency.* percentile
+                                          ladders and tail attribution
      check_stats.exe --bench BENCH.json   assert the perf-trajectory
                                           document (BENCH_<n>.json) is
                                           well-formed; with
                                           --baseline BASE.json
                                           [--max-regress F] additionally
                                           fail if fast-mode wall-clock
+                                          or any per-experiment latency
+                                          percentile (p50/p99/p999)
                                           regressed by more than F
                                           (default 1.2, i.e. +20%) *)
 
@@ -119,6 +125,89 @@ let number = function
   | Some (Json.Float f) -> Some f
   | _ -> None
 
+(* Assert the latency-percentile groups a `--metrics-json` document from
+   a latency-instrumented run must carry: for every <prefix>.latency.p50
+   metric, the full percentile ladder exists and is monotone, and the
+   per-component tail-attribution fractions are sane (each in [0,1],
+   summing to ~1 — or all zero when the recorder saw no cycles, which
+   fast functional mode produces for the non-base components). *)
+let check_latency path =
+  let doc = parse_doc path in
+  let metrics =
+    match Json.member "metrics" doc with
+    | Some (Json.Obj kvs) -> kvs
+    | _ -> fail "%s: missing metrics object" path
+  in
+  let lookup name =
+    match List.assoc_opt name metrics with
+    | Some j -> number (Some j)
+    | None -> None
+  in
+  let suffix = ".latency.p50" in
+  let prefixes =
+    List.filter_map
+      (fun (k, _) ->
+        let lk = String.length k and ls = String.length suffix in
+        if lk > ls && String.sub k (lk - ls) ls = suffix then
+          Some (String.sub k 0 (lk - ls))
+        else None)
+      metrics
+  in
+  if prefixes = [] then fail "%s: no <prefix>.latency.p50 metrics found" path;
+  List.iter
+    (fun prefix ->
+      let pct name =
+        match lookup (prefix ^ ".latency." ^ name) with
+        | Some f when f >= 0.0 -> f
+        | Some _ -> fail "%s: %s.latency.%s is negative" path prefix name
+        | None -> fail "%s: missing %s.latency.%s" path prefix name
+      in
+      let p50 = pct "p50" and p90 = pct "p90" and p99 = pct "p99" in
+      let p999 = pct "p999" and pmax = pct "max" in
+      if not (p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= pmax) then
+        fail "%s: %s percentiles not monotone (p50=%g p90=%g p99=%g p999=%g \
+              max=%g)"
+          path prefix p50 p90 p99 p999 pmax;
+      let tail_sum =
+        List.fold_left
+          (fun acc name ->
+            match lookup (prefix ^ ".latency.tail." ^ name) with
+            | Some f when f >= 0.0 && f <= 1.0 -> acc +. f
+            | Some f ->
+                fail "%s: %s.latency.tail.%s=%g outside [0,1]" path prefix
+                  name f
+            | None -> fail "%s: missing %s.latency.tail.%s" path prefix name)
+          0.0
+          [ "base"; "check"; "translation"; "stall"; "media" ]
+      in
+      if tail_sum > 0.0 && Float.abs (tail_sum -. 1.0) > 1e-3 then
+        fail "%s: %s tail fractions sum to %g, expected ~1" path prefix
+          tail_sum)
+    prefixes;
+  Printf.printf "%s: ok (%d latency groups: %s)\n" path (List.length prefixes)
+    (String.concat " " prefixes)
+
+(* The percentile ladder inside a BENCH experiment entry's "latency"
+   object, as written by the driver from the merged per-experiment
+   recorder. *)
+let latency_percentiles path name e =
+  match Json.member "latency" e with
+  | None -> None
+  | Some lat ->
+      let get key =
+        match number (Json.member key lat) with
+        | Some f when f >= 0.0 -> f
+        | Some _ -> fail "%s: %s: latency.%s is negative" path name key
+        | None -> fail "%s: %s: missing numeric latency.%s" path name key
+      in
+      let p50 = get "p50" and p90 = get "p90" and p99 = get "p99" in
+      let p999 = get "p999" and pmax = get "max" in
+      if get "count" <= 0.0 then
+        fail "%s: %s: latency.count is not positive" path name;
+      if not (p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= pmax) then
+        fail "%s: %s: latency percentiles not monotone" path name;
+      Some (p50, p99, p999)
+
 let check_bench ?baseline ?(max_regress = 1.2) path =
   let doc = parse_doc path in
   (match Json.member "kind" doc with
@@ -139,27 +228,32 @@ let check_bench ?baseline ?(max_regress = 1.2) path =
   if fast +. cycle +. other > suite *. 1.05 +. 0.05 then
     fail "%s: mode breakdown (%.3f) exceeds suite_wall_s (%.3f)" path
       (fast +. cycle +. other) suite;
-  (match Json.member "experiments" doc with
-  | Some (Json.List (_ :: _ as exps)) ->
-      List.iter
-        (fun e ->
-          let name =
-            match Json.member "name" e with
-            | Some (Json.String s) -> s
-            | _ -> fail "%s: experiment entry without a name" path
-          in
-          (match Json.member "mode" e with
-          | Some (Json.String ("fast" | "cycle" | "other")) -> ()
-          | _ -> fail "%s: %s: bad mode (want fast|cycle|other)" path name);
-          List.iter
-            (fun key ->
-              match number (Json.member key e) with
-              | Some f when f >= 0.0 -> ()
-              | Some _ -> fail "%s: %s: negative %s" path name key
-              | None -> fail "%s: %s: missing numeric %s" path name key)
-            [ "wall_s"; "ops"; "ops_per_s" ])
-        exps
-  | _ -> fail "%s: missing or empty experiments list" path);
+  let latencies =
+    match Json.member "experiments" doc with
+    | Some (Json.List (_ :: _ as exps)) ->
+        List.filter_map
+          (fun e ->
+            let name =
+              match Json.member "name" e with
+              | Some (Json.String s) -> s
+              | _ -> fail "%s: experiment entry without a name" path
+            in
+            (match Json.member "mode" e with
+            | Some (Json.String ("fast" | "cycle" | "other")) -> ()
+            | _ -> fail "%s: %s: bad mode (want fast|cycle|other)" path name);
+            List.iter
+              (fun key ->
+                match number (Json.member key e) with
+                | Some f when f >= 0.0 -> ()
+                | Some _ -> fail "%s: %s: negative %s" path name key
+                | None -> fail "%s: %s: missing numeric %s" path name key)
+              [ "wall_s"; "ops"; "ops_per_s" ];
+            Option.map
+              (fun p -> (name, p))
+              (latency_percentiles path name e))
+          exps
+    | _ -> fail "%s: missing or empty experiments list" path
+  in
   (match baseline with
   | None -> ()
   | Some base_path ->
@@ -176,7 +270,46 @@ let check_bench ?baseline ?(max_regress = 1.2) path =
           path fast (base_fast *. max_regress) base_fast max_regress;
       Printf.printf
         "%s: fast-mode wall %.3fs within %.2fx of baseline %.3fs\n" path fast
-        max_regress base_fast);
+        max_regress base_fast;
+      (* Per-percentile latency budgets: cycle-domain percentiles are
+         deterministic, so any increase is a real per-op latency
+         regression, not measurement noise — the budget factor bounds
+         the worst acceptable drift.  Skipped per-experiment when the
+         baseline predates latency instrumentation. *)
+      let base_lats =
+        match Json.member "experiments" base with
+        | Some (Json.List exps) ->
+            List.filter_map
+              (fun e ->
+                match Json.member "name" e with
+                | Some (Json.String name) ->
+                    Option.map
+                      (fun p -> (name, p))
+                      (latency_percentiles base_path name e)
+                | _ -> None)
+              exps
+        | _ -> []
+      in
+      let checked = ref 0 in
+      List.iter
+        (fun (name, (p50, p99, p999)) ->
+          match List.assoc_opt name base_lats with
+          | None -> ()
+          | Some (b50, b99, b999) ->
+              incr checked;
+              List.iter
+                (fun (pct, cur, base) ->
+                  if base > 0.0 && cur > base *. max_regress then
+                    fail
+                      "%s: %s: latency.%s regressed: %.0f > %.0f cycles \
+                       (baseline %.0f x %.2f)"
+                      path name pct cur (base *. max_regress) base max_regress)
+                [ ("p50", p50, b50); ("p99", p99, b99); ("p999", p999, b999) ])
+        latencies;
+      if !checked > 0 then
+        Printf.printf
+          "%s: latency budgets ok (%d experiments within %.2fx of baseline)\n"
+          path !checked max_regress);
   Printf.printf "%s: ok (suite %.3fs; fast %.3fs, cycle %.3fs, other %.3fs)\n"
     path suite fast cycle other
 
@@ -186,6 +319,7 @@ let () =
       if read_file a <> read_file b then fail "%s and %s differ" a b
   | [ _; "--fuzz"; path ] -> check_fuzz path
   | [ _; "--media"; path ] -> check_media path
+  | [ _; "--latency"; path ] -> check_latency path
   | [ _; "--bench"; path ] -> check_bench path
   | [ _; "--bench"; path; "--baseline"; base ] -> check_bench ~baseline:base path
   | [ _; "--bench"; path; "--baseline"; base; "--max-regress"; f ] -> (
@@ -197,5 +331,5 @@ let () =
   | _ ->
       fail
         "usage: check_stats [--same A B | --fuzz STATS.json | --media \
-         STATS.json | --bench BENCH.json [--baseline BASE.json \
-         [--max-regress F]] | STATS.json]"
+         STATS.json | --latency METRICS.json | --bench BENCH.json \
+         [--baseline BASE.json [--max-regress F]] | STATS.json]"

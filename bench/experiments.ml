@@ -35,7 +35,6 @@ let matrix_cache : (string * Runtime.mode, Harness.result) Hashtbl.t =
 let run_one ctx ?cfg name mode =
   if ctx.verbose then
     Printf.eprintf "  [run] %s / %s...\n%!" name (Runtime.mode_name mode);
-  Report.ops_add ctx.spec.Workload.operation_count;
   Harness.run_benchmark name ~mode ?cfg ctx.spec
 
 let matrix ctx name mode =
@@ -88,6 +87,64 @@ let norm_cycles ctx name mode =
   let r = matrix ctx name mode in
   let v = matrix ctx name Runtime.Volatile in
   float_of_int r.Harness.run.Cpu.cycles /. float_of_int v.Harness.run.Cpu.cycles
+
+(* --- ops and latency accounting ------------------------------------------ *)
+
+(* Consumption crediting for the --bench ops tally: each experiment
+   credits the op stream of every simulation cell it consumes — cached
+   matrix cells included, so a cell shared by several experiments
+   counts toward each of them (every BENCH row stands on its own).
+   Producer-side crediting in [run_one] left every cache-consuming and
+   self-simulating experiment at ops 0. *)
+let credit_cells ctx n = Report.ops_add (n * ctx.spec.Workload.operation_count)
+
+module Latency = Nvml_telemetry.Latency
+module Oplat = Nvml_runtime.Oplat
+
+(* Merge the per-op recorders in [oplats], emit the aggregate as
+   <prefix>.latency.{p50,p90,p99,p999,max} plus the per-component
+   attribution of the retained tail (fractions of the tail's cycles),
+   and feed the aggregate into the per-experiment latency tally of the
+   --bench document.  Everything derives from result values after the
+   parallel joins, so the metrics are byte-identical across --jobs. *)
+let latency_metrics prefix oplats =
+  let agg = Oplat.create ~cell:prefix () in
+  List.iter (fun o -> Oplat.merge_into ~dst:agg o) oplats;
+  if Oplat.count agg > 0 then begin
+    let s = Latency.summary (Oplat.latency agg) in
+    metric (prefix ^ ".latency.p50") (float_of_int s.Latency.p50);
+    metric (prefix ^ ".latency.p90") (float_of_int s.Latency.p90);
+    metric (prefix ^ ".latency.p99") (float_of_int s.Latency.p99);
+    metric (prefix ^ ".latency.p999") (float_of_int s.Latency.p999);
+    metric (prefix ^ ".latency.max") (float_of_int s.Latency.max);
+    let tail = Oplat.tail_components agg in
+    let tot = float_of_int (max 1 (Oplat.components_total tail)) in
+    let frac n = float_of_int n /. tot in
+    metric (prefix ^ ".latency.tail.base") (frac tail.Oplat.base);
+    metric (prefix ^ ".latency.tail.check") (frac tail.Oplat.check);
+    metric (prefix ^ ".latency.tail.translation") (frac tail.Oplat.translation);
+    metric (prefix ^ ".latency.tail.stall") (frac tail.Oplat.stall);
+    metric (prefix ^ ".latency.tail.media") (frac tail.Oplat.media);
+    Report.lat_add agg
+  end
+
+let result_oplats rs = List.map (fun (r : Harness.result) -> r.Harness.oplat) rs
+
+(* The per-benchmark latency table rendered by experiments that show
+   their tail distributions inline. *)
+let latency_table rows =
+  subheading "per-op latency (cycles)";
+  table
+    ~header:[ "Benchmark"; "ops"; "p50"; "p90"; "p99"; "p999"; "max" ]
+    (List.map
+       (fun (label, (o : Oplat.t)) ->
+         let s = Latency.summary (Oplat.latency o) in
+         [
+           label; with_commas s.Latency.count; with_commas s.Latency.p50;
+           with_commas s.Latency.p90; with_commas s.Latency.p99;
+           with_commas s.Latency.p999; with_commas s.Latency.max;
+         ])
+       rows)
 
 (* --- Table II ------------------------------------------------------------ *)
 
@@ -176,6 +233,11 @@ let table5 ctx =
            with_commas r.Harness.checks.Harness.rel_to_abs;
          ])
        benchmarks);
+  credit_cells ctx (List.length benchmarks);
+  latency_table
+    (List.map (fun n -> (n, (matrix ctx n Runtime.Sw).Harness.oplat)) benchmarks);
+  latency_metrics "table5.sw"
+    (result_oplats (List.map (fun n -> matrix ctx n Runtime.Sw) benchmarks));
   Printf.printf
     "Paper magnitudes (100k ops): LL 8.2M, Hash 2.6M, RB 14.5M, Splay 25.6M,\n\
      AVL 14.4M, SG 18.1M dynamic checks.\n"
@@ -205,6 +267,9 @@ let fig11 ctx =
   metric "fig11.geomean.explicit" (gm Runtime.Explicit);
   metric "fig11.geomean.sw" (gm Runtime.Sw);
   metric "fig11.geomean.hw" (gm Runtime.Hw);
+  credit_cells ctx (4 * List.length benchmarks);
+  latency_metrics "fig11.hw"
+    (result_oplats (List.map (fun n -> matrix ctx n Runtime.Hw) benchmarks));
   Printf.printf
     "Geomean: Explicit %.3f, SW %.3f, HW %.3f; HW speedup over Explicit %.2fx\n"
     (gm Runtime.Explicit) (gm Runtime.Sw) (gm Runtime.Hw)
@@ -239,6 +304,7 @@ let fig12 _ctx =
       [ "HW (user-transparent)"; int_ (run Runtime.Hw) ];
       [ "Explicit"; int_ (run Runtime.Explicit) ];
     ];
+  Report.ops_add 14 (* 2 versions x (1 pointer load + 6 field reads) *);
   Printf.printf
     "The HW version converts once when the pointer is materialized and reuses\n\
      the virtual address; the explicit version translates at every access.\n"
@@ -268,6 +334,7 @@ let fig13 ctx =
            f2 (mp name Runtime.Explicit);
          ])
        benchmarks);
+  credit_cells ctx (4 * List.length benchmarks);
   Printf.printf
     "Paper shape: SW mispredicts 6.7x - 2944x more than HW; HW ~= volatile.\n"
 
@@ -310,6 +377,8 @@ let fig14 ctx =
       benchmarks
   in
   table ~header rows;
+  credit_cells ctx (List.length grid + List.length benchmarks);
+  latency_metrics "fig14.hw" (result_oplats results);
   Printf.printf
     "Paper shape: even 50-cycle VALB/VAW latency costs < 10%% — storeP is rare\n\
      and its translations are hidden in the storeP unit.\n"
@@ -333,6 +402,7 @@ let fig15 ctx =
            pct (float_of_int s.Cpu.polb_accesses /. m);
          ])
        benchmarks);
+  credit_cells ctx (List.length benchmarks);
   Printf.printf
     "Paper: 0.38%% of accesses are storeP, 0.22%% touch the VALB/VAW, 12.6%%\n\
      touch the POLB/POW.\n"
@@ -379,6 +449,9 @@ let knn _ctx =
       [ Runtime.Volatile; Runtime.Hw; Runtime.Sw; Runtime.Explicit ]
   in
   ignore acc_v;
+  (* 5 KNN kernel runs (volatile reference + 4 modes), one classified
+     sample per op *)
+  Report.ops_add (5 * Iris.total_samples);
   table ~header:[ "Version"; "Norm. time"; "translating accesses"; "accuracy" ] rows;
   Printf.printf "Paper: HW marginal overhead (0.22%% of loads translate);\n";
   Printf.printf "       SW sees 7.56x slowdown on this kernel.\n";
@@ -482,6 +555,9 @@ let soundness _ctx =
     ~header:
       [ "Program"; "SW/DRAM"; "SW/NVM"; "HW/DRAM"; "HW/NVM"; "SW+inference" ]
     rows;
+  (* one op per corpus execution: the checks plus one reference run
+     per program *)
+  Report.ops_add (!total + List.length Corpus.all);
   Printf.printf "%d/%d runs match the native output.\n" !passed !total;
   Printf.printf
     "(Paper: all 267 application + 1518 regression tests of the LLVM\n\
@@ -624,7 +700,10 @@ let ablation ctx =
         ])
       [ 6; 8; 10; 12; 14 ]
   in
-  table ~header:[ "Predictor"; "SW norm. time"; "mispredicts" ] rows
+  table ~header:[ "Predictor"; "SW norm. time"; "mispredicts" ] rows;
+  (* 7 distinct matrix cells + 3 reuse-off + 4 latency-sweep + 5
+     predictor-sweep fresh cells *)
+  credit_cells ctx 19
 
 (* --- Table VI: relocation overhead ----------------------------------------------------- *)
 
@@ -673,6 +752,8 @@ let table6 _ctx =
   in
   retrace (Runtime.load_ptr rt ~site:s_rel (Rb.header tree) ~off:0);
   let trace = Cpu.diff_snapshot (Runtime.snapshot rt) s1 in
+  (* tree population, the re-open, and one tracing rewrite per pointer *)
+  Report.ops_add (keys + 1 + !updates);
   table
     ~header:[ "scheme"; "pointer updates"; "cycles" ]
     [
@@ -719,6 +800,11 @@ let extended ctx =
       names
   in
   table ~header:[ "Structure"; "Explicit"; "SW"; "HW" ] rows;
+  credit_cells ctx (4 * List.length names);
+  latency_table
+    (List.map (fun n -> (n, (matrix ctx n Runtime.Hw).Harness.oplat)) names);
+  latency_metrics "extended.hw"
+    (result_oplats (List.map (fun n -> matrix ctx n Runtime.Hw) names));
   Printf.printf
     "The same ranking as Table III's set: SW-only slow, HW near-native,\n\
      user-transparent HW ahead of explicit handles.\n"
@@ -785,6 +871,8 @@ let multipool ctx =
            with_commas s.Cpu.pow_walks;
          ])
        (List.rev rows));
+  (* 6 POLB configurations x 10 traversals x one op per node *)
+  Report.ops_add (6 * 10 * nodes);
   Printf.printf
     "Below the pool working set, POLB misses turn into POW walks — the\n\
      capacity cliff the paper's single-pool workloads never approach (its\n\
@@ -803,8 +891,15 @@ let txn_overhead _ctx =
     let pool = Runtime.create_pool rt ~name:"t" ~size:(1 lsl 21) in
     let arr = Runtime.alloc rt ~pool ~persistent:true (cells * 8) in
     let txn = Txn.create rt ~pool () in
+    let cpu = Runtime.cpu rt in
+    let ol =
+      Oplat.create
+        ~cell:(if transactional then "txn/Hw" else "plain/Hw")
+        ()
+    in
     let s0 = Runtime.snapshot rt in
     for r = 1 to rounds do
+      Oplat.op_begin ol cpu;
       if transactional then begin
         Txn.begin_ txn;
         for i = 0 to 3 do
@@ -819,12 +914,16 @@ let txn_overhead _ctx =
           Runtime.store_word rt ~site:s_tx arr
             ~off:(8 * ((r + i) mod cells))
             (Int64.of_int r)
-        done
+        done;
+      Oplat.op_end ol cpu (if transactional then "txn" else "stores")
     done;
-    (Cpu.diff_snapshot (Runtime.snapshot rt) s0).Cpu.cycles
+    ((Cpu.diff_snapshot (Runtime.snapshot rt) s0).Cpu.cycles, ol)
   in
-  let plain = run ~transactional:false in
-  let tx = run ~transactional:true in
+  let plain, ol_plain = run ~transactional:false in
+  let tx, ol_tx = run ~transactional:true in
+  Report.ops_add (2 * rounds);
+  latency_metrics "txn.plain" [ ol_plain ];
+  latency_metrics "txn.txn" [ ol_tx ];
   table
     ~header:[ "version"; "cycles"; "vs plain" ]
     [
@@ -877,6 +976,18 @@ let sweep ctx =
       latencies
   in
   table ~header:[ "NVM latency"; "HW / volatile" ] rows;
+  credit_cells ctx (List.length cells);
+  List.iter
+    (fun nvm_latency ->
+      let hw = List.assoc (nvm_latency, Runtime.Hw) results in
+      let s = Latency.summary (Oplat.latency hw.Harness.oplat) in
+      metric
+        (Printf.sprintf "sweep.hw.nvm%d.latency.p99" nvm_latency)
+        (float_of_int s.Latency.p99))
+    latencies;
+  latency_metrics "sweep.hw"
+    (result_oplats
+       (List.map (fun l -> List.assoc (l, Runtime.Hw) results) latencies));
   Printf.printf
     "At 120 cycles (DRAM-equal) the residue is pure translation cost; the\n\
      rest is the NVM medium itself, which every persistent design pays.\n";
@@ -913,6 +1024,8 @@ let sweep ctx =
       sizes
   in
   table ~header:[ "records"; "HW / volatile"; "L3 hit rate" ] rows;
+  (* working-set cells run records x 10 ops each, volatile + HW *)
+  Report.ops_add (2 * List.fold_left (fun acc r -> acc + (r * 10)) 0 sizes);
   Printf.printf
     "Past the 2 MiB L3, more accesses reach the NVM medium and the 2x miss\n\
      latency shows — the overhead is the memory, not the pointer scheme.\n"
@@ -936,6 +1049,7 @@ let micro _ctx =
       ~base:(Int64.of_int (i * 65536)) ~size:32768L ~pool:i
   done;
   let counter = ref 0 in
+  let lrec = Nvml_telemetry.Latency.create () in
   let tests =
     Test.make_grouped ~name:"core"
       [
@@ -972,6 +1086,14 @@ let micro _ctx =
           (Staged.stage (fun () ->
                incr counter;
                Nvml_media.Crc.crc16_low48 (Int64.of_int !counter)));
+        (* Latency-recorder guard: [record] must stay a handful of int
+           ops into a preallocated slot array — a boxing or resizing
+           regression shows up here as a jump plus minor-heap traffic
+           in the allocation check below. *)
+        Test.make ~name:"latency record (HDR)"
+          (Staged.stage (fun () ->
+               incr counter;
+               Nvml_telemetry.Latency.record lrec !counter));
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -990,7 +1112,21 @@ let micro _ctx =
       in
       rows := [ name; est ] :: !rows)
     results;
-  table ~header:[ "Primitive"; "ns/op" ] (List.sort compare !rows)
+  table ~header:[ "Primitive"; "ns/op" ] (List.sort compare !rows);
+  (* Allocation guard for the hot-path recorder: 100k records must not
+     touch the minor heap (a few words of slack absorb the boxed
+     [Gc.minor_words] reads themselves). *)
+  let lrec2 = Nvml_telemetry.Latency.create () in
+  let w0 = Gc.minor_words () in
+  let n = 100_000 in
+  for i = 1 to n do
+    Nvml_telemetry.Latency.record lrec2 i
+  done;
+  let words = Gc.minor_words () -. w0 in
+  let per_op = if words < 64.0 then 0.0 else words /. float_of_int n in
+  metric "micro.latency_record.minor_words_per_op" per_op;
+  Printf.printf "Latency.record allocation: %g minor words/op (must be 0).\n"
+    per_op
 
 (* --- telemetry profile ---------------------------------------------------- *)
 

@@ -96,7 +96,7 @@ let write_json oc ~spec ~quick ~jobs ~timings ~total =
   p "  \"total_wall_s\": %.3f,\n" total;
   p "  \"experiments\": [\n";
   List.iteri
-    (fun i (name, wall, _) ->
+    (fun i (name, wall, _, _) ->
       p "    {\"name\": \"%s\", \"wall_s\": %.3f}%s\n" (json_escape name) wall
         (if i = List.length timings - 1 then "" else ","))
     timings;
@@ -120,7 +120,7 @@ let write_bench_json oc ~quick ~jobs ~timings ~total =
   let p fmt = Printf.fprintf oc fmt in
   let wall_of m =
     List.fold_left
-      (fun acc (name, wall, _) ->
+      (fun acc (name, wall, _, _) ->
         if mode_of_experiment name = m then acc +. wall else acc)
       0.0 timings
   in
@@ -135,14 +135,21 @@ let write_bench_json oc ~quick ~jobs ~timings ~total =
     (wall_of "fast") (wall_of "cycle") (wall_of "other");
   p "  \"experiments\": [\n";
   List.iteri
-    (fun i (name, wall, ops) ->
+    (fun i (name, wall, ops, lat) ->
       let ops_per_s = if wall > 0.0 then float_of_int ops /. wall else 0.0 in
+      let latency =
+        match lat with
+        | None -> ""
+        | Some o ->
+            Printf.sprintf ", \"latency\": %s"
+              (Json.to_string (Nvml_runtime.Oplat.summary_json o))
+      in
       p
         "    {\"name\": \"%s\", \"mode\": \"%s\", \"wall_s\": %.3f, \
-         \"ops\": %d, \"ops_per_s\": %s}%s\n"
+         \"ops\": %d, \"ops_per_s\": %s%s}%s\n"
         (json_escape name)
         (mode_of_experiment name)
-        wall ops (json_float ops_per_s)
+        wall ops (json_float ops_per_s) latency
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ]\n";
@@ -257,9 +264,10 @@ let () =
       (fun (name, _, f) ->
         let te = Unix.gettimeofday () in
         ignore (Report.ops_take () : int);
+        ignore (Report.lat_take ());
         f ctx;
         let wall = Unix.gettimeofday () -. te in
-        (name, wall, Report.ops_take ()))
+        (name, wall, Report.ops_take (), Report.lat_take ()))
       chosen
   in
   let total = Unix.gettimeofday () -. t0 in

@@ -97,6 +97,34 @@ let ops_take () =
   Mutex.unlock metrics_lock;
   n
 
+(* Per-experiment latency tally, the distribution-level companion of
+   [ops_tally]: experiments feed the merged per-op recorders of the
+   cells whose latency they report; the driver takes the merged
+   recorder around each experiment and embeds its summary in the
+   BENCH_<n>.json entry.  Merging is deterministic (recorder cells add;
+   the slow-op reservoir has a total order), so the embedded summaries
+   are identical across --jobs counts. *)
+module Oplat = Nvml_runtime.Oplat
+
+let lat_tally : Oplat.t option ref = ref None
+
+let lat_add (o : Oplat.t) =
+  Mutex.lock metrics_lock;
+  (match !lat_tally with
+  | Some t -> Oplat.merge_into ~dst:t o
+  | None ->
+      let t = Oplat.create ~cell:"experiment" () in
+      Oplat.merge_into ~dst:t o;
+      lat_tally := Some t);
+  Mutex.unlock metrics_lock
+
+let lat_take () =
+  Mutex.lock metrics_lock;
+  let t = !lat_tally in
+  lat_tally := None;
+  Mutex.unlock metrics_lock;
+  t
+
 (* --- telemetry profile sections ----------------------------------------- *)
 
 (* The "check-site profile" section: per-site dynamic-check counts from

@@ -30,6 +30,8 @@ module Profile = Nvml_kvstore.Profile
 module Media = Nvml_media.Media
 module Mediacheck = Nvml_pool.Mediacheck
 module Scrub = Nvml_pool.Scrub
+module Oplat = Nvml_runtime.Oplat
+module Latency = Nvml_telemetry.Latency
 
 (* --- shared argument converters ---------------------------------------- *)
 
@@ -104,6 +106,39 @@ let print_result (r : Harness.result) =
     r.Harness.checks.Harness.rel_to_abs;
   Fmt.pr "GETs         %d hits, %d misses@." r.Harness.hits r.Harness.misses
 
+(* The [--latency] report: percentile ladder, whole-run component
+   attribution, and the retained slowest operations with their
+   component breakdowns. *)
+let print_latency (r : Harness.result) =
+  let ol = r.Harness.oplat in
+  if Oplat.count ol = 0 then
+    Fmt.pr "@.per-op latency: no operations recorded@."
+  else begin
+    let s = Latency.summary (Oplat.latency ol) in
+    Fmt.pr "@.per-op latency (cycles, %d ops)@." s.Latency.count;
+    Fmt.pr "  p50 %d  p90 %d  p99 %d  p999 %d  max %d  mean %.1f@."
+      s.Latency.p50 s.Latency.p90 s.Latency.p99 s.Latency.p999 s.Latency.max
+      s.Latency.mean;
+    let tot = Oplat.totals ol in
+    let all = float_of_int (max 1 (Oplat.components_total tot)) in
+    let pct n = 100. *. float_of_int n /. all in
+    Fmt.pr
+      "  attribution  base %.1f%%  check %.1f%%  translation %.1f%%  stall \
+       %.1f%%  media %.1f%%@."
+      (pct tot.Oplat.base) (pct tot.Oplat.check) (pct tot.Oplat.translation)
+      (pct tot.Oplat.stall) (pct tot.Oplat.media);
+    Fmt.pr "  slowest ops:@.";
+    List.iter
+      (fun (sm : Oplat.sample) ->
+        Fmt.pr
+          "    %-6s #%-7d %9d cycles  base %d  check %d  translation %d  \
+           stall %d  media %d@."
+          sm.Oplat.op sm.Oplat.seq sm.Oplat.cycles sm.Oplat.comps.Oplat.base
+          sm.Oplat.comps.Oplat.check sm.Oplat.comps.Oplat.translation
+          sm.Oplat.comps.Oplat.stall sm.Oplat.comps.Oplat.media)
+      (Oplat.slowest ol)
+  end
+
 (* Workload arguments shared by [kv] and [stats]. *)
 let structure_arg =
   Arg.(
@@ -157,7 +192,36 @@ let kv_cmd =
             "Run all four execution modes (in parallel when --jobs > 1) and \
              print a comparative table instead of a single-mode report.")
   in
-  let run structure mode records ops dist compare jobs stats_file trace_file =
+  let latency_arg =
+    Arg.(
+      value & flag
+      & info [ "latency" ]
+          ~doc:
+            "Print the per-operation latency report: cycle-domain \
+             percentiles (p50/p90/p99/p999/max), whole-run component \
+             attribution and the slowest retained operations.")
+  in
+  let fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:
+            "Fast functional mode: skip cache/TLB/branch/storeP timing \
+             models. Latencies then read cycles = instructions with all \
+             non-base components zero.")
+  in
+  let slow_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event file of the slowest retained \
+             operations (one thread per op, simulated cycles as \
+             timestamps) to $(docv).")
+  in
+  let run structure mode records ops dist compare jobs stats_file trace_file
+      latency fast slow_trace =
     let spec = spec_of ~records ~ops ~dist in
     (* With [--stats]/[--trace], record the run in a fresh telemetry
        sink and dump it before returning (the dumps read the sink). *)
@@ -189,8 +253,32 @@ let kv_cmd =
             r)
       end
     in
+    let write_slow_trace oplats =
+      Option.iter
+        (fun path ->
+          let agg = Oplat.create ~cell:structure () in
+          List.iter (fun o -> Oplat.merge_into ~dst:agg o) oplats;
+          match open_out path with
+          | oc ->
+              Oplat.write_slow_trace oc agg;
+              close_out oc;
+              Fmt.epr "slow-op trace written to %s@." path
+          | exception Sys_error msg ->
+              Fmt.epr "--slow-trace: %s@." msg;
+              exit 1)
+        slow_trace
+    in
+    let with_timing f =
+      if fast then Runtime.with_default_timing false f else f ()
+    in
+    with_timing @@ fun () ->
     instrumented @@ fun () ->
-    if not compare then print_result (Harness.run_benchmark structure ~mode spec)
+    if not compare then begin
+      let r = Harness.run_benchmark structure ~mode spec in
+      print_result r;
+      if latency then print_latency r;
+      write_slow_trace [ r.Harness.oplat ]
+    end
     else begin
       let modes =
         [ Runtime.Volatile; Runtime.Explicit; Runtime.Sw; Runtime.Hw ]
@@ -219,14 +307,30 @@ let kv_cmd =
             s.Cpu.cycles
             (float_of_int s.Cpu.cycles /. base)
             s.Cpu.nvm_accesses r.Harness.checks.Harness.dynamic_checks)
-        results
+        results;
+      if latency then begin
+        Fmt.pr "@.per-op latency (cycles)@.";
+        Fmt.pr "%-10s %9s %9s %9s %9s %9s@." "mode" "p50" "p90" "p99" "p999"
+          "max";
+        List.iter
+          (fun (r : Harness.result) ->
+            let s = Latency.summary (Oplat.latency r.Harness.oplat) in
+            Fmt.pr "%-10s %9d %9d %9d %9d %9d@."
+              (Runtime.mode_name r.Harness.mode)
+              s.Latency.p50 s.Latency.p90 s.Latency.p99 s.Latency.p999
+              s.Latency.max)
+          results
+      end;
+      write_slow_trace
+        (List.map (fun (r : Harness.result) -> r.Harness.oplat) results)
     end
   in
   Cmd.v
     (Cmd.info "kv" ~doc:"Run a YCSB workload against an index structure.")
     Term.(
       const run $ structure_arg $ mode_arg $ records_arg $ ops_arg $ dist_arg
-      $ compare_arg $ jobs_arg $ stats_arg $ trace_arg)
+      $ compare_arg $ jobs_arg $ stats_arg $ trace_arg $ latency_arg
+      $ fast_arg $ slow_trace_arg)
 
 (* --- stats --------------------------------------------------------------- *)
 

@@ -20,6 +20,7 @@ module Intf = Nvml_structures.Intf
 module Linked_list = Nvml_structures.Linked_list
 module Workload = Nvml_ycsb.Workload
 module Telemetry = Nvml_telemetry.Telemetry
+module Oplat = Nvml_runtime.Oplat
 
 (* Harness sites: the driver is compiled with the application, where
    inference sees the allocation sites — static. *)
@@ -57,6 +58,7 @@ type result = {
   checks : counter_delta; (* run-phase conversion/check counts *)
   hits : int; (* GETs that found their key (sanity) *)
   misses : int;
+  oplat : Oplat.t; (* per-op run-phase latency distribution *)
 }
 
 let pool_size = 1 lsl 26 (* frames are lazily backed, so a roomy pool is free *)
@@ -98,21 +100,33 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
   let load = Runtime.snapshot rt in
   let a0 = Cpu.attribution (Runtime.cpu rt) in
   let c0 = copy_counters (Runtime.counters rt) in
-  (* Run phase. *)
+  (* Run phase: every op is bracketed with cycle stamps so its latency
+     and attribution land in the per-cell recorder. *)
+  let cpu = Runtime.cpu rt in
+  let ol =
+    Oplat.create ~cell:(M.name ^ "/" ^ Runtime.mode_name mode) ()
+  in
   let hits = ref 0 and misses = ref 0 in
   Telemetry.span "harness.run" ~args:[ ("ops", Array.length ops) ] (fun () ->
       Array.iteri
         (fun i op ->
+          Oplat.op_begin ol cpu;
           (* Driver work: fetch the key from the request buffer, dispatch. *)
           let key = Runtime.load_word rt ~site:s_driver key_buf ~off:(i * 8) in
           Runtime.instr rt 10;
-          match op with
+          Oplat.mark ol cpu "driver";
+          (match op with
           | Workload.Read _ -> (
               match M.find m key with
               | Some _ -> incr hits
               | None -> incr misses)
           | Workload.Update (_, v) | Workload.Insert (_, v) ->
-              M.insert m ~key ~value:v)
+              M.insert m ~key ~value:v);
+          Oplat.op_end ol cpu
+            (match op with
+            | Workload.Read _ -> "get"
+            | Workload.Update _ -> "put"
+            | Workload.Insert _ -> "insert"))
         ops);
   let after = Runtime.snapshot rt in
   Runtime.publish_stats rt;
@@ -125,6 +139,7 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
     checks = counter_diff (Runtime.counters rt) c0;
     hits = !hits;
     misses = !misses;
+    oplat = ol;
   }
 
 (* The separate LL harness: build [nodes] nodes of two pointers and a
@@ -144,10 +159,14 @@ let run_ll ~mode ?(cfg = Nvml_arch.Config.default) ?(nodes = 10_000)
   let load = Runtime.snapshot rt in
   let a0 = Cpu.attribution (Runtime.cpu rt) in
   let c0 = copy_counters (Runtime.counters rt) in
+  let cpu = Runtime.cpu rt in
+  let ol = Oplat.create ~cell:("LL/" ^ Runtime.mode_name mode) () in
   let sum = ref 0L in
   Telemetry.span "harness.run" ~args:[ ("ops", iterations) ] (fun () ->
       for _ = 1 to iterations do
-        sum := Linked_list.iterate_sum l
+        Oplat.op_begin ol cpu;
+        sum := Linked_list.iterate_sum l;
+        Oplat.op_end ol cpu "scan"
       done);
   let after = Runtime.snapshot rt in
   Runtime.publish_stats rt;
@@ -160,6 +179,7 @@ let run_ll ~mode ?(cfg = Nvml_arch.Config.default) ?(nodes = 10_000)
     checks = counter_diff (Runtime.counters rt) c0;
     hits = nodes;
     misses = 0;
+    oplat = ol;
   }
 
 (* Run a named benchmark (Table III) in a mode. *)

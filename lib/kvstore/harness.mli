@@ -26,6 +26,11 @@ type result = {
   checks : counter_delta;  (** run-phase conversion/check counts *)
   hits : int;
   misses : int;
+  oplat : Nvml_runtime.Oplat.t;
+      (** per-op run-phase latencies: every get/put/insert (or LL scan
+          iteration) bracketed with cycle stamps, decomposed into
+          base/check/translation/stall/media components, slowest ops
+          retained with spans *)
 }
 
 val pool_size : int

@@ -39,10 +39,11 @@ let () =
 
 (* --- registry -------------------------------------------------------------- *)
 
-type kind = Counter | Histo
+type kind = Counter | Histo | Lat
 
 type counter = int
 type histo = int
+type latency = int
 
 let registry_lock = Mutex.create ()
 let ids : (string, int) Hashtbl.t = Hashtbl.create 128
@@ -83,6 +84,7 @@ let intern kind name =
 
 let counter name = intern Counter name
 let histo name = intern Histo name
+let latency name = intern Lat name
 
 (* A stable snapshot of (id, name, kind) rows for dump functions. *)
 let registry_rows () =
@@ -147,6 +149,7 @@ let set_trace_capacity n = default_trace_capacity := max 0 n
 type sink = {
   mutable counters : int array; (* indexed by registry id *)
   mutable histos : histo_data option array;
+  mutable lats : Latency.t option array;
   ring : event option array; (* bounded tracer; oldest overwritten *)
   mutable ring_start : int; (* index of the oldest event *)
   mutable ring_len : int;
@@ -157,6 +160,7 @@ let fresh_sink () =
   {
     counters = Array.make 0 0;
     histos = Array.make 0 None;
+    lats = Array.make 0 None;
     ring = Array.make !default_trace_capacity None;
     ring_start = 0;
     ring_len = 0;
@@ -196,6 +200,20 @@ let ensure_histo s id =
       s.histos.(id) <- Some h;
       h
 
+let ensure_lat s id =
+  if id >= Array.length s.lats then begin
+    let cap = max 64 (max (id + 1) (2 * Array.length s.lats)) in
+    let a = Array.make cap None in
+    Array.blit s.lats 0 a 0 (Array.length s.lats);
+    s.lats <- a
+  end;
+  match s.lats.(id) with
+  | Some l -> l
+  | None ->
+      let l = Latency.create () in
+      s.lats.(id) <- Some l;
+      l
+
 (* --- recording --------------------------------------------------------------- *)
 
 let add c n =
@@ -209,6 +227,9 @@ let incr c = add c 1
 
 let observe h v =
   if enabled () then histo_observe (ensure_histo (current_sink ()) h) v
+
+let record l v =
+  if enabled () then Latency.record (ensure_lat (current_sink ()) l) v
 
 let push_event s e =
   s.events_total <- s.events_total + 1;
@@ -261,6 +282,12 @@ let merge_into ~dst src =
       | None -> ()
       | Some h -> histo_merge ~into:(ensure_histo dst id) h)
     src.histos;
+  Array.iteri
+    (fun id l ->
+      match l with
+      | None -> ()
+      | Some l -> Latency.merge_into ~dst:(ensure_lat dst id) l)
+    src.lats;
   let dropped_before = src.events_total - src.ring_len in
   for i = 0 to src.ring_len - 1 do
     match src.ring.((src.ring_start + i) mod Array.length src.ring) with
@@ -308,7 +335,7 @@ let counters_snapshot () =
          | Counter ->
              Some
                (name, if id < Array.length s.counters then s.counters.(id) else 0)
-         | Histo -> None)
+         | Histo | Lat -> None)
   |> List.sort compare
 
 let histos_snapshot () =
@@ -322,6 +349,18 @@ let histos_snapshot () =
              | None -> None)
          | _ -> None)
   |> List.sort compare
+
+let lats_snapshot () =
+  let s = current_sink () in
+  registry_rows ()
+  |> List.filter_map (fun (id, name, kind) ->
+         match kind with
+         | Lat when id < Array.length s.lats -> (
+             match s.lats.(id) with
+             | Some l when Latency.count l > 0 -> Some (name, l)
+             | _ -> None)
+         | _ -> None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let events_snapshot () =
   let s = current_sink () in
@@ -339,6 +378,7 @@ let reset_current () =
   let s = current_sink () in
   Array.fill s.counters 0 (Array.length s.counters) 0;
   Array.fill s.histos 0 (Array.length s.histos) None;
+  Array.fill s.lats 0 (Array.length s.lats) None;
   Array.fill s.ring 0 (Array.length s.ring) None;
   s.ring_start <- 0;
   s.ring_len <- 0;
@@ -369,6 +409,9 @@ let stats_json ~derived () =
             ] ))
       (histos_snapshot ())
   in
+  let lats =
+    List.map (fun (name, l) -> (name, Latency.summary_json l)) (lats_snapshot ())
+  in
   Json.Obj
     [
       ("schema", Json.Int 1);
@@ -377,6 +420,7 @@ let stats_json ~derived () =
           (List.map (fun (name, v) -> (name, Json.Float v)) derived) );
       ("counters", Json.Obj counters);
       ("histograms", Json.Obj histos);
+      ("latencies", Json.Obj lats);
       ("events_total", Json.Int (events_total ()));
       ("events_dropped", Json.Int (events_dropped ()));
     ]

@@ -22,9 +22,15 @@ val set_enabled : bool -> unit
 
 type counter
 type histo
+type latency
 
 val counter : string -> counter
 val histo : string -> histo
+
+val latency : string -> latency
+(** A named HDR-style latency recorder (see {!Latency}): log-bucketed
+    with {!Latency.precision_bits} sub-bucket bits, so percentiles are
+    within {!Latency.rel_error_bound} of exact. *)
 
 (** {1 Recording}
 
@@ -33,6 +39,10 @@ val histo : string -> histo
 val incr : counter -> unit
 val add : counter -> int -> unit
 val observe : histo -> int -> unit
+
+val record : latency -> int -> unit
+(** Record one latency observation; allocation-free once the sink's
+    recorder exists (first call per sink allocates it). *)
 
 val event : ?args:(string * int) list -> string -> unit
 (** Record an instant event in the bounded trace ring. *)
@@ -91,6 +101,9 @@ val counters_snapshot : unit -> (string * int) list
 val histos_snapshot : unit -> (string * histo_stats) list
 (** Histograms with at least one observation, sorted by name. *)
 
+val lats_snapshot : unit -> (string * Latency.t) list
+(** Latency recorders with at least one observation, sorted by name. *)
+
 type phase = Begin | End | Instant
 
 type event = { ename : string; phase : phase; args : (string * int) list }
@@ -108,8 +121,9 @@ val reset_current : unit -> unit
 
 val stats_json : derived:(string * float) list -> unit -> Json.t
 (** Stats document: [{"schema": 1, "derived": {...}, "counters": {...},
-    "histograms": {...}, ...}].  [derived] carries precomputed rates
-    (e.g. ["valb.hit_rate"]). *)
+    "histograms": {...}, "latencies": {...}, ...}].  [derived] carries
+    precomputed rates (e.g. ["valb.hit_rate"]); latency entries are
+    {!Latency.summary_json} rows. *)
 
 val write_stats_json : ?derived:(string * float) list -> out_channel -> unit
 

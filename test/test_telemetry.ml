@@ -5,10 +5,12 @@
    must account for every cycle. *)
 
 module Telemetry = Nvml_telemetry.Telemetry
+module Latency = Nvml_telemetry.Latency
 module Json = Nvml_telemetry.Json
 module Pool = Nvml_exec.Pool
 module Cpu = Nvml_arch.Cpu
 module Runtime = Nvml_runtime.Runtime
+module Oplat = Nvml_runtime.Oplat
 module Harness = Nvml_kvstore.Harness
 module Workload = Nvml_ycsb.Workload
 
@@ -244,6 +246,179 @@ let test_attribution_sums_to_cycles () =
         (Cpu.attribution_total r.Harness.attr))
     [ Runtime.Volatile; Runtime.Sw; Runtime.Hw; Runtime.Explicit ]
 
+(* --- latency recorder --------------------------------------------------- *)
+
+(* The documented error contract: a reported percentile never
+   underestimates the exact order statistic and overestimates it by
+   less than [rel_error_bound] (values below one sub-bucket span are
+   exact).  Checked against a sorted-array oracle over distributions
+   with very different shapes, including a heavy tail. *)
+let test_percentile_oracle () =
+  let distributions =
+    [
+      ("uniform", fun rng -> Random.State.int rng 10_000);
+      ("constant", fun _ -> 4242);
+      ("small-exact", fun rng -> Random.State.int rng 32);
+      ( "heavy-tail",
+        fun rng ->
+          let v = 50 + Random.State.int rng 50 in
+          if Random.State.int rng 1000 < 5 then v * 1000 else v );
+      ("powers", fun rng -> 1 lsl Random.State.int rng 40);
+    ]
+  in
+  List.iter
+    (fun (name, gen) ->
+      let rng = Random.State.make [| 42 |] in
+      let n = 5_000 in
+      let t = Latency.create () in
+      let values = Array.init n (fun _ -> gen rng) in
+      Array.iter (Latency.record t) values;
+      let sorted = Array.copy values in
+      Array.sort compare sorted;
+      List.iter
+        (fun q ->
+          let rank =
+            max 1 (min n (int_of_float (ceil (q *. float_of_int n))))
+          in
+          let exact = sorted.(rank - 1) in
+          let approx = Latency.percentile t q in
+          if approx < exact then
+            Alcotest.failf "%s p%g: %d underestimates exact %d" name
+              (100. *. q) approx exact;
+          let bound =
+            float_of_int exact *. (1.0 +. Latency.rel_error_bound)
+          in
+          if float_of_int approx > bound then
+            Alcotest.failf "%s p%g: %d exceeds error bound %.1f (exact %d)"
+              name (100. *. q) approx bound exact)
+        [ 0.5; 0.9; 0.99; 0.999; 1.0 ])
+    distributions
+
+(* Merging per-cell recorders in any order and grouping must yield the
+   same state as recording everything into one — the property the
+   --jobs determinism of the bench metrics rests on. *)
+let test_latency_merge_deterministic () =
+  let rng = Random.State.make [| 7 |] in
+  let chunks =
+    List.init 4 (fun _ -> Array.init 500 (fun _ -> Random.State.int rng 100_000))
+  in
+  let record vs =
+    let t = Latency.create () in
+    Array.iter (Latency.record t) vs;
+    t
+  in
+  let single = record (Array.concat chunks) in
+  let left =
+    let dst = Latency.create () in
+    List.iter (fun vs -> Latency.merge_into ~dst (record vs)) chunks;
+    dst
+  in
+  let right =
+    let dst = Latency.create () in
+    List.iter
+      (fun vs -> Latency.merge_into ~dst (record vs))
+      (List.rev chunks);
+    dst
+  in
+  check_bool "merge order is immaterial" true
+    (Latency.summary left = Latency.summary right);
+  check_bool "merged equals single recorder" true
+    (Latency.summary left = Latency.summary single)
+
+(* Worker-domain latency recordings merge into the submitting domain's
+   sink at pool join, so the sink snapshot is identical across --jobs
+   counts. *)
+let test_latency_jobs_determinism () =
+  let l = Telemetry.latency "test.lat.pool" in
+  let tasks =
+    List.init 6 (fun i () ->
+        for k = 1 to 50 do
+          Telemetry.record l ((i * 1000) + (k * k))
+        done;
+        i)
+  in
+  let run jobs =
+    scoped (fun () ->
+        let pool = Pool.create ~jobs () in
+        let out =
+          Fun.protect
+            ~finally:(fun () -> Pool.shutdown pool)
+            (fun () -> Pool.run pool tasks)
+        in
+        ( out,
+          List.map
+            (fun (name, t) -> (name, Latency.summary t))
+            (Telemetry.lats_snapshot ()) ))
+  in
+  check_bool "--jobs 4 latencies equal --jobs 1" true (run 1 = run 4)
+
+(* --- per-op latency bracketing ------------------------------------------ *)
+
+(* The per-op partition invariant: every bracketed operation's five
+   components sum to its cycles, the component totals sum to the
+   recorder's cycle sum, and the op latencies sum to the run phase's
+   cycles — in every execution mode.  This is the guarantee that makes
+   the tail attribution trustworthy: no cycle is dropped or double
+   counted on the way from the core's stall accounting to the report. *)
+let test_oplat_attribution_sums () =
+  List.iter
+    (fun mode ->
+      let r = Harness.run_benchmark "RB" ~mode quick_spec in
+      let ol = r.Harness.oplat in
+      let name = Runtime.mode_name mode in
+      check_int (name ^ ": op count is the op stream")
+        quick_spec.Workload.operation_count (Oplat.count ol);
+      check_int
+        (name ^ ": op latencies sum to run-phase cycles")
+        r.Harness.run.Cpu.cycles
+        (Latency.sum (Oplat.latency ol));
+      check_int
+        (name ^ ": component totals sum to the cycle sum")
+        (Latency.sum (Oplat.latency ol))
+        (Oplat.components_total (Oplat.totals ol));
+      List.iter
+        (fun (s : Oplat.sample) ->
+          check_int
+            (Printf.sprintf "%s: slow op #%d components sum to its cycles"
+               name s.Oplat.seq)
+            s.Oplat.cycles
+            (Oplat.components_total s.Oplat.comps))
+        (Oplat.slowest ol))
+    [ Runtime.Volatile; Runtime.Sw; Runtime.Hw; Runtime.Explicit ]
+
+(* Fast functional mode still reports latencies — cycles equal
+   instructions and every non-base component is zero. *)
+let test_oplat_fast_mode () =
+  let r =
+    Runtime.with_default_timing false (fun () ->
+        Harness.run_benchmark "RB" ~mode:Runtime.Hw quick_spec)
+  in
+  check_int "fast mode: cycles = instrs" r.Harness.run.Cpu.instrs
+    r.Harness.run.Cpu.cycles;
+  let tot = Oplat.totals r.Harness.oplat in
+  check_int "fast mode: no check cycles" 0 tot.Oplat.check;
+  check_int "fast mode: no translation cycles" 0 tot.Oplat.translation;
+  check_int "fast mode: no stall cycles" 0 tot.Oplat.stall;
+  check_int "fast mode: no media cycles" 0 tot.Oplat.media;
+  check_int "fast mode: base carries everything"
+    (Latency.sum (Oplat.latency r.Harness.oplat))
+    tot.Oplat.base
+
+(* The hot-path contract: recording a latency allocates nothing.  A
+   small slack absorbs runtime noise (e.g. a stray boxed read); the
+   guard fails loudly if [record] ever gains a per-call allocation. *)
+let test_record_allocation_free () =
+  let t = Latency.create () in
+  let n = 100_000 in
+  Latency.record t 1;
+  let before = Gc.minor_words () in
+  for i = 1 to n do
+    Latency.record t i
+  done;
+  let words = Gc.minor_words () -. before in
+  if words >= 64.0 then
+    Alcotest.failf "record allocated %.0f minor words over %d calls" words n
+
 (* --- JSON --------------------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -301,6 +476,23 @@ let () =
             test_telemetry_does_not_change_cycles;
           Alcotest.test_case "attribution sums to cycles" `Quick
             test_attribution_sums_to_cycles;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "percentile vs sorted oracle" `Quick
+            test_percentile_oracle;
+          Alcotest.test_case "merge determinism" `Quick
+            test_latency_merge_deterministic;
+          Alcotest.test_case "pool join determinism" `Quick
+            test_latency_jobs_determinism;
+          Alcotest.test_case "record is allocation-free" `Quick
+            test_record_allocation_free;
+        ] );
+      ( "oplat",
+        [
+          Alcotest.test_case "attribution sums per op" `Quick
+            test_oplat_attribution_sums;
+          Alcotest.test_case "fast mode latencies" `Quick test_oplat_fast_mode;
         ] );
       ( "json",
         [
