@@ -15,13 +15,19 @@
                                           document carries well-formed
                                           <prefix>.latency.* percentile
                                           ladders and tail attribution
+     check_stats.exe --serving M.json     assert a `--metrics-json`
+                                          document carries the
+                                          serving.<mix>.* throughput,
+                                          cache and percentile metrics
+                                          for all four serving mixes
      check_stats.exe --bench BENCH.json   assert the perf-trajectory
                                           document (BENCH_<n>.json) is
                                           well-formed; with
                                           --baseline BASE.json
                                           [--max-regress F] additionally
-                                          fail if fast-mode wall-clock
-                                          or any per-experiment latency
+                                          fail if fast-mode wall-clock,
+                                          any per-experiment ops/sec, or
+                                          any per-experiment latency
                                           percentile (p50/p99/p999)
                                           regressed by more than F
                                           (default 1.2, i.e. +20%) *)
@@ -187,6 +193,43 @@ let check_latency path =
   Printf.printf "%s: ok (%d latency groups: %s)\n" path (List.length prefixes)
     (String.concat " " prefixes)
 
+(* Assert the serving.<mix>.* metric groups a `--metrics-json` document
+   from a serving run must carry: all four mixes present, each with a
+   positive request count and simulated throughput, a hit rate in
+   [0,1], and a monotone p50 <= p99 <= p999 percentile ladder. *)
+let check_serving path =
+  let doc = parse_doc path in
+  let metrics =
+    match Json.member "metrics" doc with
+    | Some (Json.Obj kvs) -> kvs
+    | _ -> fail "%s: missing metrics object" path
+  in
+  let lookup name = number (List.assoc_opt name metrics) in
+  let mixes = [ "read-latest"; "scan-heavy"; "rmw-heavy"; "hot-storm" ] in
+  List.iter
+    (fun mix ->
+      let get key =
+        match lookup (Printf.sprintf "serving.%s.%s" mix key) with
+        | Some f -> f
+        | None -> fail "%s: missing serving.%s.%s" path mix key
+      in
+      if get "ops" <= 0.0 then fail "%s: serving.%s.ops not positive" path mix;
+      if get "ops_per_s" <= 0.0 then
+        fail "%s: serving.%s.ops_per_s not positive" path mix;
+      if get "shards" < 1.0 then fail "%s: serving.%s.shards < 1" path mix;
+      let hit = get "cache.hit_rate" in
+      if hit < 0.0 || hit > 1.0 then
+        fail "%s: serving.%s.cache.hit_rate=%g outside [0,1]" path mix hit;
+      if get "cache.writebacks" < 0.0 then
+        fail "%s: serving.%s.cache.writebacks negative" path mix;
+      let p50 = get "latency.p50" and p99 = get "latency.p99" in
+      let p999 = get "latency.p999" in
+      if not (p50 <= p99 && p99 <= p999) then
+        fail "%s: serving.%s percentiles not monotone (p50=%g p99=%g p999=%g)"
+          path mix p50 p99 p999)
+    mixes;
+  Printf.printf "%s: ok (%d serving mixes)\n" path (List.length mixes)
+
 (* The percentile ladder inside a BENCH experiment entry's "latency"
    object, as written by the driver from the merged per-experiment
    recorder. *)
@@ -228,10 +271,10 @@ let check_bench ?baseline ?(max_regress = 1.2) path =
   if fast +. cycle +. other > suite *. 1.05 +. 0.05 then
     fail "%s: mode breakdown (%.3f) exceeds suite_wall_s (%.3f)" path
       (fast +. cycle +. other) suite;
-  let latencies =
+  let experiments =
     match Json.member "experiments" doc with
     | Some (Json.List (_ :: _ as exps)) ->
-        List.filter_map
+        List.map
           (fun e ->
             let name =
               match Json.member "name" e with
@@ -248,11 +291,19 @@ let check_bench ?baseline ?(max_regress = 1.2) path =
                 | Some _ -> fail "%s: %s: negative %s" path name key
                 | None -> fail "%s: %s: missing numeric %s" path name key)
               [ "wall_s"; "ops"; "ops_per_s" ];
-            Option.map
-              (fun p -> (name, p))
-              (latency_percentiles path name e))
+            let ops_per_s =
+              match number (Json.member "ops_per_s" e) with
+              | Some f -> f
+              | None -> 0.0
+            in
+            (name, ops_per_s, latency_percentiles path name e))
           exps
     | _ -> fail "%s: missing or empty experiments list" path
+  in
+  let latencies =
+    List.filter_map
+      (fun (name, _, lat) -> Option.map (fun p -> (name, p)) lat)
+      experiments
   in
   (match baseline with
   | None -> ()
@@ -271,6 +322,43 @@ let check_bench ?baseline ?(max_regress = 1.2) path =
       Printf.printf
         "%s: fast-mode wall %.3fs within %.2fx of baseline %.3fs\n" path fast
         max_regress base_fast;
+      (* Per-experiment throughput floors: a serving-path regression in
+         one experiment must not hide inside an overall-faster suite,
+         so each experiment's ops/sec is checked against its own
+         baseline entry (ops/sec is higher-better, hence the division).
+         Skipped per-experiment when the baseline has no entry or a
+         zero rate. *)
+      let base_rates =
+        match Json.member "experiments" base with
+        | Some (Json.List exps) ->
+            List.filter_map
+              (fun e ->
+                match (Json.member "name" e, number (Json.member "ops_per_s" e))
+                with
+                | Some (Json.String name), Some rate -> Some (name, rate)
+                | _ -> None)
+              exps
+        | _ -> []
+      in
+      let rate_checked = ref 0 in
+      List.iter
+        (fun (name, ops_per_s, _) ->
+          match List.assoc_opt name base_rates with
+          | Some base_rate when base_rate > 0.0 && ops_per_s > 0.0 ->
+              incr rate_checked;
+              if ops_per_s < base_rate /. max_regress then
+                fail
+                  "%s: %s: ops/sec regressed: %.0f < %.0f (baseline %.0f / \
+                   %.2f)"
+                  path name ops_per_s (base_rate /. max_regress) base_rate
+                  max_regress
+          | _ -> ())
+        experiments;
+      if !rate_checked > 0 then
+        Printf.printf
+          "%s: throughput floors ok (%d experiments within %.2fx of \
+           baseline)\n"
+          path !rate_checked max_regress;
       (* Per-percentile latency budgets: cycle-domain percentiles are
          deterministic, so any increase is a real per-op latency
          regression, not measurement noise — the budget factor bounds
@@ -320,6 +408,7 @@ let () =
   | [ _; "--fuzz"; path ] -> check_fuzz path
   | [ _; "--media"; path ] -> check_media path
   | [ _; "--latency"; path ] -> check_latency path
+  | [ _; "--serving"; path ] -> check_serving path
   | [ _; "--bench"; path ] -> check_bench path
   | [ _; "--bench"; path; "--baseline"; base ] -> check_bench ~baseline:base path
   | [ _; "--bench"; path; "--baseline"; base; "--max-regress"; f ] -> (
@@ -331,5 +420,6 @@ let () =
   | _ ->
       fail
         "usage: check_stats [--same A B | --fuzz STATS.json | --media \
-         STATS.json | --latency METRICS.json | --bench BENCH.json \
-         [--baseline BASE.json [--max-regress F]] | STATS.json]"
+         STATS.json | --latency METRICS.json | --serving METRICS.json | \
+         --bench BENCH.json [--baseline BASE.json [--max-regress F]] | \
+         STATS.json]"

@@ -1369,3 +1369,71 @@ let scrub ctx =
   Printf.printf
     "hot-path overhead: 0 extra words per allocation; integrity traffic is\n\
      confined to pool open/close (15-16 word ops per pool per session).\n"
+
+(* --- serving ------------------------------------------------------------- *)
+
+(* The serving engine at scale: the four serving mixes through the
+   sharded, batched, front-cached engine (fast functional core — the
+   mixes run millions of requests, and throughput/percentiles must be
+   deterministic for the --metrics-json pinning).  Shard cells run
+   through the worker pool; the merge is in shard-index order, so the
+   metrics are byte-identical across --jobs.  Throughput is simulated
+   ops per second (requests / (max shard cycles / clock)); in the fast
+   core, cycles are instruction counts. *)
+let serving ctx =
+  let module Serving = Nvml_kvstore.Serving in
+  heading "Serving at scale: sharded pools, batching, DRAM front cache";
+  let quick = ctx.spec.Workload.operation_count < 100_000 in
+  let records = if quick then 20_000 else 1_000_000 in
+  let ops = if quick then 50_000 else 2_500_000 in
+  let shards = 8 and batch = 32 in
+  let front_cache = records / 8 in
+  let mixes = Workload.serving_mixes ~records ~ops in
+  Printf.printf
+    "%d records, %d ops per mix; Hash x %d shards, batch %d, front cache %d\n"
+    records ops shards batch front_cache;
+  let results =
+    Runtime.with_default_timing false @@ fun () ->
+    List.map
+      (fun (name, spec) ->
+        if ctx.verbose then Printf.eprintf "  [run] serving / %s...\n%!" name;
+        let config =
+          Serving.default_config ~structure:"Hash" ~mode:Runtime.Hw ~shards
+            ~batch ~front_cache spec
+        in
+        (name, Serving.run ~par:(Nvml_exec.Pool.run ctx.pool) config))
+      mixes
+  in
+  table
+    ~header:
+      [ "mix"; "requests"; "Mops/s"; "p50"; "p99"; "p999"; "cache hit";
+        "write-backs" ]
+    (List.map
+       (fun (name, (r : Serving.t)) ->
+         let s = Latency.summary (Oplat.latency r.Serving.oplat) in
+         [
+           name; int_ r.Serving.ops; f2 (Serving.ops_per_sec r /. 1e6);
+           int_ s.Latency.p50; int_ s.Latency.p99; int_ s.Latency.p999;
+           pct (Serving.hit_rate r.Serving.cache);
+           int_ r.Serving.cache.Serving.writebacks;
+         ])
+       results);
+  List.iter
+    (fun (name, (r : Serving.t)) ->
+      let prefix = "serving." ^ name in
+      metric (prefix ^ ".ops") (float_of_int r.Serving.ops);
+      metric (prefix ^ ".ops_per_s") (Serving.ops_per_sec r);
+      metric (prefix ^ ".shards") (float_of_int r.Serving.shards);
+      metric (prefix ^ ".run_cycles_max") (float_of_int r.Serving.run_cycles_max);
+      metric (prefix ^ ".cache.hit_rate") (Serving.hit_rate r.Serving.cache);
+      metric
+        (prefix ^ ".cache.writebacks")
+        (float_of_int r.Serving.cache.Serving.writebacks);
+      metric (prefix ^ ".digest") (Int64.to_float r.Serving.digest);
+      latency_metrics prefix [ r.Serving.oplat ];
+      Report.ops_add r.Serving.ops)
+    results;
+  Printf.printf
+    "service time is the slowest shard; front-cache hits never touch the\n\
+     persistent structure, and every dirty entry is written back before\n\
+     detach, so final pool contents match a cache-disabled run.\n"

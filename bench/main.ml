@@ -48,6 +48,7 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
     ("txn", "transaction overhead", Experiments.txn_overhead);
     ("faultinject", "crash-point recovery sweep", Experiments.faultinject);
     ("scrub", "media-error detection/repair coverage", Experiments.scrub);
+    ("serving", "sharded serving engine throughput/latency", Experiments.serving);
     ("sweep", "NVM latency and working-set sweeps", Experiments.sweep);
     ("micro", "bechamel micro-benchmarks", Experiments.micro);
   ]
@@ -59,7 +60,7 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
    cycle-accurate core; "other" experiments do no simulation worth
    classifying (static tables, compiler output, micro-benchmarks). *)
 let mode_of_experiment = function
-  | "faultinject" | "scrub" -> "fast"
+  | "faultinject" | "scrub" | "serving" -> "fast"
   | "table5" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "profile"
   | "table6" | "knn" | "soundness" | "ablation" | "extended" | "multipool"
   | "txn" | "sweep" ->

@@ -27,6 +27,7 @@ module Engine = Nvml_modelcheck.Engine
 module Telemetry = Nvml_telemetry.Telemetry
 module Json = Nvml_telemetry.Json
 module Profile = Nvml_kvstore.Profile
+module Serving = Nvml_kvstore.Serving
 module Media = Nvml_media.Media
 module Mediacheck = Nvml_pool.Mediacheck
 module Scrub = Nvml_pool.Scrub
@@ -60,7 +61,8 @@ let dist_conv =
     | "zipfian" -> Ok Workload.Zipfian
     | "scrambled" | "scrambled-zipfian" -> Ok Workload.Scrambled_zipfian
     | "latest" -> Ok Workload.Latest
-    | _ -> Error (`Msg "expected uniform|zipfian|scrambled|latest")
+    | "hotspot" -> Ok Workload.Hotspot
+    | _ -> Error (`Msg "expected uniform|zipfian|scrambled|latest|hotspot")
   in
   let print ppf d =
     Fmt.string ppf
@@ -68,7 +70,8 @@ let dist_conv =
       | Workload.Uniform -> "uniform"
       | Workload.Zipfian -> "zipfian"
       | Workload.Scrambled_zipfian -> "scrambled"
-      | Workload.Latest -> "latest")
+      | Workload.Latest -> "latest"
+      | Workload.Hotspot -> "hotspot")
   in
   Arg.conv (parse, print)
 
@@ -109,8 +112,7 @@ let print_result (r : Harness.result) =
 (* The [--latency] report: percentile ladder, whole-run component
    attribution, and the retained slowest operations with their
    component breakdowns. *)
-let print_latency (r : Harness.result) =
-  let ol = r.Harness.oplat in
+let print_latency (ol : Oplat.t) =
   if Oplat.count ol = 0 then
     Fmt.pr "@.per-op latency: no operations recorded@."
   else begin
@@ -137,6 +139,43 @@ let print_latency (r : Harness.result) =
           sm.Oplat.comps.Oplat.check sm.Oplat.comps.Oplat.translation
           sm.Oplat.comps.Oplat.stall sm.Oplat.comps.Oplat.media)
       (Oplat.slowest ol)
+  end
+
+(* The serving-engine report: configuration, simulated throughput,
+   front-cache behaviour, and a per-shard balance table. *)
+let print_serving (t : Serving.t) =
+  Fmt.pr "serving      %s (%s), %d shards, batch %d, front cache %d@."
+    t.Serving.structure
+    (Runtime.mode_name t.Serving.mode)
+    t.Serving.shards t.Serving.batch t.Serving.front_cache;
+  Fmt.pr "workload     %a@." Workload.pp_spec t.Serving.spec;
+  Fmt.pr "requests     %d (%d found, %d missing), final size %d@."
+    t.Serving.ops t.Serving.found t.Serving.missing t.Serving.size;
+  Fmt.pr "cycles       %d service (max shard), %d total, load max %d@."
+    t.Serving.run_cycles_max t.Serving.run_cycles_total
+    t.Serving.load_cycles_max;
+  Fmt.pr "throughput   %.3f Mops/s simulated (%.2f GHz clock)@."
+    (Serving.ops_per_sec t /. 1e6)
+    (Serving.clock_hz /. 1e9);
+  if t.Serving.front_cache > 0 then begin
+    let c = t.Serving.cache in
+    Fmt.pr
+      "front cache  %.1f%% hit rate (%d hits / %d misses), %d write-backs, \
+       %d evictions, %d scan flushes@."
+      (100. *. Serving.hit_rate c)
+      c.Serving.hits c.Serving.misses c.Serving.writebacks c.Serving.evictions
+      c.Serving.scan_flushes
+  end;
+  Fmt.pr "digest       %016Lx@." t.Serving.digest;
+  if t.Serving.shards > 1 then begin
+    Fmt.pr "%-8s %10s %10s %14s %10s@." "shard" "records" "requests" "cycles"
+      "hit rate";
+    List.iter
+      (fun (s : Serving.shard) ->
+        Fmt.pr "%-8d %10d %10d %14d %9.1f%%@." s.Serving.index
+          s.Serving.records s.Serving.ops s.Serving.run.Cpu.cycles
+          (100. *. Serving.hit_rate s.Serving.cache))
+      t.Serving.per_shard
   end
 
 (* Workload arguments shared by [kv] and [stats]. *)
@@ -220,8 +259,44 @@ let kv_cmd =
              operations (one thread per op, simulated cycles as \
              timestamps) to $(docv).")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Serving engine: shard records across $(docv) independent \
+             pools by key hash. Any of --shards/--batch/--front-cache/--mix \
+             selects the serving engine instead of the single-pool harness.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Serving engine: requests per runtime entry; the entry cost is \
+             amortized across the batch.")
+  in
+  let front_cache_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "front-cache" ] ~docv:"ENTRIES"
+          ~doc:
+            "Serving engine: total DRAM front-cache entries across all \
+             shards (bounded LRU, write-back to NVM); 0 disables the \
+             cache.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mix" ] ~docv:"NAME"
+          ~doc:
+            "Serving engine: run a named serving mix (read-latest, \
+             scan-heavy, rmw-heavy or hot-storm) at --records/--ops scale \
+             instead of the --distribution preset.")
+  in
   let run structure mode records ops dist compare jobs stats_file trace_file
-      latency fast slow_trace =
+      latency fast slow_trace shards batch front_cache mix =
     let spec = spec_of ~records ~ops ~dist in
     (* With [--stats]/[--trace], record the run in a fresh telemetry
        sink and dump it before returning (the dumps read the sink). *)
@@ -271,12 +346,51 @@ let kv_cmd =
     let with_timing f =
       if fast then Runtime.with_default_timing false f else f ()
     in
+    let serving = shards > 1 || batch > 1 || front_cache > 0 || mix <> None in
+    if serving && compare then begin
+      Fmt.epr "--compare is not supported with the serving engine flags@.";
+      exit 1
+    end;
     with_timing @@ fun () ->
     instrumented @@ fun () ->
-    if not compare then begin
+    if serving then begin
+      let spec =
+        match mix with
+        | None -> spec
+        | Some name -> (
+            match
+              List.assoc_opt name (Workload.serving_mixes ~records ~ops)
+            with
+            | Some s -> s
+            | None ->
+                Fmt.epr
+                  "--mix expects read-latest|scan-heavy|rmw-heavy|hot-storm, \
+                   got %S@."
+                  name;
+                exit 1)
+      in
+      let config =
+        Serving.default_config ~structure ~mode ~shards ~batch ~front_cache
+          spec
+      in
+      let jobs = resolve_jobs jobs in
+      let report =
+        if jobs <= 1 then Serving.run config
+        else begin
+          let pool = Pool.create ~jobs () in
+          Fun.protect
+            ~finally:(fun () -> Pool.shutdown pool)
+            (fun () -> Serving.run ~par:(Pool.run pool) config)
+        end
+      in
+      print_serving report;
+      if latency then print_latency report.Serving.oplat;
+      write_slow_trace [ report.Serving.oplat ]
+    end
+    else if not compare then begin
       let r = Harness.run_benchmark structure ~mode spec in
       print_result r;
-      if latency then print_latency r;
+      if latency then print_latency r.Harness.oplat;
       write_slow_trace [ r.Harness.oplat ]
     end
     else begin
@@ -330,7 +444,8 @@ let kv_cmd =
     Term.(
       const run $ structure_arg $ mode_arg $ records_arg $ ops_arg $ dist_arg
       $ compare_arg $ jobs_arg $ stats_arg $ trace_arg $ latency_arg
-      $ fast_arg $ slow_trace_arg)
+      $ fast_arg $ slow_trace_arg $ shards_arg $ batch_arg $ front_cache_arg
+      $ mix_arg)
 
 (* --- stats --------------------------------------------------------------- *)
 

@@ -155,7 +155,16 @@ let kv_workload ?(structure = "RB") ?(records = 30) ?(ops = 100) ?(seed = 42)
             match op_arr.(i) with
             | Workload.Read k -> ignore (M.find m k)
             | Workload.Update (k, v) | Workload.Insert (k, v) ->
-                M.insert m ~key:k ~value:v);
+                M.insert m ~key:k ~value:v
+            | Workload.Scan (start, len) ->
+                for j = start to start + len - 1 do
+                  ignore (M.find m (Workload.key_of_index j))
+                done
+            | Workload.Rmw (k, d) ->
+                let v =
+                  match M.find m k with Some v -> v | None -> 0L
+                in
+                M.insert m ~key:k ~value:(Int64.add v d));
       snapshot = (fun () -> Snapshot.capture (fun f -> M.iter m f));
       check = (fun () -> M.check_invariants m);
     }

@@ -86,8 +86,12 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
     (fun i op ->
       let key =
         match op with
-        | Workload.Read k | Workload.Update (k, _) | Workload.Insert (k, _) ->
+        | Workload.Read k
+        | Workload.Update (k, _)
+        | Workload.Insert (k, _)
+        | Workload.Rmw (k, _) ->
             k
+        | Workload.Scan (start, _) -> Workload.key_of_index start
       in
       Mem.write_word (Runtime.mem rt) (Int64.add key_buf (Int64.of_int (i * 8))) key)
     ops;
@@ -121,12 +125,31 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
               | Some _ -> incr hits
               | None -> incr misses)
           | Workload.Update (_, v) | Workload.Insert (_, v) ->
-              M.insert m ~key ~value:v);
+              M.insert m ~key ~value:v
+          | Workload.Scan (start, len) ->
+              (* Multi-get over consecutive record indices: the first
+                 key comes from the request buffer, the rest are
+                 derived by the driver. *)
+              for j = 0 to len - 1 do
+                let k = if j = 0 then key else Workload.key_of_index (start + j) in
+                match M.find m k with
+                | Some _ -> incr hits
+                | None -> incr misses
+              done
+          | Workload.Rmw (_, delta) ->
+              let v =
+                match M.find m key with
+                | Some v -> incr hits; v
+                | None -> incr misses; 0L
+              in
+              M.insert m ~key ~value:(Int64.add v delta));
           Oplat.op_end ol cpu
             (match op with
             | Workload.Read _ -> "get"
             | Workload.Update _ -> "put"
-            | Workload.Insert _ -> "insert"))
+            | Workload.Insert _ -> "insert"
+            | Workload.Scan _ -> "scan"
+            | Workload.Rmw _ -> "rmw"))
         ops);
   let after = Runtime.snapshot rt in
   Runtime.publish_stats rt;

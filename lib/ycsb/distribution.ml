@@ -11,6 +11,7 @@ type t =
   | Zipfian of zipf
   | Scrambled_zipfian of zipf
   | Latest of zipf
+  | Hotspot of { mutable n : int; hot_n : int; op_frac : float }
 
 and zipf = {
   mutable n : int;
@@ -34,6 +35,20 @@ let uniform n = Uniform { n }
 let zipfian n = Zipfian (make_zipf n)
 let scrambled_zipfian n = Scrambled_zipfian (make_zipf n)
 let latest n = Latest (make_zipf n)
+
+(* YCSB's hotspot generator: a fixed hot set — the first [hot_frac]
+   of the initial population — receives [op_frac] of the draws; the
+   remainder go uniformly to the cold records.  The hot set does not
+   grow with the population, so a serving cache sized to hold it has a
+   closed-form expected hit rate of [op_frac]. *)
+let hotspot ?(hot_frac = 0.01) ?(op_frac = 0.9) n =
+  if n < 1 then invalid_arg "Distribution: need at least one record";
+  if hot_frac <= 0.0 || hot_frac > 1.0 then
+    invalid_arg "Distribution.hotspot: hot_frac must be in (0, 1]";
+  if op_frac < 0.0 || op_frac > 1.0 then
+    invalid_arg "Distribution.hotspot: op_frac must be in [0, 1]";
+  let hot_n = max 1 (int_of_float (hot_frac *. float_of_int n)) in
+  Hotspot { n; hot_n = min hot_n n; op_frac }
 
 (* splitmix64 finalizer, used to scramble zipfian ranks so popular keys
    scatter over the key space. *)
@@ -66,13 +81,17 @@ let sample_zipf z rng =
 let grow t =
   match t with
   | Uniform u -> u.n <- u.n + 1
+  | Hotspot h -> h.n <- h.n + 1
   | Zipfian z | Scrambled_zipfian z | Latest z ->
       z.n <- z.n + 1;
       z.zeta_n <- z.zeta_n +. (1.0 /. Float.pow (float_of_int z.n) theta)
 
 let population = function
   | Uniform u -> u.n
+  | Hotspot h -> h.n
   | Zipfian z | Scrambled_zipfian z | Latest z -> z.n
+
+let hot_set_size = function Hotspot h -> h.hot_n | _ -> 0
 
 (* Draw a record index in [0, population). *)
 let sample t rng =
@@ -90,9 +109,15 @@ let sample t rng =
       (* Most recent record (index n-1) is rank 0. *)
       let r = sample_zipf z rng in
       z.n - 1 - r
+  | Hotspot h ->
+      if Random.State.float rng 1.0 < h.op_frac then
+        Random.State.int rng h.hot_n
+      else if h.n > h.hot_n then h.hot_n + Random.State.int rng (h.n - h.hot_n)
+      else Random.State.int rng h.n
 
 let name = function
   | Uniform _ -> "uniform"
   | Zipfian _ -> "zipfian"
   | Scrambled_zipfian _ -> "scrambled-zipfian"
   | Latest _ -> "latest"
+  | Hotspot _ -> "hotspot"

@@ -13,6 +13,18 @@ val zipfian : int -> t
 val scrambled_zipfian : int -> t
 val latest : int -> t
 
+val hotspot : ?hot_frac:float -> ?op_frac:float -> int -> t
+(** YCSB hotspot generator: the first [hot_frac] (default 0.01) of the
+    initial population receives [op_frac] (default 0.9) of the draws;
+    the rest go uniformly to the cold records.  The hot set is fixed at
+    creation and does not grow with the population, giving a serving
+    cache sized to hold it a closed-form expected hit rate of
+    [op_frac]. *)
+
+val hot_set_size : t -> int
+(** Number of records in the hot set; 0 for non-hotspot
+    distributions. *)
+
 val scramble : int64 -> int64
 (** splitmix64 finalizer, used for key scrambling. *)
 

@@ -4,7 +4,7 @@
     10,000 records, 100,000 operations, 95 % GET / 5 % SET where every
     SET inserts a new pair, keys drawn with the "latest" distribution. *)
 
-type dist_kind = Uniform | Zipfian | Scrambled_zipfian | Latest
+type dist_kind = Uniform | Zipfian | Scrambled_zipfian | Latest | Hotspot
 
 type spec = {
   name : string;
@@ -13,6 +13,11 @@ type spec = {
   read_proportion : float;
   update_proportion : float;  (** SET to an existing key *)
   insert_proportion : float;  (** SET inserting a new key *)
+  scan_proportion : float;  (** multi-get over consecutive record indices *)
+  rmw_proportion : float;  (** read-modify-write on an existing key *)
+  scan_length : int;  (** records per scan *)
+  hot_fraction : float;  (** Hotspot: fraction of records in the hot set *)
+  hot_op_fraction : float;  (** Hotspot: fraction of draws hitting it *)
   distribution : dist_kind;
   seed : int;
 }
@@ -33,10 +38,33 @@ type op =
   | Read of int64
   | Update of int64 * int64
   | Insert of int64 * int64
+  | Scan of int * int
+      (** [Scan (start, len)]: multi-get of records [start .. start+len-1]
+          by index; individual keys come from {!key_of_index}. *)
+  | Rmw of int64 * int64
+      (** [Rmw (key, delta)]: read the value of [key] and write back
+          value + [delta]. *)
+
+(** Index-level mirror of {!op}: record indices instead of keys, [int]
+    values.  Used by the serving engine to encode operation streams
+    compactly; keys are recomputed with {!key_of_index} at replay. *)
+type idx_op =
+  | IRead of int
+  | IUpdate of int * int
+  | IInsert of int * int
+  | IScan of int * int
+  | IRmw of int * int
 
 val iter_ops : spec -> (op -> unit) -> unit
 (** Stream the run-phase operations in order; deterministic per seed.
-    Reads and updates always target live keys; inserts always use fresh
-    keys and extend the population. *)
+    Reads, updates, scans, and RMWs always target live keys; inserts
+    always use fresh keys and extend the population. *)
+
+val iter_idx_ops : spec -> (idx_op -> unit) -> unit
+(** Same stream as {!iter_ops} at the record-index level. *)
+
+val serving_mixes : records:int -> ops:int -> (string * spec) list
+(** The serving-engine mixes at the given scale: [read-latest] (the
+    paper preset), [scan-heavy], [rmw-heavy], and [hot-storm]. *)
 
 val pp_spec : spec Fmt.t

@@ -72,12 +72,33 @@ let test_scrambled_spreads () =
   Array.iteri (fun i c -> if c > h.(!hottest) then hottest := i) h;
   check_bool "hot key scrambled away from rank order" true (!hottest <> 0)
 
+let test_hotspot_concentrates () =
+  let rng = Random.State.make [| 7 |] in
+  let d = D.hotspot ~hot_frac:0.01 ~op_frac:0.9 1000 in
+  check_int "hot set size" 10 (D.hot_set_size d);
+  let h = histogram d rng ~draws:20000 ~n:1000 in
+  let hot = Array.fold_left ( + ) 0 (Array.sub h 0 10) in
+  check_bool "hot 1% of keys take ~90% of draws" true
+    (abs (hot - 18000) < 500)
+
+let test_hotspot_grow_stays_cold () =
+  let rng = Random.State.make [| 8 |] in
+  let d = D.hotspot ~hot_frac:0.1 ~op_frac:0.5 10 in
+  D.grow d;
+  check_int "population grows" 11 (D.population d);
+  check_int "hot set fixed" 1 (D.hot_set_size d);
+  for _ = 1 to 500 do
+    let x = D.sample d rng in
+    if x < 0 || x >= 11 then Alcotest.fail "out of range after grow"
+  done
+
 let count_ops spec =
   let reads = ref 0 and updates = ref 0 and inserts = ref 0 in
   W.iter_ops spec (function
     | W.Read _ -> incr reads
     | W.Update _ -> incr updates
-    | W.Insert _ -> incr inserts);
+    | W.Insert _ -> incr inserts
+    | W.Scan _ | W.Rmw _ -> ());
   (!reads, !updates, !inserts)
 
 let test_paper_mix () =
@@ -93,6 +114,60 @@ let test_workload_a_mix () =
   let reads, updates, inserts = count_ops spec in
   check_int "no inserts in A" 0 inserts;
   check_bool "~50/50" true (abs (reads - updates) < 800)
+
+let test_serving_mixes () =
+  let mixes = W.serving_mixes ~records:1000 ~ops:20000 in
+  check_int "four mixes" 4 (List.length mixes);
+  let spec name = List.assoc name mixes in
+  (* scan-heavy: about half the ops are scans, all in range. *)
+  let scans = ref 0 and total = ref 0 and ok = ref true in
+  W.iter_ops (spec "scan-heavy") (fun op ->
+      incr total;
+      match op with
+      | W.Scan (start, len) ->
+          incr scans;
+          if start < 0 || len < 1 || len > 16 then ok := false
+      | _ -> ());
+  check_bool "scan bounds" true !ok;
+  check_bool "~50% scans" true (abs (!scans - !total / 2) < 800);
+  (* rmw-heavy: about half RMW. *)
+  let rmws = ref 0 in
+  W.iter_ops (spec "rmw-heavy") (function
+    | W.Rmw _ -> incr rmws
+    | _ -> ());
+  check_bool "~50% rmw" true (abs (!rmws - 10000) < 800);
+  (* hot-storm: 90% of single-key ops land on the 1-key-in-1000 hot set. *)
+  let hot_n = max 1 (int_of_float (0.001 *. 1000.)) in
+  let hot_keys = Hashtbl.create 8 in
+  for i = 0 to hot_n - 1 do
+    Hashtbl.replace hot_keys (W.key_of_index i) ()
+  done;
+  let hot = ref 0 and singles = ref 0 in
+  W.iter_ops (spec "hot-storm") (function
+    | W.Read k | W.Update (k, _) ->
+        incr singles;
+        if Hashtbl.mem hot_keys k then incr hot
+    | _ -> ());
+  check_bool "~90% of ops hit the hot set" true
+    (abs (!hot * 10 - !singles * 9) < !singles)
+
+let test_idx_ops_mirror () =
+  (* iter_idx_ops and iter_ops must describe the same stream. *)
+  let spec =
+    List.assoc "scan-heavy" (W.serving_mixes ~records:500 ~ops:2000)
+  in
+  let a = ref [] and b = ref [] in
+  W.iter_ops spec (fun op -> a := op :: !a);
+  W.iter_idx_ops spec (fun iop ->
+      b :=
+        (match iop with
+        | W.IRead i -> W.Read (W.key_of_index i)
+        | W.IUpdate (i, v) -> W.Update (W.key_of_index i, Int64.of_int v)
+        | W.IInsert (i, v) -> W.Insert (W.key_of_index i, Int64.of_int v)
+        | W.IScan (s, l) -> W.Scan (s, l)
+        | W.IRmw (i, v) -> W.Rmw (W.key_of_index i, Int64.of_int v))
+        :: !b);
+  check_bool "index stream mirrors key stream" true (!a = !b)
 
 let test_deterministic () =
   let collect () =
@@ -116,7 +191,7 @@ let test_inserts_get_fresh_keys () =
       | W.Insert (k, _) ->
           if Hashtbl.mem seen k then fresh := false
           else Hashtbl.replace seen k ()
-      | W.Read _ | W.Update _ -> ());
+      | W.Read _ | W.Update _ | W.Scan _ | W.Rmw _ -> ());
   check_bool "inserts always use unseen keys" true !fresh
 
 let test_reads_hit_existing () =
@@ -130,7 +205,12 @@ let test_reads_hit_existing () =
   W.iter_ops spec (function
     | W.Read k -> if not (Hashtbl.mem exists k) then ok := false
     | W.Insert (k, _) -> Hashtbl.replace exists k ()
-    | W.Update (k, _) -> if not (Hashtbl.mem exists k) then ok := false);
+    | W.Update (k, _) | W.Rmw (k, _) ->
+        if not (Hashtbl.mem exists k) then ok := false
+    | W.Scan (start, len) ->
+        for j = start to start + len - 1 do
+          if not (Hashtbl.mem exists (W.key_of_index j)) then ok := false
+        done);
   check_bool "reads and updates always hit live keys" true !ok
 
 let prop_zipf_bounds =
@@ -159,11 +239,16 @@ let () =
           Alcotest.test_case "latest recent" `Quick test_latest_prefers_recent;
           Alcotest.test_case "latest grows" `Quick test_latest_grows;
           Alcotest.test_case "scrambled" `Quick test_scrambled_spreads;
+          Alcotest.test_case "hotspot skew" `Quick test_hotspot_concentrates;
+          Alcotest.test_case "hotspot grow" `Quick
+            test_hotspot_grow_stays_cold;
         ] );
       ( "workloads",
         [
           Alcotest.test_case "paper mix" `Quick test_paper_mix;
           Alcotest.test_case "workload A mix" `Quick test_workload_a_mix;
+          Alcotest.test_case "serving mixes" `Quick test_serving_mixes;
+          Alcotest.test_case "idx ops mirror" `Quick test_idx_ops_mirror;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "fresh insert keys" `Quick
             test_inserts_get_fresh_keys;
