@@ -230,6 +230,71 @@ let check_serving path =
     mixes;
   Printf.printf "%s: ok (%d serving mixes)\n" path (List.length mixes)
 
+(* Assert the conc.* metric groups a `--metrics-json` document from the
+   `concurrent` bench experiment must carry: at least one conc.c<N>
+   contention group whose contended run actually contended (coherence
+   invalidations and FliT flush elisions both observed), and a
+   durability sweep with crash points and zero violations. *)
+let check_conc path =
+  let doc = parse_doc path in
+  let metrics =
+    match Json.member "metrics" doc with
+    | Some (Json.Obj kvs) -> kvs
+    | _ -> fail "%s: missing metrics object" path
+  in
+  let lookup name = number (List.assoc_opt name metrics) in
+  let suffix = ".coherence_invalidations" in
+  let prefixes =
+    List.filter_map
+      (fun (k, _) ->
+        let lk = String.length k and ls = String.length suffix in
+        if
+          lk > ls
+          && String.sub k (lk - ls) ls = suffix
+          && String.length k > 6
+          && String.sub k 0 6 = "conc.c"
+        then Some (String.sub k 0 (lk - ls))
+        else None)
+      metrics
+  in
+  if prefixes = [] then
+    fail "%s: no conc.c<N>.coherence_invalidations metrics found" path;
+  List.iter
+    (fun prefix ->
+      let get key =
+        match lookup (prefix ^ "." ^ key) with
+        | Some f when f >= 0.0 -> f
+        | Some _ -> fail "%s: %s.%s is negative" path prefix key
+        | None -> fail "%s: missing %s.%s" path prefix key
+      in
+      if get "steps" <= 0.0 then fail "%s: %s.steps not positive" path prefix;
+      if get "contended_steps" <= 0.0 then
+        fail "%s: %s.contended_steps not positive" path prefix;
+      if get "switches" <= 0.0 then
+        fail "%s: %s.switches not positive" path prefix;
+      if get "coherence_invalidations" <= 0.0 then
+        fail "%s: %s.coherence_invalidations not positive" path prefix;
+      if get "flit.flushes_elided" <= 0.0 then
+        fail "%s: %s.flit.flushes_elided not positive" path prefix;
+      ignore (get "flit.flushes_issued");
+      if get "flit.writer_flushes" <= 0.0 then
+        fail "%s: %s.flit.writer_flushes not positive" path prefix;
+      if get "cycles.core0" <= 0.0 then
+        fail "%s: %s.cycles.core0 not positive" path prefix)
+    prefixes;
+  let fi key =
+    match lookup ("conc.fi." ^ key) with
+    | Some f -> f
+    | None -> fail "%s: missing conc.fi.%s" path key
+  in
+  if fi "events" <= 0.0 then fail "%s: conc.fi.events not positive" path;
+  if fi "points" <= 0.0 then fail "%s: conc.fi.points not positive" path;
+  if fi "violations" <> 0.0 then
+    fail "%s: conc.fi.violations is %g, expected 0" path (fi "violations");
+  Printf.printf "%s: ok (%d contention groups: %s)\n" path
+    (List.length prefixes)
+    (String.concat " " prefixes)
+
 (* The percentile ladder inside a BENCH experiment entry's "latency"
    object, as written by the driver from the merged per-experiment
    recorder. *)
@@ -250,6 +315,24 @@ let latency_percentiles path name e =
       if not (p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= pmax) then
         fail "%s: %s: latency percentiles not monotone" path name;
       Some (p50, p99, p999)
+
+(* Baseline-side variant: a baseline document may predate the latency
+   instrumentation or carry a partial ladder from an older driver — that
+   must soften the comparison (skip with a note), never fail it.  Only
+   the document under test is held to the full schema. *)
+let latency_percentiles_lenient e =
+  match Json.member "latency" e with
+  | None -> None
+  | Some lat -> (
+      let get key =
+        match number (Json.member key lat) with
+        | Some f when f >= 0.0 -> Some f
+        | _ -> None
+      in
+      match (get "p50", get "p99", get "p999", get "count") with
+      | Some p50, Some p99, Some p999, Some count when count > 0.0 ->
+          Some (p50, p99, p999)
+      | _ -> None)
 
 let check_bench ?baseline ?(max_regress = 1.2) path =
   let doc = parse_doc path in
@@ -309,19 +392,25 @@ let check_bench ?baseline ?(max_regress = 1.2) path =
   | None -> ()
   | Some base_path ->
       let base = parse_doc base_path in
-      let base_fast =
-        match number (Json.path [ "mode_breakdown"; "fast_wall_s" ] base) with
-        | Some f -> f
-        | None -> fail "%s: missing mode_breakdown.fast_wall_s" base_path
-      in
-      if base_fast > 0.0 && fast > base_fast *. max_regress then
-        fail
-          "%s: fast-mode wall-clock regressed: %.3fs > %.3fs (baseline %.3fs \
-           x %.2f)"
-          path fast (base_fast *. max_regress) base_fast max_regress;
-      Printf.printf
-        "%s: fast-mode wall %.3fs within %.2fx of baseline %.3fs\n" path fast
-        max_regress base_fast;
+      (* A baseline written by an older driver may predate whole
+         sections (BENCH_6/7 carry no serving or latency data, earlier
+         documents no mode breakdown).  Those comparisons are skipped
+         with a note — a stale baseline must never turn into a hard
+         schema error on the document under test. *)
+      (match number (Json.path [ "mode_breakdown"; "fast_wall_s" ] base) with
+      | None ->
+          Printf.printf
+            "%s: baseline predates mode_breakdown; fast-wall check skipped\n"
+            base_path
+      | Some base_fast ->
+          if base_fast > 0.0 && fast > base_fast *. max_regress then
+            fail
+              "%s: fast-mode wall-clock regressed: %.3fs > %.3fs (baseline \
+               %.3fs x %.2f)"
+              path fast (base_fast *. max_regress) base_fast max_regress;
+          Printf.printf
+            "%s: fast-mode wall %.3fs within %.2fx of baseline %.3fs\n" path
+            fast max_regress base_fast);
       (* Per-experiment throughput floors: a serving-path regression in
          one experiment must not hide inside an overall-faster suite,
          so each experiment's ops/sec is checked against its own
@@ -364,20 +453,29 @@ let check_bench ?baseline ?(max_regress = 1.2) path =
          regression, not measurement noise — the budget factor bounds
          the worst acceptable drift.  Skipped per-experiment when the
          baseline predates latency instrumentation. *)
+      let lat_skipped = ref 0 in
       let base_lats =
         match Json.member "experiments" base with
         | Some (Json.List exps) ->
             List.filter_map
               (fun e ->
                 match Json.member "name" e with
-                | Some (Json.String name) ->
-                    Option.map
-                      (fun p -> (name, p))
-                      (latency_percentiles base_path name e)
+                | Some (Json.String name) -> (
+                    match latency_percentiles_lenient e with
+                    | Some p -> Some (name, p)
+                    | None ->
+                        if Json.member "latency" e <> None then
+                          incr lat_skipped;
+                        None)
                 | _ -> None)
               exps
         | _ -> []
       in
+      if !lat_skipped > 0 then
+        Printf.printf
+          "%s: %d baseline latency entries predate the full percentile \
+           ladder; their budgets skipped\n"
+          base_path !lat_skipped;
       let checked = ref 0 in
       List.iter
         (fun (name, (p50, p99, p999)) ->
@@ -397,7 +495,11 @@ let check_bench ?baseline ?(max_regress = 1.2) path =
       if !checked > 0 then
         Printf.printf
           "%s: latency budgets ok (%d experiments within %.2fx of baseline)\n"
-          path !checked max_regress);
+          path !checked max_regress
+      else if latencies <> [] && base_lats = [] then
+        Printf.printf
+          "%s: baseline carries no latency data; latency budgets skipped\n"
+          base_path);
   Printf.printf "%s: ok (suite %.3fs; fast %.3fs, cycle %.3fs, other %.3fs)\n"
     path suite fast cycle other
 
@@ -409,6 +511,7 @@ let () =
   | [ _; "--media"; path ] -> check_media path
   | [ _; "--latency"; path ] -> check_latency path
   | [ _; "--serving"; path ] -> check_serving path
+  | [ _; "--conc"; path ] -> check_conc path
   | [ _; "--bench"; path ] -> check_bench path
   | [ _; "--bench"; path; "--baseline"; base ] -> check_bench ~baseline:base path
   | [ _; "--bench"; path; "--baseline"; base; "--max-regress"; f ] -> (
@@ -421,5 +524,5 @@ let () =
       fail
         "usage: check_stats [--same A B | --fuzz STATS.json | --media \
          STATS.json | --latency METRICS.json | --serving METRICS.json | \
-         --bench BENCH.json [--baseline BASE.json [--max-regress F]] | \
-         STATS.json]"
+         --conc METRICS.json | --bench BENCH.json [--baseline BASE.json \
+         [--max-regress F]] | STATS.json]"

@@ -1437,3 +1437,110 @@ let serving ctx =
     "service time is the slowest shard; front-cache hits never touch the\n\
      persistent structure, and every dirty entry is written back before\n\
      detach, so final pool contents match a cache-disabled run.\n"
+
+(* --- multi-core contention ----------------------------------------------- *)
+
+(* The `concurrent` experiment: contended episodes of the canonical
+   multi-core workload (shared FliT-marked counter + linked set) on the
+   cycle-accurate machine, plus the crash-at-any-event durability sweep
+   over a seeded 2-core interleaving.  Episodes are deterministic
+   functions of (cores, ops, scheduler seed) and the sweep's crash
+   passes are share-nothing, so every metric is byte-identical across
+   --jobs. *)
+let concurrent ctx =
+  let module Cluster = Nvml_runtime.Cluster in
+  let module Multicore = Nvml_arch.Multicore in
+  let module Flit = Nvml_structures.Flit in
+  let module Conc_counter = Nvml_structures.Conc_counter in
+  let module Conc_list = Nvml_structures.Conc_list in
+  let module Conc_workload = Nvml_structures.Conc_workload in
+  let module F = Nvml_faultinject.Faultinject in
+  heading "Multi-core contention: coherence, flush elision, durability";
+  let quick = ctx.spec.Workload.operation_count < 100_000 in
+  let ops_per_core = if quick then 200 else 2_000 in
+  let episode cores =
+    let rt = Runtime.create ~mode:Runtime.Hw ~timing:true () in
+    let pool = Runtime.create_pool rt ~name:"conc" ~size:(1 lsl 24) in
+    let s = Conc_workload.setup ~sched_seed:7 ~cores ~ops_per_core rt ~pool in
+    Conc_workload.run s;
+    Report.ops_add (cores * ops_per_core);
+    s
+  in
+  let core_counts = if quick then [ 2 ] else [ 2; 4 ] in
+  let episodes = List.map (fun c -> (c, episode c)) core_counts in
+  table
+    ~header:
+      [ "cores"; "ops/core"; "steps"; "contended"; "switches"; "invalidations";
+        "flushes issued"; "flushes elided"; "max core cycles" ]
+    (List.map
+       (fun (cores, s) ->
+         let st = Cluster.stats s.Conc_workload.cluster in
+         let fc = Conc_counter.flit s.Conc_workload.counter in
+         let fl = Conc_list.flit s.Conc_workload.list in
+         let max_cycles =
+           Array.fold_left
+             (fun acc cpu -> max acc (Cpu.cycles cpu))
+             0
+             (Multicore.cores (Cluster.machine s.Conc_workload.cluster))
+         in
+         [
+           int_ cores; int_ ops_per_core; int_ st.Multicore.steps;
+           int_ st.Multicore.contended_steps; int_ st.Multicore.switches;
+           int_ st.Multicore.invalidations;
+           int_ (Flit.issued fc + Flit.issued fl);
+           int_ (Flit.elided fc + Flit.elided fl);
+           int_ max_cycles;
+         ])
+       episodes);
+  List.iter
+    (fun (cores, s) ->
+      let prefix = Printf.sprintf "conc.c%d" cores in
+      let st = Cluster.stats s.Conc_workload.cluster in
+      let fc = Conc_counter.flit s.Conc_workload.counter in
+      let fl = Conc_list.flit s.Conc_workload.list in
+      metric (prefix ^ ".steps") (float_of_int st.Multicore.steps);
+      metric
+        (prefix ^ ".contended_steps")
+        (float_of_int st.Multicore.contended_steps);
+      metric (prefix ^ ".switches") (float_of_int st.Multicore.switches);
+      metric
+        (prefix ^ ".coherence_invalidations")
+        (float_of_int st.Multicore.invalidations);
+      metric
+        (prefix ^ ".flit.flushes_issued")
+        (float_of_int (Flit.issued fc + Flit.issued fl));
+      metric
+        (prefix ^ ".flit.flushes_elided")
+        (float_of_int (Flit.elided fc + Flit.elided fl));
+      metric
+        (prefix ^ ".flit.writer_flushes")
+        (float_of_int (Flit.writer_flushes fc + Flit.writer_flushes fl));
+      Array.iteri
+        (fun i cpu ->
+          metric
+            (Printf.sprintf "%s.cycles.core%d" prefix i)
+            (float_of_int (Cpu.cycles cpu)))
+        (Multicore.cores (Cluster.machine s.Conc_workload.cluster)))
+    episodes;
+  subheading "Durability: crash at every event of a seeded 2-core schedule";
+  let spec =
+    {
+      F.default_conc_spec with
+      F.ops_per_core = (if quick then 4 else 8);
+      conc_every_n = (if quick then 2 else 1);
+    }
+  in
+  let r = F.run_conc ~par:(Nvml_exec.Pool.run ctx.pool) ~spec () in
+  (* reference pass + one full workload replay per crash point *)
+  Report.ops_add ((List.length r.F.conc_outcomes + 1) * r.F.conc_ops);
+  metric "conc.fi.events" (float_of_int r.F.conc_events);
+  metric "conc.fi.points" (float_of_int (List.length r.F.conc_outcomes));
+  metric "conc.fi.violations"
+    (float_of_int (List.length r.F.conc_violation_list));
+  if r.F.conc_violation_list = [] then
+    Printf.printf
+      "%d crash points over the %d-core interleaving: every recovered state \
+       sits between the completed and invoked operation sets.\n"
+      (List.length r.F.conc_outcomes)
+      r.F.conc_cores
+  else Fmt.pr "%a@." F.pp_conc_report r

@@ -49,6 +49,7 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
     ("faultinject", "crash-point recovery sweep", Experiments.faultinject);
     ("scrub", "media-error detection/repair coverage", Experiments.scrub);
     ("serving", "sharded serving engine throughput/latency", Experiments.serving);
+    ("concurrent", "multi-core contention, FliT elision, durability", Experiments.concurrent);
     ("sweep", "NVM latency and working-set sweeps", Experiments.sweep);
     ("micro", "bechamel micro-benchmarks", Experiments.micro);
   ]
@@ -63,7 +64,7 @@ let mode_of_experiment = function
   | "faultinject" | "scrub" | "serving" -> "fast"
   | "table5" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "profile"
   | "table6" | "knn" | "soundness" | "ablation" | "extended" | "multipool"
-  | "txn" | "sweep" ->
+  | "txn" | "sweep" | "concurrent" ->
       "cycle"
   | _ -> "other"
 

@@ -33,6 +33,10 @@ module Mediacheck = Nvml_pool.Mediacheck
 module Scrub = Nvml_pool.Scrub
 module Oplat = Nvml_runtime.Oplat
 module Latency = Nvml_telemetry.Latency
+module Cluster = Nvml_runtime.Cluster
+module Multicore = Nvml_arch.Multicore
+module Registry = Nvml_structures.Registry
+module Intf = Nvml_structures.Intf
 
 (* --- shared argument converters ---------------------------------------- *)
 
@@ -86,6 +90,24 @@ let jobs_arg =
            results match --jobs 1 exactly.")
 
 let resolve_jobs n = if n >= 1 then n else Pool.default_jobs ()
+
+let cores_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cores" ] ~docv:"N"
+        ~doc:
+          "Simulated cores: interleave $(docv) per-core instruction streams \
+           over shared L2/L3/POLB/VALB state with a seeded deterministic \
+           scheduler. 1 (the default) is the single-core machine, \
+           byte-identical to previous releases.")
+
+let print_cluster_stats cluster =
+  let s = Cluster.stats cluster in
+  Fmt.epr
+    "scheduler: %d steps (%d contended), %d switches, %d coherence \
+     invalidations@."
+    s.Multicore.steps s.Multicore.contended_steps s.Multicore.switches
+    s.Multicore.invalidations
 
 (* --- kv ------------------------------------------------------------------ *)
 
@@ -283,7 +305,8 @@ let kv_cmd =
           ~doc:
             "Serving engine: total DRAM front-cache entries across all \
              shards (bounded LRU, write-back to NVM); 0 disables the \
-             cache.")
+             cache. May exceed the record count, in which case the cache \
+             simply never evicts.")
   in
   let mix_arg =
     Arg.(
@@ -296,7 +319,13 @@ let kv_cmd =
              instead of the --distribution preset.")
   in
   let run structure mode records ops dist compare jobs stats_file trace_file
-      latency fast slow_trace shards batch front_cache mix =
+      latency fast slow_trace shards batch front_cache mix cores =
+    let reject fmt = Fmt.kstr (fun m -> Fmt.epr "%s@." m; exit 1) fmt in
+    if shards < 1 then reject "--shards must be >= 1, got %d" shards;
+    if batch < 1 then reject "--batch must be >= 1, got %d" batch;
+    if front_cache < 0 then
+      reject "--front-cache must be >= 0, got %d" front_cache;
+    if cores < 1 then reject "--cores must be >= 1, got %d" cores;
     let spec = spec_of ~records ~ops ~dist in
     (* With [--stats]/[--trace], record the run in a fresh telemetry
        sink and dump it before returning (the dumps read the sink). *)
@@ -351,9 +380,65 @@ let kv_cmd =
       Fmt.epr "--compare is not supported with the serving engine flags@.";
       exit 1
     end;
+    if cores > 1 && serving then
+      reject
+        "--cores > 1 is not supported with the serving-engine flags \
+         (--shards/--batch/--front-cache/--mix)";
+    if cores > 1 && compare then
+      reject "--cores > 1 is not supported with --compare";
     with_timing @@ fun () ->
     instrumented @@ fun () ->
-    if serving then begin
+    if cores > 1 then begin
+      (* Replicated multi-core run: each core drives its own index
+         instance (in its own pool, so persistent-allocator metadata
+         stays disjoint) through the seeded µ-event scheduler; the cores
+         contend on the shared L2/L3/POLB/VALB. *)
+      let (module M : Intf.ORDERED_MAP) =
+        try Registry.find_map structure
+        with Invalid_argument m -> reject "%s" m
+      in
+      let rt = Runtime.create ~mode ~timing:(not fast) () in
+      let cluster = Cluster.create ~cores rt in
+      let region i =
+        if mode = Runtime.Volatile then Runtime.Dram_region
+        else
+          Runtime.Pool_region
+            (Runtime.create_pool rt
+               ~name:(Printf.sprintf "kv%d" i)
+               ~size:(1 lsl 26))
+      in
+      let regions = Array.init cores region in
+      let body core =
+        let crt = Cluster.rt cluster core in
+        let m = M.create crt regions.(core) in
+        for i = 0 to records - 1 do
+          M.insert m ~key:(Workload.key_of_index i) ~value:(Int64.of_int i)
+        done;
+        Workload.iter_ops spec (function
+          | Workload.Read k -> ignore (M.find m k)
+          | Workload.Update (k, v) | Workload.Insert (k, v) ->
+              M.insert m ~key:k ~value:v
+          | Workload.Scan (start, len) ->
+              for j = start to start + len - 1 do
+                ignore (M.find m (Workload.key_of_index j))
+              done
+          | Workload.Rmw (k, d) ->
+              let v = match M.find m k with Some v -> v | None -> 0L in
+              M.insert m ~key:k ~value:(Int64.add v d))
+      in
+      Cluster.run cluster (Array.init cores (fun _ -> body));
+      Fmt.pr "multi-core kv  %s (%s), %d cores, %d records + %d ops per core@."
+        M.name (Runtime.mode_name mode) cores records ops;
+      Array.iteri
+        (fun i crt ->
+          let s = Runtime.snapshot crt in
+          Fmt.pr "core %d      %d cycles, %d instructions, IPC %.3f@." i
+            s.Cpu.cycles s.Cpu.instrs
+            (float_of_int s.Cpu.instrs /. float_of_int (max 1 s.Cpu.cycles)))
+        (Cluster.rts cluster);
+      print_cluster_stats cluster
+    end
+    else if serving then begin
       let spec =
         match mix with
         | None -> spec
@@ -445,7 +530,7 @@ let kv_cmd =
       const run $ structure_arg $ mode_arg $ records_arg $ ops_arg $ dist_arg
       $ compare_arg $ jobs_arg $ stats_arg $ trace_arg $ latency_arg
       $ fast_arg $ slow_trace_arg $ shards_arg $ batch_arg $ front_cache_arg
-      $ mix_arg)
+      $ mix_arg $ cores_arg)
 
 (* --- stats --------------------------------------------------------------- *)
 
@@ -645,35 +730,84 @@ let run_cmd =
              (cycles = instructions).  Program output is identical to \
              the default cycle-accurate run.")
   in
-  let run path mode persistent fast =
+  let run path mode persistent fast cores =
+    if cores < 1 then begin
+      Fmt.epr "--cores must be >= 1, got %d@." cores;
+      exit 1
+    end;
     let program = parse_file path in
     let rt = Runtime.create ~timing:(not fast) ~mode () in
-    let heap =
-      if persistent && mode <> Runtime.Volatile then
-        Runtime.Pool_region
-          (Runtime.create_pool rt ~name:"heap" ~size:(1 lsl 22))
-      else Runtime.Dram_region
+    let report_errors f =
+      try f () with
+      | Nvml_minic.Types.Type_error m ->
+          Fmt.epr "type error: %s@." m;
+          exit 1
+      | Nvml_minic.Interp.Runtime_error m ->
+          Fmt.epr "runtime error: %s@." m;
+          exit 1
     in
-    let s0 = Runtime.snapshot rt in
-    (try
-       let outcome = Nvml_minic.Interp.run rt ~heap program ~args:[] in
-       List.iter (Fmt.pr "%Ld@.") outcome.Nvml_minic.Interp.output
-     with
-    | Nvml_minic.Types.Type_error m ->
-        Fmt.epr "type error: %s@." m;
-        exit 1
-    | Nvml_minic.Interp.Runtime_error m ->
-        Fmt.epr "runtime error: %s@." m;
-        exit 1);
-    let s = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
-    Fmt.epr "[%s, heap=%s] %d cycles, %d instructions, %d memory accesses@."
-      (Runtime.mode_name mode)
-      (if persistent then "NVM" else "DRAM")
-      s.Cpu.cycles s.Cpu.instrs s.Cpu.mem_accesses
+    if cores = 1 then begin
+      let heap =
+        if persistent && mode <> Runtime.Volatile then
+          Runtime.Pool_region
+            (Runtime.create_pool rt ~name:"heap" ~size:(1 lsl 22))
+        else Runtime.Dram_region
+      in
+      let s0 = Runtime.snapshot rt in
+      report_errors (fun () ->
+          let outcome = Nvml_minic.Interp.run rt ~heap program ~args:[] in
+          List.iter (Fmt.pr "%Ld@.") outcome.Nvml_minic.Interp.output);
+      let s = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
+      Fmt.epr "[%s, heap=%s] %d cycles, %d instructions, %d memory accesses@."
+        (Runtime.mode_name mode)
+        (if persistent then "NVM" else "DRAM")
+        s.Cpu.cycles s.Cpu.instrs s.Cpu.mem_accesses
+    end
+    else begin
+      (* One replica of the program per core (each with its own heap, so
+         persistent-allocator metadata stays disjoint), interleaved per
+         µ-event over the shared cache hierarchy. *)
+      let cluster = Cluster.create ~cores rt in
+      let heaps =
+        Array.init cores (fun i ->
+            if persistent && mode <> Runtime.Volatile then
+              Runtime.Pool_region
+                (Runtime.create_pool rt
+                   ~name:(Printf.sprintf "heap%d" i)
+                   ~size:(1 lsl 22))
+            else Runtime.Dram_region)
+      in
+      let outputs = Array.make cores [] in
+      let body core =
+        let outcome =
+          Nvml_minic.Interp.run (Cluster.rt cluster core) ~heap:heaps.(core)
+            program ~args:[]
+        in
+        outputs.(core) <- outcome.Nvml_minic.Interp.output
+      in
+      report_errors (fun () ->
+          Cluster.run cluster (Array.init cores (fun _ -> body)));
+      Array.iteri
+        (fun i out ->
+          List.iter (fun v -> Fmt.pr "[core %d] %Ld@." i v) out)
+        outputs;
+      Array.iteri
+        (fun i crt ->
+          let s = Runtime.snapshot crt in
+          Fmt.epr
+            "[core %d] [%s, heap=%s] %d cycles, %d instructions, %d memory \
+             accesses@."
+            i
+            (Runtime.mode_name mode)
+            (if persistent then "NVM" else "DRAM")
+            s.Cpu.cycles s.Cpu.instrs s.Cpu.mem_accesses)
+        (Cluster.rts cluster);
+      print_cluster_stats cluster
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a mini-C source file on the simulator.")
-    Term.(const run $ file_arg $ mode_arg $ persistent $ fast_arg)
+    Term.(const run $ file_arg $ mode_arg $ persistent $ fast_arg $ cores_arg)
 
 let compile_cmd =
   let run path =
@@ -695,8 +829,11 @@ let faultinject_cmd =
       value & opt string "kv"
       & info [ "workload"; "w" ] ~docv:"NAME"
           ~doc:
-            "Workload to sweep: $(b,kv) (YCSB stream against --structure) or \
-             $(b,counter) (3-store transactions over a flat array).")
+            "Workload to sweep: $(b,kv) (YCSB stream against --structure), \
+             $(b,counter) (3-store transactions over a flat array) or \
+             $(b,conc) (the durably-linearizable concurrent structures on \
+             the --cores multi-core machine; --seed drives the schedule, \
+             --ops is per core).")
   in
   let records_arg =
     Arg.(
@@ -755,13 +892,41 @@ let faultinject_cmd =
              report the violations the checker finds.")
   in
   let run mode workload structure records ops every_n at torn seed max_points
-      break_recovery jobs timing =
+      break_recovery jobs timing cores =
+    if String.lowercase_ascii workload = "conc" then begin
+      (* Multi-core sweep: crash at every enumerated persistence event of
+         any core of the seeded interleaving; [--seed] drives the
+         schedule, [--ops] is per core. *)
+      if cores < 1 then begin
+        Fmt.epr "--cores must be >= 1, got %d@." cores;
+        exit 1
+      end;
+      let spec =
+        {
+          Faultinject.cores;
+          ops_per_core = ops;
+          sched_seed = seed;
+          conc_every_n = max 1 every_n;
+          conc_max_points = max_points;
+        }
+      in
+      let pool = Pool.create ~jobs:(resolve_jobs jobs) () in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            Faultinject.run_conc ~par:(Pool.run pool) ~mode ~spec ~timing ())
+      in
+      Fmt.pr "%a@." Faultinject.pp_conc_report report;
+      if report.Faultinject.conc_violation_list <> [] then exit 1
+    end
+    else
     let w =
       match String.lowercase_ascii workload with
       | "counter" -> Faultinject.counter_workload ~ops ()
       | "kv" -> Faultinject.kv_workload ~structure ~records ~ops ()
       | other ->
-          Fmt.epr "--workload expects kv or counter, got %S@." other;
+          Fmt.epr "--workload expects kv, counter or conc, got %S@." other;
           exit 2
     in
     let spec =
@@ -806,7 +971,7 @@ let faultinject_cmd =
     Term.(
       const run $ mode_arg $ workload_arg $ structure_arg $ records_arg
       $ ops_arg $ every_n_arg $ at_arg $ torn_arg $ seed_arg $ max_points_arg
-      $ break_arg $ jobs_arg $ timing_arg)
+      $ break_arg $ jobs_arg $ timing_arg $ cores_arg)
 
 (* --- fuzz ----------------------------------------------------------------------------- *)
 

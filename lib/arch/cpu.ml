@@ -81,7 +81,18 @@ type t = {
   mutable st_mem : int; (* DRAM/NVM access latencies *)
   mutable st_xlate : int; (* exposed POLB latency on the AGU path *)
   mutable st_storep : int; (* storeP structural stalls *)
+  (* Multi-core hooks, both no-ops on a single-core machine.  [on_step]
+     fires once per narrated µ-event before the event's accounting — the
+     scheduler's interleave point; [on_store] fires after a completed
+     store with the packed physical address — the coherence broadcast
+     point.  A no-op closure per µ-event is the entire single-core cost,
+     so pinned single-core outputs stay byte-identical. *)
+  mutable on_step : unit -> unit;
+  mutable on_store : int -> unit;
 }
+
+let no_step () = ()
+let no_store (_ : int) = ()
 
 let create ?(timing = true) cfg mem =
   (* Fast functional mode never exercises the timing components, but the
@@ -152,7 +163,42 @@ let create ?(timing = true) cfg mem =
     st_mem = 0;
     st_xlate = 0;
     st_storep = 0;
+    on_step = no_step;
+    on_store = no_store;
   }
+
+(* A sibling core of [t]: private front end (branch predictor, TLBs,
+   L1, storeP unit, operand buffer) and private counters, but the
+   *shared* outer hierarchy — L2, L3, POLB, VALB and the kernel VATB
+   are the same physical structures, so siblings contend for them. *)
+let create_sibling (t : t) =
+  {
+    (create ~timing:t.timing t.cfg t.mem) with
+    l2 = t.l2;
+    l3 = t.l3;
+    polb = t.polb;
+    valb = t.valb;
+    vatb = t.vatb;
+  }
+
+let set_hooks t ~on_step ~on_store =
+  t.on_step <- on_step;
+  t.on_store <- on_store
+
+let clear_hooks t =
+  t.on_step <- no_step;
+  t.on_store <- no_store
+
+(* Coherence: another core stored to [pa]; drop this core's private
+   copy of the line.  [true] when the line was actually present.  Only
+   the private L1 is touched — L2/L3 are shared between siblings — and
+   [probe] (not [access]) keeps the hit/miss statistics clean. *)
+let invalidate_line t pa =
+  t.timing
+  && Cache.probe t.l1 pa
+  &&
+  (Cache.invalidate t.l1 pa;
+   true)
 
 let config t = t.cfg
 let timing t = t.timing
@@ -160,10 +206,12 @@ let timing t = t.timing
 (* --- plain instructions and branches --------------------------------- *)
 
 let instr t n =
+  t.on_step ();
   t.instrs <- t.instrs + n;
   t.cycles <- t.cycles + n
 
 let branch t ~pc ~taken =
+  t.on_step ();
   t.instrs <- t.instrs + 1;
   t.branches <- t.branches + 1;
   if t.timing then begin
@@ -226,24 +274,31 @@ let data_access t va =
   data_access_pa t ~va ~pa:(Mem.translate_pa_exn t.mem va)
 
 let load t va =
+  t.on_step ();
   t.instrs <- t.instrs + 1;
   t.loads <- t.loads + 1;
   data_access t va
 
 let store t va =
+  t.on_step ();
   t.instrs <- t.instrs + 1;
   t.stores <- t.stores + 1;
-  data_access t va
+  let pa = Mem.translate_pa_exn t.mem va in
+  data_access_pa t ~va ~pa;
+  t.on_store pa
 
 let load_pa t ~va ~pa =
+  t.on_step ();
   t.instrs <- t.instrs + 1;
   t.loads <- t.loads + 1;
   data_access_pa t ~va ~pa
 
 let store_pa t ~va ~pa =
+  t.on_step ();
   t.instrs <- t.instrs + 1;
   t.stores <- t.stores + 1;
-  data_access_pa t ~va ~pa
+  data_access_pa t ~va ~pa;
+  t.on_store pa
 
 (* --- persistent-object translation hardware ----------------------------- *)
 
@@ -314,6 +369,7 @@ let xop_push_valb t ~va =
   t.xop_len <- t.xop_len + 1
 
 let store_p_buffered t ~dst_va ~dst_pa =
+  t.on_step ();
   t.instrs <- t.instrs + 1;
   t.storeps <- t.storeps + 1;
   if t.timing then begin
@@ -334,7 +390,8 @@ let store_p_buffered t ~dst_va ~dst_pa =
   end;
   t.xop_len <- 0;
   t.stores <- t.stores + 1;
-  data_access_pa t ~va:dst_va ~pa:dst_pa
+  data_access_pa t ~va:dst_va ~pa:dst_pa;
+  t.on_store dst_pa
 
 let store_p_pa t ~dst_va ~dst_pa ~(xops : xop list) =
   t.xop_len <- 0;

@@ -25,6 +25,30 @@ val config : t -> Config.t
 val timing : t -> bool
 (** [true] iff this core models timing (cycle-accurate mode). *)
 
+(** {2 Multi-core support}
+
+    A sibling core shares the outer hierarchy (L2, L3, POLB, VALB and
+    the kernel VATB) with its parent but has a private front end
+    (branch predictor, TLBs, L1, storeP unit) and private counters.
+    The hooks are the multi-core scheduler's attachment points; both
+    default to no-ops, so a single-core machine is byte-identical to
+    the pre-multi-core one. *)
+
+val create_sibling : t -> t
+(** A fresh core sharing [t]'s L2/L3/POLB/VALB/VATB. *)
+
+val set_hooks : t -> on_step:(unit -> unit) -> on_store:(int -> unit) -> unit
+(** [on_step] fires once per narrated µ-event (the interleave point);
+    [on_store] fires after each completed store with the packed
+    physical address (the coherence broadcast point). *)
+
+val clear_hooks : t -> unit
+
+val invalidate_line : t -> int -> bool
+(** Coherence shoot-down: another core stored to this packed physical
+    address; drop this core's private L1 copy of the line.  [true] iff
+    the line was present.  No-op (and [false]) in fast mode. *)
+
 val instr : t -> int -> unit
 val branch : t -> pc:int -> taken:bool -> unit
 val load : t -> int64 -> unit

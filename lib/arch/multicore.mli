@@ -1,0 +1,58 @@
+(** The multi-core machine: N in-order cores interleaved over shared
+    L2/L3/POLB/VALB/VATB state.
+
+    Each core's instruction stream runs as an effect-based fiber that
+    yields once per narrated µ-event; a seeded xorshift scheduler picks
+    the next runnable core at every yield, so the interleaving is a
+    pure function of (seed, per-core programs) — `--jobs N` equals
+    `--jobs 1` byte for byte.  Stores broadcast to the other cores'
+    private L1s (coherence shoot-downs); shared L2/L3/POLB/VALB need no
+    action.  Everything runs on one OCaml domain: this is simulated
+    concurrency with a reproducible schedule, not parallelism. *)
+
+type t
+
+type _ Effect.t += Yield : unit Effect.t
+(** Performed by a core's [on_step] hook during {!run}; user code never
+    performs it directly. *)
+
+exception Aborted
+(** Raised into still-paused fibers when another fiber's exception
+    aborts the schedule, so their stacks unwind cleanly. *)
+
+val create : ?seed:int -> Cpu.t array -> t
+(** Build a machine over the given cores (core 0 the primary, the rest
+    its siblings from {!Cpu.create_sibling}).  [seed] (default 1)
+    drives the scheduler. *)
+
+val run : t -> (int -> unit) array -> unit
+(** [run t fns] runs [fns.(i) i] on core [i], interleaved per µ-event.
+    With one core this is a plain call — no hooks, no scheduler — so a
+    1-core machine is byte-identical to the single-core one.  An
+    exception from any fiber aborts the schedule: paused siblings are
+    unwound with {!Aborted} and the original exception is re-raised. *)
+
+val atomically : (unit -> 'a) -> 'a
+(** Model a hardware atomic read-modify-write: while [f] runs, the
+    current machine (if any) suppresses yields, so no other core's
+    µ-events interleave with it.  Outside {!run} this is just [f ()].
+    The ambient machine reference is domain-local. *)
+
+val checkpoint : unit -> unit
+(** Explicit interleave point: yield once to the scheduler if a machine
+    is running (and not inside {!atomically}), no-op otherwise.  For
+    drivers that wrap whole operations in {!atomically} — e.g. index
+    operations whose shared-allocator updates must not be split — and
+    still want the schedule to interleave at operation boundaries. *)
+
+type stats = {
+  steps : int;  (** scheduling decisions taken *)
+  contended_steps : int;  (** decisions with >= 2 runnable cores *)
+  switches : int;  (** decisions that moved to a different core *)
+  invalidations : int;  (** coherence line invalidations *)
+}
+
+val stats : t -> stats
+val cores : t -> Cpu.t array
+val core : t -> int -> Cpu.t
+val num_cores : t -> int

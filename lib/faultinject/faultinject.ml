@@ -536,3 +536,247 @@ let pp_report ppf r =
               o.violations)
         r.outcomes);
   Fmt.pf ppf "@]"
+
+(* --- multi-core durability sweep ---------------------------------------- *)
+
+(* Crash-at-any-event verification for the durably-linearizable
+   concurrent structures on the multi-core machine.  No transactions
+   here: the structures promise crash-resilience by construction
+   (single-word durability points, pre-sized arenas), and the oracle is
+   Khyzha & Lahav's crash-resilient-object criterion — after a crash at
+   any enumerated persistence event of any core, the recovered state
+   must sit between the completed and the invoked operation sets:
+
+     - recovered counter value within [sum completed, sum invoked];
+     - per core, the recovered list keys are exactly a prefix of that
+       core's insertion order, with length within
+       [completed_c, invoked_c].
+
+   The reference pass runs the seeded interleaving once, recording at
+   every persistence event which operations each core had invoked and
+   completed; each crash pass replays the identical schedule (same
+   scheduler seed, share-nothing machine) and kills the power at one
+   event. *)
+
+module Cluster = Nvml_runtime.Cluster
+module Conc_workload = Nvml_structures.Conc_workload
+module Conc_counter = Nvml_structures.Conc_counter
+module Conc_list = Nvml_structures.Conc_list
+
+type conc_spec = {
+  cores : int;
+  ops_per_core : int;
+  sched_seed : int;  (* drives the µ-event interleaving *)
+  conc_every_n : int;
+  conc_max_points : int option;
+}
+
+let default_conc_spec =
+  {
+    cores = 2;
+    ops_per_core = 8;
+    sched_seed = 1;
+    conc_every_n = 1;
+    conc_max_points = None;
+  }
+
+type conc_outcome = {
+  conc_point : int;
+  conc_kind : string;
+  conc_violations : string list;
+}
+
+type conc_report = {
+  conc_cores : int;
+  conc_ops : int;  (* total operations = cores * ops_per_core *)
+  conc_events : int;
+  conc_outcomes : conc_outcome list;
+  conc_violation_list : (int * string) list;
+}
+
+(* Per-core invoked/completed counts for both structures — the marker
+   state snapshotted at every persistence event. *)
+type conc_marks = {
+  ctr_invoked : int array;
+  ctr_done : int array;
+  list_invoked : int array;
+  list_done : int array;
+}
+
+let copy_marks m =
+  {
+    ctr_invoked = Array.copy m.ctr_invoked;
+    ctr_done = Array.copy m.ctr_done;
+    list_invoked = Array.copy m.list_invoked;
+    list_done = Array.copy m.list_done;
+  }
+
+let conc_boot ~mode spec =
+  let rt = Runtime.create ~mode () in
+  let pool = Runtime.create_pool rt ~name:"conc" ~size:pool_size in
+  let s =
+    Conc_workload.setup ~sched_seed:spec.sched_seed ~cores:spec.cores
+      ~ops_per_core:spec.ops_per_core rt ~pool
+  in
+  (* Anchor both structure headers in a root block, as an application
+     would, so recovery can find them after the pool re-opens at a
+     skewed base. *)
+  let root = Runtime.alloc rt ~pool ~persistent:true 16 in
+  Runtime.store_ptr rt ~site root ~off:0
+    (Conc_counter.header s.Conc_workload.counter);
+  Runtime.store_ptr rt ~site root ~off:8
+    (Conc_list.header s.Conc_workload.list);
+  Runtime.set_root rt ~site ~pool root;
+  (rt, pool, s)
+
+let mark_of m ~core = function
+  | Conc_workload.Ctr_invoke -> m.ctr_invoked.(core) <- m.ctr_invoked.(core) + 1
+  | Conc_workload.Ctr_done -> m.ctr_done.(core) <- m.ctr_done.(core) + 1
+  | Conc_workload.List_invoke ->
+      m.list_invoked.(core) <- m.list_invoked.(core) + 1
+  | Conc_workload.List_done -> m.list_done.(core) <- m.list_done.(core) + 1
+
+let conc_reference ~mode spec =
+  let rt, _pool, s = conc_boot ~mode spec in
+  let phys = Mem.phys (Runtime.mem rt) in
+  let m =
+    {
+      ctr_invoked = Array.make spec.cores 0;
+      ctr_done = Array.make spec.cores 0;
+      list_invoked = Array.make spec.cores 0;
+      list_done = Array.make spec.cores 0;
+    }
+  in
+  let snaps = ref [] in
+  let total = ref 0 in
+  (* The hook fires *before* the event's effect, so the snapshot is the
+     exact invoked/completed state a crash at that event would see. *)
+  Physmem.set_fi_hook phys
+    (Some
+       (fun _ev ->
+         snaps := copy_marks m :: !snaps;
+         incr total));
+  Conc_workload.run ~mark:(fun ~core ~op:_ phase -> mark_of m ~core phase) s;
+  Physmem.set_fi_hook phys None;
+  (!total, Array.of_list (List.rev !snaps))
+
+let sum = Array.fold_left ( + ) 0
+
+let conc_crash_run ~mode spec (marks : conc_marks array) point =
+  let rt, pool, s = conc_boot ~mode spec in
+  let phys = Mem.phys (Runtime.mem rt) in
+  let idx = ref 0 in
+  let kind = ref "" in
+  Physmem.set_fi_hook phys
+    (Some
+       (fun ev ->
+         let i = !idx in
+         incr idx;
+         if i = point then begin
+           kind := Fi.kind_name ev;
+           (* Power off: nothing written while unwinding may land. *)
+           Physmem.set_frozen phys true;
+           raise Crash_now
+         end));
+  let crashed = ref false in
+  (try Conc_workload.run s with Crash_now -> crashed := true);
+  Physmem.set_fi_hook phys None;
+  if not !crashed then
+    Fmt.invalid_arg "Faultinject: conc crash point %d past the last event"
+      point;
+  let snap = marks.(point) in
+  let violations = ref [] in
+  let add msg = violations := msg :: !violations in
+  Runtime.crash_and_restart rt;
+  (try
+     ignore (Runtime.open_pool rt "conc");
+     let root = Runtime.get_root rt ~site ~pool in
+     let ctr = Conc_counter.attach rt (Runtime.load_ptr rt ~site root ~off:0) in
+     let lst = Conc_list.attach rt (Runtime.load_ptr rt ~site root ~off:8) in
+     if Conc_counter.cells ctr <> spec.cores then
+       add
+         (Fmt.str "counter header: %d cells, expected %d"
+            (Conc_counter.cells ctr) spec.cores);
+     let v = Int64.to_int (Conc_counter.recovered_value rt ctr) in
+     let lo = sum snap.ctr_done and hi = sum snap.ctr_invoked in
+     if v < lo || v > hi then
+       add
+         (Fmt.str
+            "counter: recovered %d, outside [completed %d, invoked %d]" v lo
+            hi);
+     (match Conc_list.recovered_keys rt lst with
+     | exception e -> add ("list walk: " ^ Printexc.to_string e)
+     | keys ->
+         let per_core = Array.make spec.cores [] in
+         List.iter
+           (fun k ->
+             let c, j = Conc_workload.decode_key k in
+             if c < 0 || c >= spec.cores || j < 0 || j >= spec.ops_per_core
+             then add (Fmt.str "list: foreign key %Lx" k)
+             else per_core.(c) <- j :: per_core.(c))
+           keys;
+         for c = 0 to spec.cores - 1 do
+           let js = List.sort compare per_core.(c) in
+           let n = List.length js in
+           if js <> List.init n Fun.id then
+             add
+               (Fmt.str "list: core %d keys are not a prefix of its order" c)
+           else if n < snap.list_done.(c) || n > snap.list_invoked.(c) then
+             add
+               (Fmt.str
+                  "list: core %d recovered %d inserts, outside [completed \
+                   %d, invoked %d]"
+                  c n snap.list_done.(c) snap.list_invoked.(c))
+         done)
+   with e -> add ("recovery failed: " ^ Printexc.to_string e));
+  { conc_point = point; conc_kind = !kind; conc_violations = List.rev !violations }
+
+let run_conc ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
+    ?(spec = default_conc_spec) ?(timing = false) () =
+  (match mode with
+  | Runtime.Volatile ->
+      invalid_arg "Faultinject.run_conc: the Volatile mode has nothing to recover"
+  | _ -> ());
+  if spec.cores < 1 then invalid_arg "Faultinject.run_conc: cores must be >= 1";
+  Runtime.with_default_timing timing @@ fun () ->
+  let total, marks = conc_reference ~mode spec in
+  let points =
+    let n = max 1 spec.conc_every_n in
+    let pts = List.init ((total + n - 1) / n) (fun i -> i * n) in
+    match spec.conc_max_points with
+    | None -> pts
+    | Some m -> List.filteri (fun i _ -> i < m) pts
+  in
+  let outcomes =
+    par (List.map (fun p () -> conc_crash_run ~mode spec marks p) points)
+  in
+  let report =
+    {
+      conc_cores = spec.cores;
+      conc_ops = spec.cores * spec.ops_per_core;
+      conc_events = total;
+      conc_outcomes = outcomes;
+      conc_violation_list =
+        List.concat_map
+          (fun o -> List.map (fun v -> (o.conc_point, v)) o.conc_violations)
+          outcomes;
+    }
+  in
+  if Telemetry.enabled () then begin
+    Telemetry.add c_points (List.length report.conc_outcomes);
+    Telemetry.add c_violations (List.length report.conc_violation_list)
+  end;
+  report
+
+let pp_conc_report ppf r =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf
+    "conc workload: %d cores, %d ops, %d events, seeded interleaving@,"
+    r.conc_cores r.conc_ops r.conc_events;
+  Fmt.pf ppf "  %d crash points" (List.length r.conc_outcomes);
+  (match r.conc_violation_list with
+  | [] -> Fmt.pf ppf ", no durability violations"
+  | vs ->
+      Fmt.pf ppf ", %d VIOLATIONS:" (List.length vs);
+      List.iter (fun (p, v) -> Fmt.pf ppf "@,    point %d: %s" p v) vs);
+  Fmt.pf ppf "@]"

@@ -115,3 +115,57 @@ val pp_tally : tally Fmt.t
 val pp_report : report Fmt.t
 (** Multi-line summary inside a vertical box: counts per event kind,
     recovery totals, and every violation with its crash point. *)
+
+(** {1 Multi-core durability sweep}
+
+    Crash-at-any-event verification for the durably-linearizable
+    concurrent structures ([Conc_counter], [Conc_list]) on the
+    multi-core machine.  No transactions: the oracle is the
+    crash-resilient-object criterion — after a crash at any enumerated
+    persistence event of any core, the recovered state must lie
+    between the completed and the invoked operation sets (counter
+    value within [sum completed, sum invoked]; per-core list contents
+    an insertion-order prefix of length within the same bounds).  The
+    reference pass records the seeded interleaving's invoked/completed
+    state at every event; each crash pass replays the identical
+    schedule on a share-nothing machine. *)
+
+type conc_spec = {
+  cores : int;
+  ops_per_core : int;
+  sched_seed : int;  (** drives the µ-event interleaving *)
+  conc_every_n : int;  (** crash at events [0, n, 2n, ...] *)
+  conc_max_points : int option;  (** bound the sweep (for smoke runs) *)
+}
+
+val default_conc_spec : conc_spec
+(** 2 cores, 8 ops per core, scheduler seed 1, every event. *)
+
+type conc_outcome = {
+  conc_point : int;
+  conc_kind : string;
+  conc_violations : string list;
+}
+
+type conc_report = {
+  conc_cores : int;
+  conc_ops : int;
+  conc_events : int;
+  conc_outcomes : conc_outcome list;  (** in event-index order *)
+  conc_violation_list : (int * string) list;
+}
+
+val run_conc :
+  ?par:((unit -> conc_outcome) list -> conc_outcome list) ->
+  ?mode:Runtime.mode ->
+  ?spec:conc_spec ->
+  ?timing:bool ->
+  unit ->
+  conc_report
+(** Run the multi-core sweep.  Same parallelism and determinism
+    contract as {!run}: crash passes are share-nothing, so [par] may
+    run them on worker domains with results identical to the
+    sequential default ([--jobs N == --jobs 1]).
+    @raise Invalid_argument for [Volatile] mode. *)
+
+val pp_conc_report : conc_report Fmt.t

@@ -91,7 +91,7 @@ let site t id =
   match Hashtbl.find_opt t.sites id with
   | Some s -> s
   | None ->
-      let s = Site.make ~static:(t.plan id) (Fmt.str "minic.%d" id) in
+      let s = Site.intern ~static:(t.plan id) (Fmt.str "minic.%d" id) in
       Hashtbl.replace t.sites id s;
       s
 

@@ -1379,3 +1379,124 @@ module Zipf_h = struct
                   end);
       }
 end
+
+(* --- the multi-core machine against its sequential model ----------------- *)
+
+(* Schedule enumeration over seeded interleavings: every op runs one
+   complete contended episode (fresh machine, N cores hammering the
+   shared Conc_counter/Conc_list) twice with the same scheduler seed
+   and checks
+
+     - determinism: both runs retire the identical per-core cycle and
+       instruction counts and identical scheduler statistics;
+     - the sequential model: final counter value and list contents are
+       exactly what a serial execution produces (the structures are
+       linearizable, so every interleaving must agree);
+     - FliT quiescence: no in-flight writer marks survive the episode,
+       and reader syncs split exactly into issued + elided flushes;
+     - the per-core attribution-equals-cycles invariant. *)
+module Conc_h = struct
+  module Cluster = Nvml_runtime.Cluster
+  module Cpu = Nvml_arch.Cpu
+  module Flit = Nvml_structures.Flit
+  module Conc_counter = Nvml_structures.Conc_counter
+  module Conc_list = Nvml_structures.Conc_list
+  module Conc_workload = Nvml_structures.Conc_workload
+
+  type op = Episode of { sched_seed : int; cores : int; ops_per_core : int }
+
+  let pp (Episode { sched_seed; cores; ops_per_core }) =
+    Fmt.str "episode seed=%d cores=%d ops/core=%d" sched_seed cores
+      ops_per_core
+
+  let gen rng =
+    Episode
+      {
+        sched_seed = Random.State.int rng 1_000_000;
+        cores = 2 + Random.State.int rng 2;
+        ops_per_core = 2 + Random.State.int rng 9;
+      }
+
+  type run_result = {
+    value : int64;
+    keys : int64 list;
+    per_core : (int * int) list; (* (cycles, instrs) per core *)
+    sched : Nvml_arch.Multicore.stats;
+    pending : int;
+    syncs : int * int; (* issued, elided *)
+  }
+
+  let run_episode ~sched_seed ~cores ~ops_per_core =
+    let rt = Runtime.create ~mode:Runtime.Hw () in
+    let pool = Runtime.create_pool rt ~name:"mc-conc" ~size:(1 lsl 22) in
+    let s =
+      Conc_workload.setup ~sched_seed ~cores ~ops_per_core rt ~pool
+    in
+    Conc_workload.run s;
+    let cluster = s.Conc_workload.cluster in
+    let counter = s.Conc_workload.counter in
+    let list = s.Conc_workload.list in
+    Array.iter
+      (fun cpu ->
+        let a = Cpu.attribution cpu in
+        if Cpu.attribution_total a <> Cpu.cycles cpu then
+          raise
+            (Engine.Violation
+               (Fmt.str "core attribution %d <> cycles %d"
+                  (Cpu.attribution_total a) (Cpu.cycles cpu))))
+      (Nvml_arch.Multicore.cores (Cluster.machine cluster));
+    let primary = Cluster.primary cluster in
+    let fc = Conc_counter.flit counter and fl = Conc_list.flit list in
+    {
+      value =
+        Conc_counter.read (Conc_counter.handle counter primary ~core:0);
+      keys =
+        List.sort compare (Conc_list.recovered_keys primary list);
+      per_core =
+        Array.to_list
+          (Array.map
+             (fun cpu -> (Cpu.cycles cpu, (Cpu.snapshot cpu).Cpu.instrs))
+             (Nvml_arch.Multicore.cores (Cluster.machine cluster)));
+      sched = Cluster.stats cluster;
+      pending = Flit.pending fc + Flit.pending fl;
+      syncs =
+        ( Flit.issued fc + Flit.issued fl,
+          Flit.elided fc + Flit.elided fl );
+    }
+
+  let harness () =
+    Engine.Packed
+      {
+        Engine.component = "conc";
+        gen;
+        pp;
+        init =
+          (fun ~seed:_ ->
+            fun (Episode { sched_seed; cores; ops_per_core }) ->
+              let fail fmt = Fmt.kstr (fun m -> raise (Engine.Violation m)) fmt in
+              let a = run_episode ~sched_seed ~cores ~ops_per_core in
+              let b = run_episode ~sched_seed ~cores ~ops_per_core in
+              if a <> b then
+                fail "same-seed episodes diverge (seed %d)" sched_seed;
+              let total = cores * ops_per_core in
+              if a.value <> Int64.of_int total then
+                fail "counter %Ld, model %d" a.value total;
+              let expected =
+                List.sort compare
+                  (List.concat_map
+                     (fun c ->
+                       List.init ops_per_core (fun j ->
+                           Conc_workload.key ~core:c ~op:j))
+                     (List.init cores Fun.id))
+              in
+              if a.keys <> expected then
+                fail "list contents diverge from the sequential model";
+              if a.pending <> 0 then
+                fail "%d FliT marks still pending at quiescence" a.pending;
+              let issued, elided = a.syncs in
+              if issued < 0 || elided <= 0 then
+                fail "reader syncs: %d issued, %d elided" issued elided;
+              if a.sched.Nvml_arch.Multicore.steps = 0 && cores > 1 then
+                fail "scheduler took no steps on a %d-core episode" cores);
+      }
+end

@@ -72,3 +72,13 @@ module Zipf_h : sig
   (** Cross-layer: empirical rank frequencies of the zipfian/latest
       samplers vs the closed-form Gray probabilities. *)
 end
+
+module Conc_h : sig
+  val harness : unit -> Engine.packed
+  (** The multi-core machine vs its sequential model: every op runs a
+      complete contended episode (fresh cluster, seeded interleaving)
+      twice, checking schedule determinism, agreement of the shared
+      Conc_counter/Conc_list contents with a serial execution, FliT
+      quiescence and the per-core attribution-equals-cycles
+      invariant. *)
+end

@@ -79,6 +79,15 @@ let specs () =
         scale = 1;
         make = (fun ~break:_ -> Harnesses.Zipf_h.harness ());
       };
+      {
+        (* Schedule enumeration over seeded interleavings of the
+           multi-core machine: every op is a complete contended
+           episode, so the harness runs few of them. *)
+        name = "conc";
+        breakable = false;
+        scale = 64;
+        make = (fun ~break:_ -> Harnesses.Conc_h.harness ());
+      };
     ]
 
 let names () = List.map (fun s -> s.name) (specs ())

@@ -127,6 +127,23 @@ let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ?timing ~mode
     store_interceptor = None;
   }
 
+(* A sibling execution context for one more core of a multi-core
+   machine: shares the primary's memory system, pools, volatile
+   allocator, translation unit and kernel tables, but runs on its own
+   core ({!Cpu.create_sibling}) with its own live-register
+   relative-form window and store interceptor.  Forks are per-process
+   volatile state: after [crash_and_restart] on the primary they are
+   stale (the primary rebuilt its allocator and kernel tables) and must
+   be re-created from the restarted primary. *)
+let fork (t : t) =
+  {
+    t with
+    cpu = Cpu.create_sibling t.cpu;
+    reg_rel = Hashtbl.create 64;
+    reg_rel_fifo = Queue.create ();
+    store_interceptor = None;
+  }
+
 let set_store_interceptor t f = t.store_interceptor <- f
 
 (* A store targets pool memory when its destination cell is a relative

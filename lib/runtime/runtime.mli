@@ -44,6 +44,16 @@ val create :
 
 val mode : t -> mode
 
+val fork : t -> t
+(** A sibling execution context for one more core of a multi-core
+    machine: shares the primary's memory system, pools, volatile
+    allocator, translation unit and kernel tables, but runs on its own
+    core ({!Cpu.create_sibling} — private front end, shared
+    L2/L3/POLB/VALB/VATB) with its own live-register window and store
+    interceptor.  Forks are per-process volatile state: after
+    {!crash_and_restart} on the primary they are stale and must be
+    re-created from the restarted primary. *)
+
 val timing : t -> bool
 (** [true] iff this runtime's core models timing. *)
 

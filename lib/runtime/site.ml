@@ -31,12 +31,36 @@ let registry : t list ref = ref []
    interpreter cells can run on worker domains. *)
 let registry_lock = Mutex.create ()
 
-let make ?(static = false) name =
+let make_locked ~static name =
   let check_counter = Telemetry.counter ("site." ^ name) in
-  Mutex.lock registry_lock;
   incr counter;
   let t = { pc = !counter * 64; name; static; check_counter } in
   registry := t :: !registry;
+  t
+
+let make ?(static = false) name =
+  Mutex.lock registry_lock;
+  let t = make_locked ~static name in
+  Mutex.unlock registry_lock;
+  t
+
+(* Sites minted while running (the mini-C interpreter) must be interned:
+   a site describes a place in the *program text*, so re-running the
+   same program must reuse the same synthetic PC.  Minting fresh PCs per
+   run made the branch predictor's aliasing — and hence cycle counts —
+   depend on how many interpreter runs preceded this one in the process. *)
+let interned : (string * bool, t) Hashtbl.t = Hashtbl.create 256
+
+let intern ?(static = false) name =
+  Mutex.lock registry_lock;
+  let t =
+    match Hashtbl.find_opt interned (name, static) with
+    | Some t -> t
+    | None ->
+        let t = make_locked ~static name in
+        Hashtbl.replace interned (name, static) t;
+        t
+  in
   Mutex.unlock registry_lock;
   t
 

@@ -16,6 +16,13 @@ type t
 val make : ?static:bool -> string -> t
 (** Register a new site.  [static] defaults to [false]. *)
 
+val intern : ?static:bool -> string -> t
+(** Like {!make}, but idempotent per [(name, static)] pair: callers
+    that mint sites at run time (the mini-C interpreter) get the same
+    site — and the same synthetic PC — every time the same program
+    point is reached again, keeping repeated in-process runs
+    cycle-deterministic. *)
+
 val pc : t -> int
 val name : t -> string
 val is_static : t -> bool

@@ -325,6 +325,33 @@ let test_latency_merge_deterministic () =
   check_bool "merged equals single recorder" true
     (Latency.summary left = Latency.summary single)
 
+(* Merging an empty recorder is an exact no-op: every observable of the
+   destination — summary, min/max, and the whole percentile ladder —
+   is unchanged.  An idle worker domain joining a pool must not perturb
+   the merged document (the empty source's sentinel vmin/vmax must not
+   leak into the destination). *)
+let test_latency_merge_empty_noop () =
+  let rng = Random.State.make [| 21 |] in
+  let dst = Latency.create () in
+  for _ = 1 to 300 do
+    Latency.record dst (1 + Random.State.int rng 50_000)
+  done;
+  let observe t =
+    ( Latency.summary t,
+      Latency.min_value t,
+      Latency.max_value t,
+      List.map (Latency.percentile t) [ 0.0; 0.1; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+    )
+  in
+  let before = observe dst in
+  Latency.merge_into ~dst (Latency.create ());
+  check_bool "empty source leaves populated dst unchanged" true
+    (observe dst = before);
+  let empty_dst = Latency.create () in
+  Latency.merge_into ~dst:empty_dst (Latency.create ());
+  check_bool "empty into empty stays empty" true
+    (observe empty_dst = observe (Latency.create ()))
+
 (* Worker-domain latency recordings merge into the submitting domain's
    sink at pool join, so the sink snapshot is identical across --jobs
    counts. *)
@@ -483,6 +510,8 @@ let () =
             test_percentile_oracle;
           Alcotest.test_case "merge determinism" `Quick
             test_latency_merge_deterministic;
+          Alcotest.test_case "merge empty no-op" `Quick
+            test_latency_merge_empty_noop;
           Alcotest.test_case "pool join determinism" `Quick
             test_latency_jobs_determinism;
           Alcotest.test_case "record is allocation-free" `Quick

@@ -92,6 +92,45 @@ let test_hotspot_grow_stays_cold () =
     if x < 0 || x >= 11 then Alcotest.fail "out of range after grow"
   done
 
+(* The documented parameter domains: hot_frac in (0, 1], op_frac in
+   [0, 1].  Outside them the constructor rejects; on the boundaries the
+   generator degenerates to a well-defined distribution rather than
+   dividing by an empty set. *)
+let test_hotspot_boundaries () =
+  let rejects name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  rejects "hot_frac = 0" (fun () -> D.hotspot ~hot_frac:0.0 100);
+  rejects "hot_frac < 0" (fun () -> D.hotspot ~hot_frac:(-0.5) 100);
+  rejects "hot_frac > 1" (fun () -> D.hotspot ~hot_frac:1.5 100);
+  rejects "op_frac < 0" (fun () -> D.hotspot ~op_frac:(-0.1) 100);
+  rejects "op_frac > 1" (fun () -> D.hotspot ~op_frac:1.1 100);
+  let rng = Random.State.make [| 9 |] in
+  (* op_frac = 1: every draw lands in the hot set. *)
+  let all_hot = D.hotspot ~hot_frac:0.1 ~op_frac:1.0 100 in
+  for _ = 1 to 500 do
+    let x = D.sample all_hot rng in
+    if x >= D.hot_set_size all_hot then
+      Alcotest.failf "op_frac=1 drew cold key %d" x
+  done;
+  (* op_frac = 0: every draw lands in the cold remainder. *)
+  let all_cold = D.hotspot ~hot_frac:0.1 ~op_frac:0.0 100 in
+  for _ = 1 to 500 do
+    let x = D.sample all_cold rng in
+    if x < D.hot_set_size all_cold || x >= 100 then
+      Alcotest.failf "op_frac=0 drew key %d outside the cold set" x
+  done;
+  (* hot_frac = 1: the whole population is hot; the cold branch is
+     empty and sampling stays uniform over [0, n). *)
+  let whole = D.hotspot ~hot_frac:1.0 ~op_frac:0.5 20 in
+  check_int "hot set is the population" 20 (D.hot_set_size whole);
+  for _ = 1 to 500 do
+    let x = D.sample whole rng in
+    if x < 0 || x >= 20 then Alcotest.failf "hot_frac=1 drew %d" x
+  done
+
 let count_ops spec =
   let reads = ref 0 and updates = ref 0 and inserts = ref 0 in
   W.iter_ops spec (function
@@ -242,6 +281,8 @@ let () =
           Alcotest.test_case "hotspot skew" `Quick test_hotspot_concentrates;
           Alcotest.test_case "hotspot grow" `Quick
             test_hotspot_grow_stays_cold;
+          Alcotest.test_case "hotspot boundaries" `Quick
+            test_hotspot_boundaries;
         ] );
       ( "workloads",
         [
