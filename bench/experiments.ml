@@ -1544,3 +1544,180 @@ let concurrent ctx =
       (List.length r.F.conc_outcomes)
       r.F.conc_cores
   else Fmt.pr "%a@." F.pp_conc_report r
+
+(* --- persistency-model sweep ---------------------------------------- *)
+
+(* The `persist` experiment: the retention-model spectrum (eager,
+   epoch:1, epoch:8, epoch:64, lazy) across two index structures, on
+   both axes of the trade:
+
+   - cycles: the cycle-accurate harness measures each model's drain
+     traffic (flush+fence µ-events).  epoch:1 — a synchronous
+     flush+fence at every operation boundary, the legacy software
+     discipline — is the expensive end; wider epochs coalesce dirty
+     lines and save most of it; eager is the paper's hardware ideal
+     (in-place persistence, no drain traffic at all).
+   - loss exposure: a faultinject sweep per model, whose contract
+     oracle predicts exactly which crash points lose a committed op
+     suffix; any misprediction is a hard failure, so the exposure
+     numbers are verified, not estimated.
+
+   Every cell is a share-nothing machine, so the metrics are
+   byte-identical across --jobs. *)
+let persist ctx =
+  let module Persist = Nvml_runtime.Persist in
+  let module F = Nvml_faultinject.Faultinject in
+  heading "Persistency models: drain traffic saved vs suffix-loss exposure";
+  let quick = ctx.spec.Workload.operation_count < 100_000 in
+  let records = if quick then 1_000 else 5_000 in
+  let ops = if quick then 500 else 2_500 in
+  (* Write-heavy stream: the trade only shows on the write path (reads
+     never dirty a line), and the latest-skewed updates give wider
+     epochs hot lines to coalesce. *)
+  let kspec =
+    {
+      ctx.spec with
+      Workload.record_count = records;
+      operation_count = ops;
+      read_proportion = 0.5;
+      update_proportion = 0.45;
+      insert_proportion = 0.05;
+    }
+  in
+  let models =
+    [
+      Persist.Eager;
+      Persist.Epoch { interval = 1 };
+      Persist.Epoch { interval = 8 };
+      Persist.Epoch { interval = 64 };
+      Persist.Lazy_on_detach;
+    ]
+  in
+  (* Metric keys must stay dot-separated: epoch:8 -> epoch_8. *)
+  let mkey m =
+    String.map (fun c -> if c = ':' then '_' else c) (Persist.model_name m)
+  in
+  let structures = [ "RB"; "Hash" ] in
+  let cells =
+    List.concat_map (fun s -> List.map (fun m -> (s, m)) models) structures
+  in
+  let results =
+    par_map ctx
+      (fun (s, m) ->
+        if ctx.verbose then
+          Printf.eprintf "  [run] persist / %s / %s...\n%!" s
+            (Persist.model_name m);
+        ((s, m), Harness.run_benchmark s ~mode:Runtime.Hw ~persist:m kspec))
+      cells
+  in
+  Report.ops_add (List.length cells * ops);
+  let cycles_of s m =
+    let (_, r) =
+      List.find (fun ((s', m'), _) -> s' = s && m' = m) results
+    in
+    r.Harness.run.Cpu.cycles
+  in
+  Printf.printf "%d records + %d ops per cell, HW mode, cycle-accurate\n"
+    records ops;
+  table
+    ~header:
+      [ "structure"; "model"; "run cycles"; "vs epoch:1"; "drains"; "flushes";
+        "fences"; "dirty words" ]
+    (List.map
+       (fun ((s, m), (r : Harness.result)) ->
+         let c = r.Harness.run.Cpu.cycles in
+         let e1 = cycles_of s (Persist.Epoch { interval = 1 }) in
+         let vs =
+           if Persist.is_eager m then "--"
+           else Printf.sprintf "%+.1f%%"
+               (100. *. (float_of_int c -. float_of_int e1) /. float_of_int e1)
+         in
+         let p = r.Harness.persist in
+         [
+           s; Persist.model_name m; with_commas c; vs;
+           int_ p.Harness.drains; int_ p.Harness.flushes;
+           int_ p.Harness.fences; int_ p.Harness.buffered;
+         ])
+       results);
+  List.iter
+    (fun ((s, m), (r : Harness.result)) ->
+      let prefix = Printf.sprintf "persist.%s.%s" s (mkey m) in
+      let p = r.Harness.persist in
+      metric (prefix ^ ".run_cycles") (float_of_int r.Harness.run.Cpu.cycles);
+      metric (prefix ^ ".drains") (float_of_int p.Harness.drains);
+      metric (prefix ^ ".flushes") (float_of_int p.Harness.flushes);
+      metric (prefix ^ ".fences") (float_of_int p.Harness.fences);
+      metric (prefix ^ ".buffered") (float_of_int p.Harness.buffered);
+      if (not (Persist.is_eager m)) && m <> Persist.Epoch { interval = 1 }
+      then begin
+        let e1 = float_of_int (cycles_of s (Persist.Epoch { interval = 1 })) in
+        metric
+          (prefix ^ ".savings_vs_epoch1")
+          ((e1 -. float_of_int r.Harness.run.Cpu.cycles) /. e1)
+      end)
+    results;
+  (* Loss-exposure axis: one contract-verified crash sweep per model
+     (fast functional core; the verdicts are timing-independent). *)
+  subheading "verified loss exposure (faultinject contract oracle)";
+  let fi_records = 10 and fi_ops = 30 in
+  let sweeps =
+    List.map
+      (fun m ->
+        if ctx.verbose then
+          Printf.eprintf "  [run] persist / faultinject / %s...\n%!"
+            (Persist.model_name m);
+        let w = F.kv_workload ~structure:"RB" ~records:fi_records ~ops:fi_ops () in
+        let r =
+          F.run ~par:(Nvml_exec.Pool.run ctx.pool) ~persist:m
+            ~spec:{ F.default_spec with F.torn = true }
+            w
+        in
+        Report.ops_add ((List.length r.F.outcomes + 1) * fi_ops);
+        (m, r))
+      models
+  in
+  table
+    ~header:
+      [ "model"; "crash points"; "suffix lost"; "max ops lost"; "violations" ]
+    (List.map
+       (fun (m, (r : F.report)) ->
+         let max_lost =
+           List.fold_left (fun acc o -> max acc o.F.lost_ops) 0 r.F.outcomes
+         in
+         [
+           Persist.model_name m; int_ (List.length r.F.outcomes);
+           int_ r.F.suffix_lost; int_ max_lost;
+           int_ (List.length r.F.violations);
+         ])
+       sweeps);
+  let total_violations =
+    List.fold_left
+      (fun acc (_, (r : F.report)) -> acc + List.length r.F.violations)
+      0 sweeps
+  in
+  List.iter
+    (fun (m, (r : F.report)) ->
+      let prefix = "persist.fi." ^ mkey m in
+      let max_lost =
+        List.fold_left (fun acc o -> max acc o.F.lost_ops) 0 r.F.outcomes
+      in
+      metric (prefix ^ ".points") (float_of_int (List.length r.F.outcomes));
+      metric (prefix ^ ".suffix_lost") (float_of_int r.F.suffix_lost);
+      metric (prefix ^ ".max_ops_lost") (float_of_int max_lost);
+      metric (prefix ^ ".violations")
+        (float_of_int (List.length r.F.violations)))
+    sweeps;
+  metric "persist.mispredictions" (float_of_int total_violations);
+  if total_violations = 0 then
+    Printf.printf
+      "every model kept its contract: at each crash point recovery landed on\n\
+       exactly the epoch boundary the oracle predicted (eager loses nothing;\n\
+       epoch:N at most its open window; lazy everything since attach).\n"
+  else
+    List.iter
+      (fun (m, (r : F.report)) ->
+        List.iter
+          (fun (p, v) ->
+            Printf.printf "  %s point %d: %s\n" (Persist.model_name m) p v)
+          r.F.violations)
+      sweeps

@@ -50,6 +50,7 @@ let all_experiments : (string * string * (Experiments.ctx -> unit)) list =
     ("scrub", "media-error detection/repair coverage", Experiments.scrub);
     ("serving", "sharded serving engine throughput/latency", Experiments.serving);
     ("concurrent", "multi-core contention, FliT elision, durability", Experiments.concurrent);
+    ("persist", "persistency-model sweep: drain savings vs loss exposure", Experiments.persist);
     ("sweep", "NVM latency and working-set sweeps", Experiments.sweep);
     ("micro", "bechamel micro-benchmarks", Experiments.micro);
   ]
@@ -64,7 +65,7 @@ let mode_of_experiment = function
   | "faultinject" | "scrub" | "serving" -> "fast"
   | "table5" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "profile"
   | "table6" | "knn" | "soundness" | "ablation" | "extended" | "multipool"
-  | "txn" | "sweep" | "concurrent" ->
+  | "txn" | "sweep" | "concurrent" | "persist" ->
       "cycle"
   | _ -> "other"
 
@@ -154,7 +155,18 @@ let write_bench_json oc ~quick ~jobs ~timings ~total =
         wall ops (json_float ops_per_s) latency
         (if i = List.length timings - 1 then "" else ","))
     timings;
-  p "  ]\n";
+  p "  ],\n";
+  (* The deterministic metrics ride along so trajectory baselines can
+     floor more than wall-clocks (e.g. the persist experiment's
+     epoch-mode cycle-savings fractions). *)
+  let metrics = Report.metrics_snapshot () in
+  p "  \"metrics\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      p "    \"%s\": %s%s\n" (json_escape name) (json_float v)
+        (if i = List.length metrics - 1 then "" else ","))
+    metrics;
+  p "  }\n";
   p "}\n";
   close_out oc
 

@@ -37,6 +37,7 @@ module Cluster = Nvml_runtime.Cluster
 module Multicore = Nvml_arch.Multicore
 module Registry = Nvml_structures.Registry
 module Intf = Nvml_structures.Intf
+module Persist = Nvml_runtime.Persist
 
 (* --- shared argument converters ---------------------------------------- *)
 
@@ -57,6 +58,29 @@ let mode_arg =
     & opt mode_conv Runtime.Hw
     & info [ "mode"; "m" ] ~docv:"MODE"
         ~doc:"Execution mode: volatile, sw, hw or explicit.")
+
+let persist_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Persist.model_of_string s) in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Persist.model_name m))
+
+let persist_arg =
+  Arg.(
+    value
+    & opt persist_conv Persist.Eager
+    & info [ "persist" ] ~docv:"MODEL"
+        ~doc:
+          "Persistency model: $(b,eager) (every store durable in place, the \
+           default — byte-identical to previous releases), $(b,epoch:N) \
+           (buffer dirty NVM lines and drain them with modeled flush+fence \
+           µ-events every N operations) or $(b,lazy) (drain only at pool \
+           detach / end of run).  Relaxed models trade a bounded window of \
+           committed-but-lost operations after a crash for cheaper stores.")
+
+(* Case-insensitive membership for name-list validation. *)
+let known name names =
+  List.exists
+    (fun n -> String.lowercase_ascii n = String.lowercase_ascii name)
+    names
 
 let dist_conv =
   let parse s =
@@ -318,8 +342,8 @@ let kv_cmd =
              scan-heavy, rmw-heavy or hot-storm) at --records/--ops scale \
              instead of the --distribution preset.")
   in
-  let run structure mode records ops dist compare jobs stats_file trace_file
-      latency fast slow_trace shards batch front_cache mix cores =
+  let run structure mode persist records ops dist compare jobs stats_file
+      trace_file latency fast slow_trace shards batch front_cache mix cores =
     let reject fmt = Fmt.kstr (fun m -> Fmt.epr "%s@." m; exit 1) fmt in
     if shards < 1 then reject "--shards must be >= 1, got %d" shards;
     if batch < 1 then reject "--batch must be >= 1, got %d" batch;
@@ -386,6 +410,18 @@ let kv_cmd =
          (--shards/--batch/--front-cache/--mix)";
     if cores > 1 && compare then
       reject "--cores > 1 is not supported with --compare";
+    if serving && not (Persist.is_eager persist) then
+      reject
+        "--persist %s is not supported with the serving-engine flags \
+         (--shards/--batch/--front-cache/--mix); the serving engine is \
+         eager-only"
+        (Persist.model_name persist);
+    (* Validate the structure name up front so a typo produces the valid
+       list instead of an uncaught exception deep in a harness. *)
+    (let valid = if serving then Registry.map_names else Registry.benchmark_names in
+     if not (known structure valid) then
+       reject "--structure expects %s, got %S" (String.concat "|" valid)
+         structure);
     with_timing @@ fun () ->
     instrumented @@ fun () ->
     if cores > 1 then begin
@@ -397,7 +433,7 @@ let kv_cmd =
         try Registry.find_map structure
         with Invalid_argument m -> reject "%s" m
       in
-      let rt = Runtime.create ~mode ~timing:(not fast) () in
+      let rt = Runtime.create ~mode ~timing:(not fast) ~persist () in
       let cluster = Cluster.create ~cores rt in
       let region i =
         if mode = Runtime.Volatile then Runtime.Dram_region
@@ -414,19 +450,25 @@ let kv_cmd =
         for i = 0 to records - 1 do
           M.insert m ~key:(Workload.key_of_index i) ~value:(Int64.of_int i)
         done;
-        Workload.iter_ops spec (function
-          | Workload.Read k -> ignore (M.find m k)
-          | Workload.Update (k, v) | Workload.Insert (k, v) ->
-              M.insert m ~key:k ~value:v
-          | Workload.Scan (start, len) ->
-              for j = start to start + len - 1 do
-                ignore (M.find m (Workload.key_of_index j))
-              done
-          | Workload.Rmw (k, d) ->
-              let v = match M.find m k with Some v -> v | None -> 0L in
-              M.insert m ~key:k ~value:(Int64.add v d))
+        Workload.iter_ops spec (fun op ->
+            (match op with
+            | Workload.Read k -> ignore (M.find m k)
+            | Workload.Update (k, v) | Workload.Insert (k, v) ->
+                M.insert m ~key:k ~value:v
+            | Workload.Scan (start, len) ->
+                for j = start to start + len - 1 do
+                  ignore (M.find m (Workload.key_of_index j))
+                done
+            | Workload.Rmw (k, d) ->
+                let v = match M.find m k with Some v -> v | None -> 0L in
+                M.insert m ~key:k ~value:(Int64.add v d));
+            (* Per-core epoch boundary: each core's op count drives its
+               own epoch clock; the drains serialize through the shared
+               persist engine. *)
+            Runtime.persist_op_boundary crt)
       in
       Cluster.run cluster (Array.init cores (fun _ -> body));
+      Runtime.persist_sync rt;
       Fmt.pr "multi-core kv  %s (%s), %d cores, %d records + %d ops per core@."
         M.name (Runtime.mode_name mode) cores records ops;
       Array.iteri
@@ -448,11 +490,11 @@ let kv_cmd =
             with
             | Some s -> s
             | None ->
-                Fmt.epr
-                  "--mix expects read-latest|scan-heavy|rmw-heavy|hot-storm, \
-                   got %S@."
-                  name;
-                exit 1)
+                let valid =
+                  List.map fst (Workload.serving_mixes ~records ~ops)
+                in
+                reject "--mix expects %s, got %S" (String.concat "|" valid)
+                  name)
       in
       let config =
         Serving.default_config ~structure ~mode ~shards ~batch ~front_cache
@@ -473,7 +515,7 @@ let kv_cmd =
       write_slow_trace [ report.Serving.oplat ]
     end
     else if not compare then begin
-      let r = Harness.run_benchmark structure ~mode spec in
+      let r = Harness.run_benchmark structure ~mode ~persist spec in
       print_result r;
       if latency then print_latency r.Harness.oplat;
       write_slow_trace [ r.Harness.oplat ]
@@ -488,7 +530,7 @@ let kv_cmd =
           ~finally:(fun () -> Pool.shutdown pool)
           (fun () ->
             Pool.map pool
-              (fun mode -> Harness.run_benchmark structure ~mode spec)
+              (fun mode -> Harness.run_benchmark structure ~mode ~persist spec)
               modes)
       in
       let base =
@@ -527,10 +569,10 @@ let kv_cmd =
   Cmd.v
     (Cmd.info "kv" ~doc:"Run a YCSB workload against an index structure.")
     Term.(
-      const run $ structure_arg $ mode_arg $ records_arg $ ops_arg $ dist_arg
-      $ compare_arg $ jobs_arg $ stats_arg $ trace_arg $ latency_arg
-      $ fast_arg $ slow_trace_arg $ shards_arg $ batch_arg $ front_cache_arg
-      $ mix_arg $ cores_arg)
+      const run $ structure_arg $ mode_arg $ persist_arg $ records_arg
+      $ ops_arg $ dist_arg $ compare_arg $ jobs_arg $ stats_arg $ trace_arg
+      $ latency_arg $ fast_arg $ slow_trace_arg $ shards_arg $ batch_arg
+      $ front_cache_arg $ mix_arg $ cores_arg)
 
 (* --- stats --------------------------------------------------------------- *)
 
@@ -730,13 +772,13 @@ let run_cmd =
              (cycles = instructions).  Program output is identical to \
              the default cycle-accurate run.")
   in
-  let run path mode persistent fast cores =
+  let run path mode persist persistent fast cores =
     if cores < 1 then begin
       Fmt.epr "--cores must be >= 1, got %d@." cores;
       exit 1
     end;
     let program = parse_file path in
-    let rt = Runtime.create ~timing:(not fast) ~mode () in
+    let rt = Runtime.create ~timing:(not fast) ~mode ~persist () in
     let report_errors f =
       try f () with
       | Nvml_minic.Types.Type_error m ->
@@ -757,6 +799,9 @@ let run_cmd =
       report_errors (fun () ->
           let outcome = Nvml_minic.Interp.run rt ~heap program ~args:[] in
           List.iter (Fmt.pr "%Ld@.") outcome.Nvml_minic.Interp.output);
+      (* Mini-C has no operation boundaries, so a relaxed model treats
+         the whole program as one epoch; close it before reporting. *)
+      Runtime.persist_sync rt;
       let s = Cpu.diff_snapshot (Runtime.snapshot rt) s0 in
       Fmt.epr "[%s, heap=%s] %d cycles, %d instructions, %d memory accesses@."
         (Runtime.mode_name mode)
@@ -787,6 +832,7 @@ let run_cmd =
       in
       report_errors (fun () ->
           Cluster.run cluster (Array.init cores (fun _ -> body)));
+      Runtime.persist_sync rt;
       Array.iteri
         (fun i out ->
           List.iter (fun v -> Fmt.pr "[core %d] %Ld@." i v) out)
@@ -807,7 +853,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a mini-C source file on the simulator.")
-    Term.(const run $ file_arg $ mode_arg $ persistent $ fast_arg $ cores_arg)
+    Term.(
+      const run $ file_arg $ mode_arg $ persist_arg $ persistent $ fast_arg
+      $ cores_arg)
 
 let compile_cmd =
   let run path =
@@ -856,8 +904,9 @@ let faultinject_cmd =
       value & opt_all int []
       & info [ "at" ] ~docv:"EVENT"
           ~doc:
-            "Crash at this exact event index (repeatable; out-of-range \
-             indices are dropped).")
+            "Crash at this exact event index (repeatable).  An out-of-range \
+             index exits with an error naming the workload's valid event \
+             range.")
   in
   let torn_arg =
     Arg.(
@@ -891,8 +940,11 @@ let faultinject_cmd =
             "Checker self-test: skip log recovery after each crash and \
              report the violations the checker finds.")
   in
-  let run mode workload structure records ops every_n at torn seed max_points
-      break_recovery jobs timing cores =
+  let run mode persist workload structure records ops every_n at torn seed
+      max_points break_recovery jobs timing cores =
+    (* [--at] out of range (and any other sweep-setup misuse) surfaces
+       as Invalid_argument; turn it into a clean CLI error. *)
+    let checked f = try f () with Invalid_argument m -> Fmt.epr "%s@." m; exit 1 in
     if String.lowercase_ascii workload = "conc" then begin
       (* Multi-core sweep: crash at every enumerated persistence event of
          any core of the seeded interleaving; [--seed] drives the
@@ -915,7 +967,9 @@ let faultinject_cmd =
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pool)
           (fun () ->
-            Faultinject.run_conc ~par:(Pool.run pool) ~mode ~spec ~timing ())
+            checked (fun () ->
+                Faultinject.run_conc ~par:(Pool.run pool) ~mode ~persist ~spec
+                  ~timing ()))
       in
       Fmt.pr "%a@." Faultinject.pp_conc_report report;
       if report.Faultinject.conc_violation_list <> [] then exit 1
@@ -943,7 +997,10 @@ let faultinject_cmd =
     let report =
       Fun.protect
         ~finally:(fun () -> Pool.shutdown pool)
-        (fun () -> Faultinject.run ~par:(Pool.run pool) ~mode ~spec ~timing w)
+        (fun () ->
+          checked (fun () ->
+              Faultinject.run ~par:(Pool.run pool) ~mode ~persist ~spec ~timing
+                w))
     in
     Fmt.pr "%a@." Faultinject.pp_report report;
     if report.Faultinject.violations <> [] then exit 1
@@ -966,12 +1023,20 @@ let faultinject_cmd =
               the checker validates structural invariants, pointer \
               reachability, transaction atomicity against pre/post-op \
               snapshots, and the persistent freelist.";
+           `P
+             "Under a relaxed persistency model (--persist epoch:N or lazy) \
+              the sweep additionally arms the contract oracle: a pure pass \
+              over the reference µ-event schedule predicts, for every crash \
+              point, exactly which committed operation suffix is legitimately \
+              lost, and recovery must land on precisely that predicted epoch \
+              boundary — losing more or less than the contract allows is a \
+              violation either way.";
            `P "Exits 1 if any crash point produced a violation.";
          ])
     Term.(
-      const run $ mode_arg $ workload_arg $ structure_arg $ records_arg
-      $ ops_arg $ every_n_arg $ at_arg $ torn_arg $ seed_arg $ max_points_arg
-      $ break_arg $ jobs_arg $ timing_arg $ cores_arg)
+      const run $ mode_arg $ persist_arg $ workload_arg $ structure_arg
+      $ records_arg $ ops_arg $ every_n_arg $ at_arg $ torn_arg $ seed_arg
+      $ max_points_arg $ break_arg $ jobs_arg $ timing_arg $ cores_arg)
 
 (* --- fuzz ----------------------------------------------------------------------------- *)
 

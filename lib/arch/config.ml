@@ -54,6 +54,11 @@ type t = {
   sw_ra2va_loads : int;
   sw_va2ra_instrs : int;
   sw_va2ra_loads : int;
+  (* buffered-persistency drain costs (epoch/lazy models): cycles to
+     flush one dirty 64 B line to media and to retire the drain fence.
+     The eager model never pays these — stores persist in place. *)
+  flush_latency : int;
+  fence_latency : int;
 }
 
 let default =
@@ -92,6 +97,8 @@ let default =
     sw_ra2va_loads = 2;
     sw_va2ra_instrs = 14;
     sw_va2ra_loads = 3;
+    flush_latency = 40;
+    fence_latency = 20;
   }
 
 let rows t =

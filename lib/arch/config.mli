@@ -42,6 +42,12 @@ type t = {
   sw_ra2va_loads : int;
   sw_va2ra_instrs : int;
   sw_va2ra_loads : int;
+  flush_latency : int;
+      (** Cycles to drain one dirty 64 B line under a buffered
+          persistency model (epoch/lazy); the eager model never pays
+          this. *)
+  fence_latency : int;
+      (** Cycles to retire the fence that ends a buffered drain. *)
 }
 
 val default : t

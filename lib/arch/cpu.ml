@@ -53,6 +53,10 @@ type t = {
   valb : Valb.t;
   vatb : Range_btree.t; (* kernel VATB, walked by the VAW on VALB miss *)
   storep_unit : Storep_unit.t;
+  (* Buffered persistency: storeP retirements skip the persist-FSM
+     occupancy stall (durability moves to the epoch drain), paying only
+     their translation latency.  False = eager, the pinned default. *)
+  mutable relaxed_persistency : bool;
   (* Reusable storeP operand buffer: flat preallocated arrays instead of
      a per-storeP list.  [xop_pool.(i) >= 0] is a POLB op on that pool;
      [xop_pool.(i) < 0] is a VALB op on [xop_va.(i)]. *)
@@ -143,6 +147,7 @@ let create ?(timing = true) cfg mem =
     storep_unit =
       Storep_unit.create
         ~entries:(if timing then cfg.storep_fsm_entries else 1);
+    relaxed_persistency = false;
     xop_pool = Array.make xop_buffer_capacity (-1);
     xop_va = Array.make xop_buffer_capacity 0L;
     xop_len = 0;
@@ -179,7 +184,10 @@ let create_sibling (t : t) =
     polb = t.polb;
     valb = t.valb;
     vatb = t.vatb;
+    relaxed_persistency = t.relaxed_persistency;
   }
+
+let set_relaxed_persistency t v = t.relaxed_persistency <- v
 
 let set_hooks t ~on_step ~on_store =
   t.on_step <- on_step;
@@ -210,6 +218,18 @@ let instr t n =
   t.instrs <- t.instrs + n;
   t.cycles <- t.cycles + n
 
+(* Stall charged by the buffered-persistency drain engine (flush and
+   fence µ-events).  Deliberately no [on_step]: a drain is atomic with
+   respect to the multi-core scheduler — no other core's stores can
+   interleave with a line flush.  Fast mode counts the events at the
+   [Persist] layer instead and charges nothing here, preserving the
+   cycles = instrs invariant. *)
+let persist_stall t n =
+  if t.timing then begin
+    t.st_mem <- t.st_mem + n;
+    t.cycles <- t.cycles + n
+  end
+
 let branch t ~pc ~taken =
   t.on_step ();
   t.instrs <- t.instrs + 1;
@@ -234,7 +254,7 @@ let tlb_stall t va =
   t.st_tlb <- t.st_tlb + stall;
   stall
 
-let cache_stall t pa region =
+let cache_stall t pa ~miss_latency =
   if Cache.access t.l1 pa then 0
   else if Cache.access t.l2 pa then begin
     t.st_cache <- t.st_cache + t.cfg.l2_latency;
@@ -244,19 +264,22 @@ let cache_stall t pa region =
     t.st_cache <- t.st_cache + t.cfg.l3_latency;
     t.cfg.l3_latency
   end
-  else
-    let lat =
-      match region with
-      | Layout.Dram -> t.cfg.dram_latency
-      | Layout.Nvm -> t.cfg.nvm_latency
-    in
-    t.st_mem <- t.st_mem + lat;
-    lat
+  else begin
+    t.st_mem <- t.st_mem + miss_latency;
+    miss_latency
+  end
 
 (* Timing for one data access whose translation the caller already
    performed: [pa] is the packed physical address from
-   [Mem.translate_pa].  Allocation-free. *)
-let data_access_pa t ~va ~pa =
+   [Mem.translate_pa].  Allocation-free.
+
+   [store] matters only under a relaxed persistency model: an NVM store
+   that misses the hierarchy retires at the memory controller's write
+   buffer (DRAM-class latency) instead of waiting for media — the media
+   write is deferred to the epoch drain, which bills it as flush
+   µ-events.  Loads, and every access under the eager model, pay the
+   unchanged miss latency. *)
+let data_access_pa_k t ~va ~pa ~store =
   let region =
     if pa lsr Layout.page_shift >= Layout.nvm_phys_frame_base then Layout.Nvm
     else Layout.Dram
@@ -265,10 +288,19 @@ let data_access_pa t ~va ~pa =
   | Layout.Dram -> t.dram_accesses <- t.dram_accesses + 1
   | Layout.Nvm -> t.nvm_accesses <- t.nvm_accesses + 1);
   if t.timing then begin
-    let stall = tlb_stall t va + cache_stall t pa region in
+    let miss_latency =
+      match region with
+      | Layout.Dram -> t.cfg.dram_latency
+      | Layout.Nvm ->
+          if store && t.relaxed_persistency then t.cfg.dram_latency
+          else t.cfg.nvm_latency
+    in
+    let stall = tlb_stall t va + cache_stall t pa ~miss_latency in
     t.cycles <- t.cycles + 1 + stall
   end
   else t.cycles <- t.cycles + 1
+
+let data_access_pa t ~va ~pa = data_access_pa_k t ~va ~pa ~store:false
 
 let data_access t va =
   data_access_pa t ~va ~pa:(Mem.translate_pa_exn t.mem va)
@@ -284,7 +316,7 @@ let store t va =
   t.instrs <- t.instrs + 1;
   t.stores <- t.stores + 1;
   let pa = Mem.translate_pa_exn t.mem va in
-  data_access_pa t ~va ~pa;
+  data_access_pa_k t ~va ~pa ~store:true;
   t.on_store pa
 
 let load_pa t ~va ~pa =
@@ -297,7 +329,7 @@ let store_pa t ~va ~pa =
   t.on_step ();
   t.instrs <- t.instrs + 1;
   t.stores <- t.stores + 1;
-  data_access_pa t ~va ~pa;
+  data_access_pa_k t ~va ~pa ~store:true;
   t.on_store pa
 
 (* --- persistent-object translation hardware ----------------------------- *)
@@ -382,15 +414,24 @@ let store_p_buffered t ~dst_va ~dst_pa =
       in
       if l > !lat then lat := l
     done;
-    let stall =
-      Storep_unit.issue t.storep_unit ~now:t.cycles ~latency:(1 + !lat)
-    in
-    t.st_storep <- t.st_storep + stall;
-    t.cycles <- t.cycles + stall
+    if t.relaxed_persistency then begin
+      (* Buffered persistency: the store still resolves its pointer
+         formats (exposed translation latency), but retires without
+         occupying the persist FSM — durability is the drain's job. *)
+      t.st_xlate <- t.st_xlate + !lat;
+      t.cycles <- t.cycles + !lat
+    end
+    else begin
+      let stall =
+        Storep_unit.issue t.storep_unit ~now:t.cycles ~latency:(1 + !lat)
+      in
+      t.st_storep <- t.st_storep + stall;
+      t.cycles <- t.cycles + stall
+    end
   end;
   t.xop_len <- 0;
   t.stores <- t.stores + 1;
-  data_access_pa t ~va:dst_va ~pa:dst_pa;
+  data_access_pa_k t ~va:dst_va ~pa:dst_pa ~store:true;
   t.on_store dst_pa
 
 let store_p_pa t ~dst_va ~dst_pa ~(xops : xop list) =

@@ -35,7 +35,15 @@ val timing : t -> bool
     the pre-multi-core one. *)
 
 val create_sibling : t -> t
-(** A fresh core sharing [t]'s L2/L3/POLB/VALB/VATB. *)
+(** A fresh core sharing [t]'s L2/L3/POLB/VALB/VATB (and the parent's
+    persistency-model setting). *)
+
+val set_relaxed_persistency : t -> bool -> unit
+(** Under a relaxed (buffered) persistency model, storeP retirements
+    pay only their exposed translation latency instead of the persist
+    FSM occupancy stall — durability moves to the epoch drain.  [false]
+    (the default) is the eager model, byte-identical to earlier
+    releases. *)
 
 val set_hooks : t -> on_step:(unit -> unit) -> on_store:(int -> unit) -> unit
 (** [on_step] fires once per narrated µ-event (the interleave point);
@@ -51,6 +59,13 @@ val invalidate_line : t -> int -> bool
 
 val instr : t -> int -> unit
 val branch : t -> pc:int -> taken:bool -> unit
+
+val persist_stall : t -> int -> unit
+(** Charge [n] stall cycles (attributed to memory stalls) for a
+    buffered-persistency drain µ-event.  No-op in fast mode, and never
+    advances the multi-core scheduler — a drain is atomic with respect
+    to other cores. *)
+
 val load : t -> int64 -> unit
 val store : t -> int64 -> unit
 

@@ -36,7 +36,26 @@
    undo log itself, which relies on the 8-byte-atomicity guarantee real
    NVM provides for aligned word stores (the same assumption PMDK's
    undo log makes).  Every torn data word was undo-logged before being
-   stored, so recovery must heal it; the checker verifies that. *)
+   stored, so recovery must heal it; the checker verifies that.  Under
+   a relaxed persistency model the interesting tear moves to the
+   [Flush_line] µ-events: a crash mid-drain leaves one word of the
+   interrupted line as a byte mix of its durable and its buffered
+   value.
+
+   Contract oracle.  Under a relaxed persistency model ([--persist
+   epoch:N | lazy]) losing an op suffix at a crash is *legitimate* —
+   the model's contract is weaker, not broken.  The reference pass
+   therefore doubles as a pure oracle over the µ-event schedule: it
+   tracks the durable values of the undo log's control words (which
+   are write-through under every model) and predicts, for every event
+   index, the exact recovery outcome ([Clean] / [Rolled_back n]) and
+   the exact op boundary whose snapshot the recovered state must
+   equal.  The crash passes then check the observed recovery against
+   the prediction in both directions: a state that lost more than
+   predicted AND a state that retained more than predicted are both
+   hard failures.  The eager model is the degenerate case: the oracle
+   predicts per-operation atomicity, strictly subsuming the pre/post
+   snapshot rule described above. *)
 
 module Layout = Nvml_simmem.Layout
 module Mem = Nvml_simmem.Mem
@@ -46,6 +65,7 @@ module Ptr = Nvml_core.Ptr
 module Xlate = Nvml_core.Xlate
 module Pmop = Nvml_pool.Pmop
 module Runtime = Nvml_runtime.Runtime
+module Persist = Nvml_runtime.Persist
 module Site = Nvml_runtime.Site
 module Txn = Nvml_runtime.Txn
 module Intf = Nvml_structures.Intf
@@ -61,6 +81,7 @@ let c_clean = Telemetry.counter "fi.recovered_clean"
 let c_rolled_back = Telemetry.counter "fi.recovered_rolled_back"
 let c_torn = Telemetry.counter "fi.torn_injected"
 let c_violations = Telemetry.counter "fi.violations"
+let c_suffix_lost = Telemetry.counter "fi.suffix_lost"
 
 (* --- workloads ---------------------------------------------------------- *)
 
@@ -210,6 +231,8 @@ type tally = {
   storeps : int;
   log_appends : int;
   meta_writes : int;
+  flushes : int;  (* drain Flush_line µ-events (relaxed models only) *)
+  fences : int;  (* drain Fence µ-events (relaxed models only) *)
 }
 
 type outcome = {
@@ -217,18 +240,21 @@ type outcome = {
   op : int;  (* the operation that event belonged to *)
   kind : string;  (* Fi.kind_name of the interrupted event *)
   recovery : Txn.recovery;
+  lost_ops : int;  (* committed ops whose effects the model let die *)
   torn_injected : bool;
   violations : string list;
 }
 
 type report = {
   workload : string;
+  persist : string;  (* Persist.model_name of the swept model *)
   ops : int;
   events : int;
   tally : tally;
   outcomes : outcome list;
   clean : int;
   rolled_back : int;
+  suffix_lost : int;  (* points at which >= 1 committed op was lost *)
   torn_injected : int;
   violations : (int * string) list;  (* (point, message) *)
 }
@@ -242,23 +268,35 @@ exception Crash_now
    (and never escapes: the replay loop catches it). *)
 
 (* Build a fresh machine, pool, workload instance and instrumented
-   transaction; anchor [txn header; structure header] in a root block. *)
-let boot ~mode w =
-  let rt = Runtime.create ~mode () in
+   transaction; anchor [txn header; structure header] in a root block.
+   Under a relaxed model the undo log covers a whole epoch instead of a
+   single operation (a lazy run is one epoch!), so the log gets a much
+   larger arena; setup is then drained so the machine starts from a
+   fully durable state — the drain fires before the fi hook installs,
+   so reference and crash passes count identical event schedules. *)
+let boot ~mode ~persist w =
+  let rt = Runtime.create ~mode ~persist () in
   let pool = Runtime.create_pool rt ~name:"fi" ~size:pool_size in
   let inst = w.setup rt ~pool in
-  let txn = Txn.create rt ~pool () in
+  let txn =
+    if Persist.is_eager persist then Txn.create rt ~pool ()
+    else Txn.create rt ~pool ~capacity:16384 ()
+  in
   let root = Runtime.alloc rt ~pool ~persistent:true 16 in
   Runtime.store_ptr rt ~site root ~off:0 (Txn.header txn);
   Runtime.store_ptr rt ~site root ~off:8 inst.header;
   Runtime.set_root rt ~site ~pool root;
   Txn.instrument txn;
+  Runtime.persist_sync rt;
   (rt, pool, txn, inst)
 
-let run_op txn inst i =
+(* One workload operation: a transaction, then the persistency model's
+   op-boundary hook (which drains the epoch every [interval] ops). *)
+let run_op rt txn inst i =
   Txn.begin_ txn;
   inst.step i;
-  Txn.commit txn
+  Txn.commit txn;
+  Runtime.persist_op_boundary rt
 
 (* The physical (frame, word) spans occupied by the undo log.  Pool
    frames are stable across crashes, so spans computed at boot remain
@@ -294,41 +332,127 @@ type reference = {
   op_start : int array;  (* event index at which each op began *)
   expected : Snapshot.t array;  (* contents after ops [0, i) *)
   alloc_bytes : int64 array;  (* pool allocated bytes after ops [0, i) *)
+  mutated : bool array;  (* op i changed the contents or the allocation *)
+  pred_recovery : Txn.recovery array;
+      (* oracle: the exact recovery verdict for a crash at event k *)
+  pred_boundary : int array;
+      (* oracle: the op boundary the recovered state must equal *)
 }
 
-let reference ~mode w =
-  let rt, pool, txn, inst = boot ~mode w in
+(* The reference pass doubles as the contract oracle.  It mirrors the
+   *durable* state of the undo log's control words (state at byte 0,
+   count at byte 8) by watching their physical locations through the
+   Pm_store events — log stores are write-through under every model,
+   so the media value IS the durable value.  From that mirror it
+   predicts, for every event index, exactly what a crash there must
+   recover to:
+
+     durable state = 1, count = n > 0  ->  Rolled_back n, landing on
+         the epoch-start boundary [reset_p] (the last boundary whose
+         data fully drained);
+     durable state = 1, count = 0      ->  Rolled_back 0 (the crash
+         split a truncation), landing on the newest durable boundary;
+     durable state = 0                 ->  Clean, newest durable
+         boundary.
+
+   The prediction for event k is recorded *before* the mirror absorbs
+   event k's store: the fi hook fires before the store lands, so a
+   crash at k sees only events [0, k).  Under the eager model this
+   machinery degenerates to per-operation atomicity (the epoch is one
+   operation), making the exact check strictly stronger than the old
+   pre/post-snapshot rule. *)
+let reference ~mode ~persist w =
+  let rt, pool, txn, inst = boot ~mode ~persist w in
   let phys = Mem.phys (Runtime.mem rt) in
+  (* Physical (frame, word) locations of the log's control words; pool
+     frames are stable, so these stay valid for the whole run. *)
+  let loc off =
+    let va =
+      Int64.add
+        (Xlate.ra2va (Runtime.xlate rt) (Txn.header txn))
+        (Int64.of_int off)
+    in
+    let pa = Mem.translate_pa_exn (Runtime.mem rt) va in
+    (pa lsr Layout.page_shift, (pa land (Layout.page_size - 1)) lsr 3)
+  in
+  let state_loc = loc 0 and count_loc = loc 8 in
   let total = ref 0 in
   let pm = ref 0 and sp = ref 0 and la = ref 0 and mw = ref 0 in
+  let fl = ref 0 and fe = ref 0 in
+  (* Oracle mirror: durable log state/count, the newest fully durable
+     op boundary ([completed]) and the boundary a whole-epoch rollback
+     lands on ([reset_p]). *)
+  let d_state = ref 0 and d_count = ref 0 in
+  let completed = ref 0 and reset_p = ref 0 in
+  let cur = ref 0 in
+  let preds = ref [] in
   Physmem.set_fi_hook phys
     (Some
        (fun ev ->
          incr total;
+         preds :=
+           (if !d_state = 1 && !d_count > 0 then
+              (Txn.Rolled_back !d_count, !reset_p)
+            else if !d_state = 1 then (Txn.Rolled_back 0, !completed)
+            else (Txn.Clean, !completed))
+           :: !preds;
          match ev with
-         | Fi.Pm_store _ -> incr pm
+         | Fi.Pm_store { frame; word_index; new_value; _ } ->
+             incr pm;
+             if (frame, word_index) = state_loc then
+               d_state := Int64.to_int new_value
+             else if (frame, word_index) = count_loc then begin
+               let n = Int64.to_int new_value in
+               (if n = 0 then
+                  if !d_count > 0 then begin
+                    (* Truncation of a non-empty log: every entry just
+                       became redundant, so the boundary the current
+                       operation is closing is durable. *)
+                    completed := !cur + 1;
+                    reset_p := !cur + 1
+                  end
+                  else reset_p := !completed);
+               d_count := n
+             end
          | Fi.Storep_retire -> incr sp
          | Fi.Txn_log_append -> incr la
-         | Fi.Alloc_meta_write _ -> incr mw));
+         | Fi.Alloc_meta_write _ -> incr mw
+         | Fi.Flush_line _ -> incr fl
+         | Fi.Fence -> incr fe));
   let allocated () = Pmop.allocated_bytes (Runtime.pmop rt) ~pool in
   let expected = Array.make (w.ops + 1) (inst.snapshot ()) in
   let alloc_bytes = Array.make (w.ops + 1) (allocated ()) in
   let op_start = Array.make (w.ops + 1) 0 in
   for i = 0 to w.ops - 1 do
     op_start.(i) <- !total;
-    run_op txn inst i;
+    cur := i;
+    run_op rt txn inst i;
     expected.(i + 1) <- inst.snapshot ();
     alloc_bytes.(i + 1) <- allocated ()
   done;
   op_start.(w.ops) <- !total;
   Physmem.set_fi_hook phys None;
+  let preds = Array.of_list (List.rev !preds) in
   {
     total = !total;
     ref_tally =
-      { pm_stores = !pm; storeps = !sp; log_appends = !la; meta_writes = !mw };
+      {
+        pm_stores = !pm;
+        storeps = !sp;
+        log_appends = !la;
+        meta_writes = !mw;
+        flushes = !fl;
+        fences = !fe;
+      };
     op_start;
     expected;
     alloc_bytes;
+    mutated =
+      Array.init w.ops (fun i ->
+          (not (Snapshot.equal expected.(i + 1) expected.(i)))
+          || alloc_bytes.(i + 1) <> alloc_bytes.(i));
+    pred_recovery = Array.map fst preds;
+    pred_boundary = Array.map snd preds;
   }
 
 (* The operation event [point] belongs to: the last op started at or
@@ -337,17 +461,25 @@ let op_of_point r point =
   let rec go i = if i = 0 || r.op_start.(i) <= point then i else go (i - 1) in
   go (Array.length r.op_start - 2)
 
-(* One crash pass: replay, die at event [point], reboot, recover,
-   check.  Fresh share-nothing machine per point, so passes can run on
-   worker domains in any order. *)
-let crash_run ~mode w r spec point =
-  let rt, pool, txn, inst = boot ~mode w in
+(* One crash pass: replay, die at event [point], reboot, recover, and
+   check the outcome against the oracle's prediction for that point —
+   exact in both directions.  Fresh share-nothing machine per point, so
+   passes can run on worker domains in any order. *)
+let crash_run ~mode ~persist w r spec point =
+  let rt, pool, txn, inst = boot ~mode ~persist w in
   let phys = Mem.phys (Runtime.mem rt) in
   let spans = if spec.torn then log_spans rt txn else [] in
   let rng = Random.State.make [| 0x5eed; spec.seed; point |] in
   let idx = ref 0 in
   let kind = ref "" in
   let torn_injected = ref false in
+  (* A tear at a [Flush_line] targets a still-buffered word: the flush
+     was interrupted mid-line, so the media keeps a byte mix of the
+     word's durable and buffered values.  The poke must wait until
+     after [Persist.crash] has reverted the buffer (an immediate poke
+     would be overwritten by the revert), so it is recorded here and
+     applied after the reboot. *)
+  let torn_later = ref None in
   Physmem.set_fi_hook phys
     (Some
        (fun ev ->
@@ -363,6 +495,28 @@ let crash_run ~mode w r spec point =
                   Physmem.poke phys ~frame ~word_index
                     (Fi.torn_word ~keep_old_bytes ~old_value ~new_value);
                   torn_injected := true
+              | Fi.Flush_line { frame; line } -> (
+                  match
+                    List.filter
+                      (fun (w, _) -> not (in_spans spans ~frame ~word_index:w))
+                      (Persist.buffered_in_line (Runtime.persist rt) ~frame
+                         ~line)
+                  with
+                  | [] -> ()
+                  | words ->
+                      let w, durable =
+                        List.nth words
+                          (Random.State.int rng (List.length words))
+                      in
+                      let keep_old_bytes = 1 + Random.State.int rng 254 in
+                      torn_later :=
+                        Some
+                          ( frame,
+                            w,
+                            Fi.torn_word ~keep_old_bytes ~old_value:durable
+                              ~new_value:
+                                (Physmem.peek phys ~frame ~word_index:w) );
+                      torn_injected := true)
               | _ -> ());
            (* Power off: nothing written while unwinding may land. *)
            Physmem.set_frozen phys true;
@@ -371,18 +525,28 @@ let crash_run ~mode w r spec point =
   let crashed = ref false in
   (try
      for i = 0 to w.ops - 1 do
-       run_op txn inst i
+       run_op rt txn inst i
      done
    with Crash_now -> crashed := true);
   Physmem.set_fi_hook phys None;
   if not !crashed then
     Fmt.invalid_arg "Faultinject: crash point %d past the last event" point;
   let op = op_of_point r point in
+  let pred = r.pred_recovery.(point) in
+  let boundary = r.pred_boundary.(point) in
   let violations = ref [] in
   let add msg = violations := msg :: !violations in
-  (* Reboot.  crash_and_restart clears the instrumentation hooks along
-     with the rest of the volatile state. *)
+  (* Reboot.  crash_and_restart reverts still-buffered words to their
+     durable values and clears the instrumentation hooks along with the
+     rest of the volatile state. *)
   Runtime.crash_and_restart rt;
+  (match !torn_later with
+  | None -> ()
+  | Some (frame, word_index, torn) -> Physmem.poke phys ~frame ~word_index torn);
+  let pp_recovery ppf = function
+    | Txn.Clean -> Fmt.pf ppf "clean"
+    | Txn.Rolled_back n -> Fmt.pf ppf "rolled back %d" n
+  in
   let recovery =
     match
       ignore (Runtime.open_pool rt "fi");
@@ -394,45 +558,40 @@ let crash_run ~mode w r spec point =
       (recovery, Runtime.load_ptr rt ~site root ~off:8)
     with
     | recovery, hdr ->
-        let pre = r.expected.(op) and post = r.expected.(op + 1) in
+        (* The oracle's contract is exact in both directions: the
+           observed recovery verdict must be the predicted one, and the
+           recovered state must equal the predicted boundary's snapshot
+           — losing more than predicted and retaining more than
+           predicted are both hard failures. *)
+        if recovery <> pred then
+          add
+            (Fmt.str "contract: recovery %a, oracle predicted %a" pp_recovery
+               recovery pp_recovery pred);
+        let want = r.expected.(boundary) in
         (try
            let inst' = w.reattach rt hdr in
            (try inst'.check ()
-            with e ->
-              add ("invariant check: " ^ Printexc.to_string e));
+            with e -> add ("invariant check: " ^ Printexc.to_string e));
            (try
               let got = inst'.snapshot () in
-              let explain tag want =
-                match Snapshot.diff_summary got want with
-                | Some d -> tag ^ " state differs: " ^ d
-                | None -> tag ^ " state differs"
-              in
-              match recovery with
-              | Txn.Rolled_back n when n > 0 ->
-                  if not (Snapshot.equal got pre) then
-                    add ("atomicity: rollback must restore the " ^ explain "pre-txn" pre)
-              | Txn.Rolled_back _ | Txn.Clean ->
-                  if not (Snapshot.equal got pre || Snapshot.equal got post)
-                  then
-                    add
-                      ("atomicity: contents match neither snapshot ("
-                      ^ explain "pre-txn" pre ^ ")")
-            with e ->
-              add ("contents walk dangled: " ^ Printexc.to_string e))
+              if not (Snapshot.equal got want) then
+                add
+                  (Fmt.str "contract: state differs from predicted boundary %d%a"
+                     boundary
+                     (Fmt.option (fun ppf d -> Fmt.pf ppf ": %s" d))
+                     (Snapshot.diff_summary got want))
+            with e -> add ("contents walk dangled: " ^ Printexc.to_string e))
          with e -> add ("reattach failed: " ^ Printexc.to_string e));
         (try
            ignore (Pmop.check_pool_invariants (Runtime.pmop rt) ~pool);
            let got = Pmop.allocated_bytes (Runtime.pmop rt) ~pool in
-           let pre = r.alloc_bytes.(op) and post = r.alloc_bytes.(op + 1) in
-           let ok =
-             match recovery with
-             | Txn.Rolled_back n when n > 0 -> got = pre
-             | _ -> got = pre || got = post
-           in
-           if not ok then
+           let want = r.alloc_bytes.(boundary) in
+           if got <> want then
              add
-               (Fmt.str "freelist: %Ld bytes allocated, expected %Ld or %Ld"
-                  got pre post)
+               (Fmt.str
+                  "contract: freelist has %Ld bytes allocated, predicted \
+                   boundary %d has %Ld"
+                  got boundary want)
          with e -> add ("freelist: " ^ Printexc.to_string e));
         recovery
     | exception e ->
@@ -444,6 +603,17 @@ let crash_run ~mode w r spec point =
     op;
     kind = !kind;
     recovery;
+    (* Committed ops in [boundary, op) whose effects died with the
+       epoch.  Read-only ops in the window are not counted: they left
+       nothing behind to lose (which is also why the oracle's
+       log-derived boundary can trail [op] under eager without any
+       effect actually lost). *)
+    lost_ops =
+      (let n = ref 0 in
+       for i = boundary to op - 1 do
+         if r.mutated.(i) then incr n
+       done;
+       !n);
     torn_injected = !torn_injected;
     violations = List.rev !violations;
   }
@@ -456,7 +626,18 @@ let points_of r spec =
     | [] ->
         let n = max 1 spec.every_n in
         List.init ((r.total + n - 1) / n) (fun i -> i * n)
-    | at -> List.sort_uniq compare (List.filter (fun p -> p >= 0 && p < r.total) at)
+    | at ->
+        (* An out-of-range index must not silently shrink the sweep to
+           zero passes — fail loudly with the valid range instead. *)
+        List.iter
+          (fun p ->
+            if p < 0 || p >= r.total then
+              Fmt.invalid_arg
+                "faultinject: crash point %d is out of range (this workload \
+                 has events 0..%d)"
+                p (r.total - 1))
+          at;
+        List.sort_uniq compare at
   in
   match spec.max_points with
   | None -> pts
@@ -467,7 +648,7 @@ let points_of r spec =
    [Nvml_exec.Pool.run pool] for a parallel sweep; results are
    identical to the sequential default. *)
 let run ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
-    ?(spec = default_spec) ?(timing = false) w =
+    ?(persist = Persist.Eager) ?(spec = default_spec) ?(timing = false) w =
   (match mode with
   | Runtime.Volatile ->
       invalid_arg "Faultinject.run: the Volatile mode has nothing to recover"
@@ -476,13 +657,16 @@ let run ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
      the reference pass and every crash pass default to the fast core;
      [~timing:true] restores cycle-accurate simulation (same report). *)
   Runtime.with_default_timing timing @@ fun () ->
-  let r = reference ~mode w in
+  let r = reference ~mode ~persist w in
   let points = points_of r spec in
-  let outcomes = par (List.map (fun p () -> crash_run ~mode w r spec p) points) in
+  let outcomes =
+    par (List.map (fun p () -> crash_run ~mode ~persist w r spec p) points)
+  in
   let count f = List.length (List.filter f outcomes) in
   let report =
     {
       workload = w.name;
+      persist = Persist.model_name persist;
       ops = w.ops;
       events = r.total;
       tally = r.ref_tally;
@@ -490,6 +674,7 @@ let run ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
       clean = count (fun o -> o.recovery = Txn.Clean);
       rolled_back =
         count (fun o -> match o.recovery with Txn.Rolled_back _ -> true | _ -> false);
+      suffix_lost = count (fun o -> o.lost_ops > 0);
       torn_injected = count (fun o -> o.torn_injected);
       violations =
         List.concat_map
@@ -501,6 +686,7 @@ let run ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
     Telemetry.add c_points (List.length report.outcomes);
     Telemetry.add c_clean report.clean;
     Telemetry.add c_rolled_back report.rolled_back;
+    Telemetry.add c_suffix_lost report.suffix_lost;
     Telemetry.add c_torn report.torn_injected;
     Telemetry.add c_violations (List.length report.violations)
   end;
@@ -510,14 +696,22 @@ let run ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
 
 let pp_tally ppf t =
   Fmt.pf ppf "%d pm_store, %d storep, %d log_append, %d alloc_meta"
-    t.pm_stores t.storeps t.log_appends t.meta_writes
+    t.pm_stores t.storeps t.log_appends t.meta_writes;
+  (* Drain µ-events exist only under a relaxed model; eager output is
+     pinned byte-identical to the pre-engine renderer. *)
+  if t.flushes > 0 || t.fences > 0 then
+    Fmt.pf ppf ", %d flush, %d fence" t.flushes t.fences
 
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>";
   Fmt.pf ppf "workload %s: %d ops, %d events (%a)@," r.workload r.ops r.events
     pp_tally r.tally;
+  if r.persist <> "eager" then
+    Fmt.pf ppf "  persistency model %s: contract oracle armed@," r.persist;
   Fmt.pf ppf "  %d crash points: %d recovered clean, %d rolled back"
     (List.length r.outcomes) r.clean r.rolled_back;
+  if r.suffix_lost > 0 then
+    Fmt.pf ppf ", %d lost a committed suffix (as predicted)" r.suffix_lost;
   if r.torn_injected > 0 then Fmt.pf ppf ", %d torn words injected" r.torn_injected;
   Fmt.pf ppf "@,";
   (match r.violations with
@@ -611,8 +805,8 @@ let copy_marks m =
     list_done = Array.copy m.list_done;
   }
 
-let conc_boot ~mode spec =
-  let rt = Runtime.create ~mode () in
+let conc_boot ~mode ~persist spec =
+  let rt = Runtime.create ~mode ~persist () in
   let pool = Runtime.create_pool rt ~name:"conc" ~size:pool_size in
   let s =
     Conc_workload.setup ~sched_seed:spec.sched_seed ~cores:spec.cores
@@ -627,6 +821,9 @@ let conc_boot ~mode spec =
   Runtime.store_ptr rt ~site root ~off:8
     (Conc_list.header s.Conc_workload.list);
   Runtime.set_root rt ~site ~pool root;
+  (* Setup becomes durable before the fi hook installs, so reference
+     and crash passes count identical event schedules. *)
+  Runtime.persist_sync rt;
   (rt, pool, s)
 
 let mark_of m ~core = function
@@ -636,8 +833,29 @@ let mark_of m ~core = function
       m.list_invoked.(core) <- m.list_invoked.(core) + 1
   | Conc_workload.List_done -> m.list_done.(core) <- m.list_done.(core) + 1
 
-let conc_reference ~mode spec =
-  let rt, _pool, s = conc_boot ~mode spec in
+type conc_ref = {
+  conc_total : int;
+  marks : conc_marks array;  (* invoked/completed state per event *)
+  pred_counter : int64 array;  (* oracle: exact recovered counter value *)
+  pred_keys : int64 list array;  (* oracle: exact recovered chain, newest first *)
+}
+
+(* A reader that resolves byte offsets within a structure's header
+   object to the *durable* value of that word — what the media would
+   retain on a crash right now.  Valid only while the mapping is live
+   (the reference pass). *)
+let durable_reader rt header =
+  let base = Xlate.ra2va (Runtime.xlate rt) header in
+  let p = Runtime.persist rt in
+  let mem = Runtime.mem rt in
+  fun off ->
+    let pa = Mem.translate_pa_exn mem (Int64.add base (Int64.of_int off)) in
+    Persist.durable_value p
+      ~frame:(pa lsr Layout.page_shift)
+      ~word_index:((pa land (Layout.page_size - 1)) lsr 3)
+
+let conc_reference ~mode ~persist spec =
+  let rt, _pool, s = conc_boot ~mode ~persist spec in
   let phys = Mem.phys (Runtime.mem rt) in
   let m =
     {
@@ -647,23 +865,44 @@ let conc_reference ~mode spec =
       list_done = Array.make spec.cores 0;
     }
   in
+  let ctr_hdr = Conc_counter.header s.Conc_workload.counter in
+  let list_hdr = Conc_list.header s.Conc_workload.list in
+  let list_cap = Conc_list.capacity s.Conc_workload.list in
+  let read_ctr = durable_reader rt ctr_hdr in
+  let read_list = durable_reader rt list_hdr in
   let snaps = ref [] in
+  let preds = ref [] in
   let total = ref 0 in
-  (* The hook fires *before* the event's effect, so the snapshot is the
-     exact invoked/completed state a crash at that event would see. *)
+  (* The hook fires *before* the event's effect, so both the
+     invoked/completed snapshot and the durable-value walk describe the
+     exact state a crash at that event would expose.  The durable walk
+     is the contract oracle: under a relaxed model it predicts the
+     precise post-crash counter value and chain — including mid-drain
+     states where a drained head pointer reaches not-yet-drained
+     (still zero) slots. *)
   Physmem.set_fi_hook phys
     (Some
        (fun _ev ->
          snaps := copy_marks m :: !snaps;
+         preds :=
+           ( Conc_counter.value_via ~cells:spec.cores read_ctr,
+             Conc_list.keys_via ~capacity:list_cap ~header:list_hdr read_list )
+           :: !preds;
          incr total));
   Conc_workload.run ~mark:(fun ~core ~op:_ phase -> mark_of m ~core phase) s;
   Physmem.set_fi_hook phys None;
-  (!total, Array.of_list (List.rev !snaps))
+  let preds = Array.of_list (List.rev !preds) in
+  {
+    conc_total = !total;
+    marks = Array.of_list (List.rev !snaps);
+    pred_counter = Array.map fst preds;
+    pred_keys = Array.map snd preds;
+  }
 
 let sum = Array.fold_left ( + ) 0
 
-let conc_crash_run ~mode spec (marks : conc_marks array) point =
-  let rt, pool, s = conc_boot ~mode spec in
+let conc_crash_run ~mode ~persist spec (cref : conc_ref) point =
+  let rt, pool, s = conc_boot ~mode ~persist spec in
   let phys = Mem.phys (Runtime.mem rt) in
   let idx = ref 0 in
   let kind = ref "" in
@@ -684,7 +923,7 @@ let conc_crash_run ~mode spec (marks : conc_marks array) point =
   if not !crashed then
     Fmt.invalid_arg "Faultinject: conc crash point %d past the last event"
       point;
-  let snap = marks.(point) in
+  let snap = cref.marks.(point) in
   let violations = ref [] in
   let add msg = violations := msg :: !violations in
   Runtime.crash_and_restart rt;
@@ -697,49 +936,74 @@ let conc_crash_run ~mode spec (marks : conc_marks array) point =
        add
          (Fmt.str "counter header: %d cells, expected %d"
             (Conc_counter.cells ctr) spec.cores);
-     let v = Int64.to_int (Conc_counter.recovered_value rt ctr) in
-     let lo = sum snap.ctr_done and hi = sum snap.ctr_invoked in
-     if v < lo || v > hi then
+     (* Contract oracle: the recovered state must be byte-exact what
+        the durable-value walk at this event predicted — under every
+        model.  Retaining more than predicted is as much a failure as
+        losing more. *)
+     let v = Conc_counter.recovered_value rt ctr in
+     if v <> cref.pred_counter.(point) then
        add
-         (Fmt.str
-            "counter: recovered %d, outside [completed %d, invoked %d]" v lo
-            hi);
+         (Fmt.str "contract: counter recovered %Ld, oracle predicted %Ld" v
+            cref.pred_counter.(point));
      (match Conc_list.recovered_keys rt lst with
      | exception e -> add ("list walk: " ^ Printexc.to_string e)
      | keys ->
-         let per_core = Array.make spec.cores [] in
-         List.iter
-           (fun k ->
-             let c, j = Conc_workload.decode_key k in
-             if c < 0 || c >= spec.cores || j < 0 || j >= spec.ops_per_core
-             then add (Fmt.str "list: foreign key %Lx" k)
-             else per_core.(c) <- j :: per_core.(c))
-           keys;
-         for c = 0 to spec.cores - 1 do
-           let js = List.sort compare per_core.(c) in
-           let n = List.length js in
-           if js <> List.init n Fun.id then
-             add
-               (Fmt.str "list: core %d keys are not a prefix of its order" c)
-           else if n < snap.list_done.(c) || n > snap.list_invoked.(c) then
+         if keys <> cref.pred_keys.(point) then
+           add
+             (Fmt.str
+                "contract: list recovered [%a], oracle predicted [%a]"
+                Fmt.(list ~sep:semi int64)
+                keys
+                Fmt.(list ~sep:semi int64)
+                cref.pred_keys.(point));
+         (* The durable-linearizability bounds additionally hold under
+            the eager model (under a relaxed model a drained head may
+            legitimately reach not-yet-drained slots, so the chain is
+            checked only against the oracle's exact prediction). *)
+         if Persist.is_eager persist then begin
+           let v = Int64.to_int v in
+           let lo = sum snap.ctr_done and hi = sum snap.ctr_invoked in
+           if v < lo || v > hi then
              add
                (Fmt.str
-                  "list: core %d recovered %d inserts, outside [completed \
-                   %d, invoked %d]"
-                  c n snap.list_done.(c) snap.list_invoked.(c))
-         done)
+                  "counter: recovered %d, outside [completed %d, invoked %d]"
+                  v lo hi);
+           let per_core = Array.make spec.cores [] in
+           List.iter
+             (fun k ->
+               let c, j = Conc_workload.decode_key k in
+               if c < 0 || c >= spec.cores || j < 0 || j >= spec.ops_per_core
+               then add (Fmt.str "list: foreign key %Lx" k)
+               else per_core.(c) <- j :: per_core.(c))
+             keys;
+           for c = 0 to spec.cores - 1 do
+             let js = List.sort compare per_core.(c) in
+             let n = List.length js in
+             if js <> List.init n Fun.id then
+               add
+                 (Fmt.str "list: core %d keys are not a prefix of its order" c)
+             else if n < snap.list_done.(c) || n > snap.list_invoked.(c) then
+               add
+                 (Fmt.str
+                    "list: core %d recovered %d inserts, outside [completed \
+                     %d, invoked %d]"
+                    c n snap.list_done.(c) snap.list_invoked.(c))
+           done
+         end)
    with e -> add ("recovery failed: " ^ Printexc.to_string e));
   { conc_point = point; conc_kind = !kind; conc_violations = List.rev !violations }
 
 let run_conc ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
-    ?(spec = default_conc_spec) ?(timing = false) () =
+    ?(persist = Persist.Eager) ?(spec = default_conc_spec) ?(timing = false) ()
+    =
   (match mode with
   | Runtime.Volatile ->
       invalid_arg "Faultinject.run_conc: the Volatile mode has nothing to recover"
   | _ -> ());
   if spec.cores < 1 then invalid_arg "Faultinject.run_conc: cores must be >= 1";
   Runtime.with_default_timing timing @@ fun () ->
-  let total, marks = conc_reference ~mode spec in
+  let cref = conc_reference ~mode ~persist spec in
+  let total = cref.conc_total in
   let points =
     let n = max 1 spec.conc_every_n in
     let pts = List.init ((total + n - 1) / n) (fun i -> i * n) in
@@ -748,7 +1012,7 @@ let run_conc ?(par = List.map (fun f -> f ())) ?(mode = Runtime.Hw)
     | Some m -> List.filteri (fun i _ -> i < m) pts
   in
   let outcomes =
-    par (List.map (fun p () -> conc_crash_run ~mode spec marks p) points)
+    par (List.map (fun p () -> conc_crash_run ~mode ~persist spec cref p) points)
   in
   let report =
     {

@@ -13,9 +13,19 @@
     Operations run under [Txn.instrument]: plain [Runtime.store_*]
     calls in legacy structure code are undo-logged transparently, so
     the sweep exercises exactly the user-transparent persistence story
-    the paper argues for. *)
+    the paper argues for.
+
+    Under a relaxed persistency model ([?persist]) the reference pass
+    doubles as a {e contract oracle}: a pure pass over the µ-event
+    schedule that predicts, for every crash point, the exact recovery
+    verdict and the exact operation boundary the recovered state must
+    equal (the legitimately lost op suffix).  Crash passes then check
+    the observation against the prediction in both directions — losing
+    more than predicted and retaining more than predicted are both
+    hard violations. *)
 
 module Runtime = Nvml_runtime.Runtime
+module Persist = Nvml_runtime.Persist
 module Txn = Nvml_runtime.Txn
 module Snapshot = Nvml_structures.Snapshot
 
@@ -49,7 +59,10 @@ val kv_workload :
 
 type spec = {
   every_n : int;  (** crash at events [0, n, 2n, ...] when [at] is empty *)
-  at : int list;  (** explicit event indices (out-of-range ones dropped) *)
+  at : int list;
+      (** explicit event indices; an out-of-range index raises
+          [Invalid_argument] naming the valid range rather than
+          silently running zero passes *)
   torn : bool;
       (** additionally tear the interrupted word (seeded byte mix of
           old/new) — except undo-log words, which the log protocol's
@@ -71,6 +84,8 @@ type tally = {
   storeps : int;
   log_appends : int;
   meta_writes : int;
+  flushes : int;  (** drain [Flush_line] µ-events (relaxed models only) *)
+  fences : int;  (** drain [Fence] µ-events (relaxed models only) *)
 }
 
 type outcome = {
@@ -78,18 +93,25 @@ type outcome = {
   op : int;
   kind : string;
   recovery : Txn.recovery;
+  lost_ops : int;
+      (** committed {e mutating} operations whose effects the
+          persistency model legitimately let die at this point —
+          read-only ops leave nothing to lose and are not counted
+          (always 0 under eager) *)
   torn_injected : bool;
   violations : string list;
 }
 
 type report = {
   workload : string;
+  persist : string;  (** {!Persist.model_name} of the swept model *)
   ops : int;
   events : int;
   tally : tally;
   outcomes : outcome list;  (** in event-index order *)
   clean : int;
   rolled_back : int;
+  suffix_lost : int;  (** points at which >= 1 committed op was lost *)
   torn_injected : int;
   violations : (int * string) list;
 }
@@ -97,6 +119,7 @@ type report = {
 val run :
   ?par:((unit -> outcome) list -> outcome list) ->
   ?mode:Runtime.mode ->
+  ?persist:Persist.model ->
   ?spec:spec ->
   ?timing:bool ->
   workload ->
@@ -104,11 +127,14 @@ val run :
 (** Run the sweep.  Each crash pass builds a share-nothing machine, so
     [par] (e.g. [Nvml_exec.Pool.run pool]) may run them on worker
     domains: results are in submission order and identical to the
-    sequential default.  [mode] defaults to [Hw].  [timing] defaults to
-    [false]: crash-point enumeration and recovery verdicts are
+    sequential default.  [mode] defaults to [Hw]; [persist] to
+    [Persist.Eager] (per-operation atomicity, the historical checker,
+    now expressed as the oracle's degenerate case).  [timing] defaults
+    to [false]: crash-point enumeration and recovery verdicts are
     functional, so the sweep uses fast functional simulation; pass
     [true] for the cycle-accurate core (identical report, slower).
-    @raise Invalid_argument for [Volatile] mode. *)
+    @raise Invalid_argument for [Volatile] mode or an out-of-range
+    [spec.at] index. *)
 
 val pp_tally : tally Fmt.t
 
@@ -158,6 +184,7 @@ type conc_report = {
 val run_conc :
   ?par:((unit -> conc_outcome) list -> conc_outcome list) ->
   ?mode:Runtime.mode ->
+  ?persist:Persist.model ->
   ?spec:conc_spec ->
   ?timing:bool ->
   unit ->
@@ -165,7 +192,11 @@ val run_conc :
 (** Run the multi-core sweep.  Same parallelism and determinism
     contract as {!run}: crash passes are share-nothing, so [par] may
     run them on worker domains with results identical to the
-    sequential default ([--jobs N == --jobs 1]).
+    sequential default ([--jobs N == --jobs 1]).  Under a relaxed
+    [persist] model the per-core epochs drain through the shared
+    buffer, and the recovered counter/chain must equal the oracle's
+    durable-value prediction at every point (the durable-linearizability
+    bounds are additionally enforced under [Eager]).
     @raise Invalid_argument for [Volatile] mode. *)
 
 val pp_conc_report : conc_report Fmt.t

@@ -49,6 +49,14 @@ let copy_counters (c : Xlate.counters) =
     volatile_escapes = c.Xlate.volatile_escapes;
   }
 
+type persist_tally = {
+  model : Nvml_runtime.Persist.model;
+  drains : int;
+  flushes : int; (* line write-backs charged by the drains *)
+  fences : int;
+  buffered : int; (* distinct dirty words buffered across the run *)
+}
+
 type result = {
   benchmark : string;
   mode : Runtime.mode;
@@ -59,7 +67,19 @@ type result = {
   hits : int; (* GETs that found their key (sanity) *)
   misses : int;
   oplat : Oplat.t; (* per-op run-phase latency distribution *)
+  persist : persist_tally; (* whole-run drain traffic (zero under eager) *)
 }
+
+let persist_tally rt =
+  let p = Runtime.persist rt in
+  let module P = Nvml_runtime.Persist in
+  {
+    model = P.model p;
+    drains = P.drains p;
+    flushes = P.flushes p;
+    fences = P.fences p;
+    buffered = P.stores_buffered p;
+  }
 
 let pool_size = 1 lsl 26 (* frames are lazily backed, so a roomy pool is free *)
 
@@ -68,10 +88,14 @@ let region_for rt mode =
   | Runtime.Volatile -> Runtime.Dram_region
   | _ -> Runtime.Pool_region (Runtime.create_pool rt ~name:"kv" ~size:pool_size)
 
-(* Run one YCSB spec against one index structure in one mode. *)
+(* Run one YCSB spec against one index structure in one mode.  Under a
+   relaxed persistency model every run-phase operation is an epoch
+   boundary candidate ([Runtime.persist_op_boundary]) and the run ends
+   with a full drain, so the measured cycles include the model's
+   flush+fence µ-events — durability is weakened, never dropped. *)
 let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default)
-    (spec : Workload.spec) : result =
-  let rt = Runtime.create ~cfg ~mode () in
+    ?(persist = Nvml_runtime.Persist.Eager) (spec : Workload.spec) : result =
+  let rt = Runtime.create ~cfg ~mode ~persist () in
   let region = region_for rt mode in
   let m = M.create rt region in
   (* Pre-generate the op stream and stage the keys in a DRAM buffer the
@@ -101,6 +125,10 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
       for i = 0 to spec.Workload.record_count - 1 do
         M.insert m ~key:(Workload.key_of_index i) ~value:(Int64.of_int i)
       done);
+  (* Close the load phase's epoch before the phase boundary, so the
+     load's (large, one-off) drain bills into the load phase and the
+     measured run phase carries only its own drain traffic. *)
+  Runtime.persist_sync rt;
   let load = Runtime.snapshot rt in
   let a0 = Cpu.attribution (Runtime.cpu rt) in
   let c0 = copy_counters (Runtime.counters rt) in
@@ -143,6 +171,7 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
                 | None -> incr misses; 0L
               in
               M.insert m ~key ~value:(Int64.add v delta));
+          Runtime.persist_op_boundary rt;
           Oplat.op_end ol cpu
             (match op with
             | Workload.Read _ -> "get"
@@ -151,6 +180,9 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
             | Workload.Scan _ -> "scan"
             | Workload.Rmw _ -> "rmw"))
         ops);
+  (* Close the final epoch: the run is not over until its data is
+     durable, so the drain bills into the measured run phase. *)
+  Runtime.persist_sync rt;
   let after = Runtime.snapshot rt in
   Runtime.publish_stats rt;
   {
@@ -163,13 +195,15 @@ let run_map (module M : Intf.ORDERED_MAP) ~mode ?(cfg = Nvml_arch.Config.default
     hits = !hits;
     misses = !misses;
     oplat = ol;
+    persist = persist_tally rt;
   }
 
 (* The separate LL harness: build [nodes] nodes of two pointers and a
    16-byte value, then iterate the list accumulating the values. *)
-let run_ll ~mode ?(cfg = Nvml_arch.Config.default) ?(nodes = 10_000)
+let run_ll ~mode ?(cfg = Nvml_arch.Config.default)
+    ?(persist = Nvml_runtime.Persist.Eager) ?(nodes = 10_000)
     ?(iterations = 10) () : result =
-  let rt = Runtime.create ~cfg ~mode () in
+  let rt = Runtime.create ~cfg ~mode ~persist () in
   let region = region_for rt mode in
   let l = Linked_list.create rt region in
   let rng = Random.State.make [| 7 |] in
@@ -179,6 +213,7 @@ let run_ll ~mode ?(cfg = Nvml_arch.Config.default) ?(nodes = 10_000)
           ~v0:(Random.State.int64 rng Int64.max_int)
           ~v1:(Random.State.int64 rng Int64.max_int)
       done);
+  Runtime.persist_sync rt;
   let load = Runtime.snapshot rt in
   let a0 = Cpu.attribution (Runtime.cpu rt) in
   let c0 = copy_counters (Runtime.counters rt) in
@@ -189,8 +224,10 @@ let run_ll ~mode ?(cfg = Nvml_arch.Config.default) ?(nodes = 10_000)
       for _ = 1 to iterations do
         Oplat.op_begin ol cpu;
         sum := Linked_list.iterate_sum l;
+        Runtime.persist_op_boundary rt;
         Oplat.op_end ol cpu "scan"
       done);
+  Runtime.persist_sync rt;
   let after = Runtime.snapshot rt in
   Runtime.publish_stats rt;
   {
@@ -203,10 +240,11 @@ let run_ll ~mode ?(cfg = Nvml_arch.Config.default) ?(nodes = 10_000)
     hits = nodes;
     misses = 0;
     oplat = ol;
+    persist = persist_tally rt;
   }
 
 (* Run a named benchmark (Table III) in a mode. *)
-let run_benchmark name ~mode ?cfg (spec : Workload.spec) : result =
+let run_benchmark name ~mode ?cfg ?persist (spec : Workload.spec) : result =
   if String.lowercase_ascii name = "ll" then
-    run_ll ~mode ?cfg ~nodes:spec.Workload.record_count ()
-  else run_map (Nvml_structures.Registry.find_map name) ~mode ?cfg spec
+    run_ll ~mode ?cfg ?persist ~nodes:spec.Workload.record_count ()
+  else run_map (Nvml_structures.Registry.find_map name) ~mode ?cfg ?persist spec

@@ -17,6 +17,14 @@ type counter_delta = {
   volatile_escapes : int;
 }
 
+type persist_tally = {
+  model : Nvml_runtime.Persist.model;
+  drains : int;
+  flushes : int;  (** line write-backs charged by the drains *)
+  fences : int;
+  buffered : int;  (** distinct dirty words buffered across the run *)
+}
+
 type result = {
   benchmark : string;
   mode : Runtime.mode;
@@ -31,6 +39,9 @@ type result = {
           iteration) bracketed with cycle stamps, decomposed into
           base/check/translation/stall/media components, slowest ops
           retained with spans *)
+  persist : persist_tally;
+      (** whole-run drain traffic of the persistency model (all zero
+          under [Eager]) *)
 }
 
 val pool_size : int
@@ -39,12 +50,18 @@ val run_map :
   Nvml_structures.Intf.ordered_map ->
   mode:Runtime.mode ->
   ?cfg:Nvml_arch.Config.t ->
+  ?persist:Nvml_runtime.Persist.model ->
   Workload.spec ->
   result
+(** [persist] (default [Eager]) selects the machine's persistency
+    model.  Under a relaxed model every run-phase operation is an epoch
+    boundary candidate and the run ends with a full drain, so the
+    measured cycles include the model's flush+fence µ-events. *)
 
 val run_ll :
   mode:Runtime.mode ->
   ?cfg:Nvml_arch.Config.t ->
+  ?persist:Nvml_runtime.Persist.model ->
   ?nodes:int ->
   ?iterations:int ->
   unit ->
@@ -56,6 +73,7 @@ val run_benchmark :
   string ->
   mode:Runtime.mode ->
   ?cfg:Nvml_arch.Config.t ->
+  ?persist:Nvml_runtime.Persist.model ->
   Workload.spec ->
   result
 (** Run a Table III benchmark by name ("LL" routes to {!run_ll}). *)

@@ -1,0 +1,197 @@
+(* Buffered persistency engine: the retention-model spectrum between
+   "every store persists in place" (eager, the historical behavior) and
+   "dirty lines drain to media in batches" (epoch / lazy).
+
+   The simulated media ([Physmem]) always holds the *newest* value of
+   every word — stores land immediately so loads stay cheap.  Under a
+   relaxed model this engine additionally remembers, per dirty word,
+   the value that is actually durable (the value the word had at the
+   last drain).  A drain flushes whole 64-byte lines with explicitly
+   modeled flush+fence µ-events and forgets the saved values; a crash
+   pokes every still-buffered word back to its durable value, so the
+   rebooted machine sees exactly what a real buffered-persistency part
+   would have retained.
+
+   Undo-log writes (and recovery replay) run inside [with_eager]: they
+   reach media immediately, which is the write-ahead guarantee "log
+   records reach media before their epoch's data drains". *)
+
+module Physmem = Nvml_simmem.Physmem
+module Fi = Nvml_simmem.Fi
+module Layout = Nvml_simmem.Layout
+module Cpu = Nvml_arch.Cpu
+module Config = Nvml_arch.Config
+
+type model = Eager | Epoch of { interval : int } | Lazy_on_detach
+
+let model_name = function
+  | Eager -> "eager"
+  | Epoch { interval } -> Fmt.str "epoch:%d" interval
+  | Lazy_on_detach -> "lazy"
+
+let model_of_string s =
+  match String.lowercase_ascii s with
+  | "eager" -> Ok Eager
+  | "lazy" -> Ok Lazy_on_detach
+  | s when String.length s > 6 && String.sub s 0 6 = "epoch:" -> (
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some n when n >= 1 -> Ok (Epoch { interval = n })
+      | Some n -> Error (Fmt.str "epoch interval must be >= 1, got %d" n)
+      | None -> Error (Fmt.str "bad epoch interval in %S" s))
+  | _ ->
+      Error
+        (Fmt.str "unknown persistency model %S (expected eager, epoch:N or lazy)"
+           s)
+
+let is_eager = function Eager -> true | Epoch _ | Lazy_on_detach -> false
+
+(* Words are keyed by [frame * words_per_page + word_index]; a 64-byte
+   line is 8 consecutive words, so [key lsr 3] is a global line id. *)
+let words_per_line = 8
+
+type t = {
+  model : model;
+  pm : Physmem.t;
+  pending : (int, int64) Hashtbl.t; (* packed word addr -> durable value *)
+  mutable passthrough : int; (* depth of [with_eager] nesting *)
+  mutable drain_hook : (unit -> unit) option;
+  (* event counts (always maintained; timing mode charges cycles too) *)
+  mutable stores_buffered : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable drains : int;
+  mutable crash_dropped : int;
+}
+
+let note t ~frame ~word_index ~old_value =
+  let key = (frame * Layout.words_per_page) + word_index in
+  if t.passthrough > 0 then Hashtbl.remove t.pending key
+  else if not (Hashtbl.mem t.pending key) then begin
+    Hashtbl.add t.pending key old_value;
+    t.stores_buffered <- t.stores_buffered + 1
+  end
+
+let create model pm =
+  let t =
+    {
+      model;
+      pm;
+      pending = Hashtbl.create 256;
+      passthrough = 0;
+      drain_hook = None;
+      stores_buffered = 0;
+      flushes = 0;
+      fences = 0;
+      drains = 0;
+      crash_dropped = 0;
+    }
+  in
+  (* Eager machines leave the note unarmed: the write fast path pays
+     only a null test and behavior is bit-identical to the engine not
+     existing at all. *)
+  if not (is_eager model) then
+    Physmem.set_persist_note pm
+      (Some (fun ~frame ~word_index ~old_value -> note t ~frame ~word_index ~old_value));
+  t
+
+let model t = t.model
+let pending_words t = Hashtbl.length t.pending
+
+let with_eager t f =
+  if is_eager t.model then f ()
+  else begin
+    t.passthrough <- t.passthrough + 1;
+    Fun.protect ~finally:(fun () -> t.passthrough <- t.passthrough - 1) f
+  end
+
+let set_drain_hook t hook = t.drain_hook <- hook
+
+(* The durable value of a word: the buffered epoch-start value if the
+   word is dirty, the media value otherwise.  This is what a crash at
+   this instant would retain — the contract oracle's ground truth. *)
+let durable_value t ~frame ~word_index =
+  match Hashtbl.find_opt t.pending ((frame * Layout.words_per_page) + word_index) with
+  | Some v -> v
+  | None -> Physmem.peek t.pm ~frame ~word_index
+
+(* The still-buffered words of one 64-byte line, as (word index within
+   the frame, durable value) pairs in address order — what a crash
+   mid-flush of this line is tearing between. *)
+let buffered_in_line t ~frame ~line =
+  let base = (frame * Layout.words_per_page) + (line * words_per_line) in
+  List.filter_map
+    (fun w ->
+      Option.map
+        (fun durable -> ((line * words_per_line) + w, durable))
+        (Hashtbl.find_opt t.pending (base + w)))
+    (List.init words_per_line Fun.id)
+
+(* Drain every buffered line to media: per line, announce a
+   [Flush_line] µ-event (a fault injector may raise here — the line and
+   everything after it is then lost), mark the line's words durable and
+   charge the flush; then one [Fence] and the registered drain hook
+   (undo-log truncation).  Lines drain in ascending address order, so a
+   drain is deterministic regardless of hashtable state. *)
+let drain t ~cpu ~cfg =
+  if (not (is_eager t.model)) && Hashtbl.length t.pending > 0 then begin
+    t.drains <- t.drains + 1;
+    let lines =
+      Hashtbl.fold (fun key _ acc -> (key lsr 3) :: acc) t.pending []
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun line_key ->
+        let frame = line_key * words_per_line / Layout.words_per_page in
+        let line = line_key mod (Layout.words_per_page / words_per_line) in
+        Physmem.fire t.pm (Fi.Flush_line { frame; line });
+        for w = 0 to words_per_line - 1 do
+          Hashtbl.remove t.pending ((line_key lsl 3) lor w)
+        done;
+        t.flushes <- t.flushes + 1;
+        Cpu.persist_stall cpu cfg.Config.flush_latency)
+      lines;
+    Physmem.fire t.pm Fi.Fence;
+    t.fences <- t.fences + 1;
+    Cpu.persist_stall cpu cfg.Config.fence_latency;
+    match t.drain_hook with None -> () | Some f -> f ()
+  end
+
+(* Power failure: every still-buffered word never reached media — poke
+   its durable value back over the newest one.  [poke] bypasses the
+   freeze, which is exactly right: this is not a store, it is the
+   revelation of what the media actually held. *)
+let crash t =
+  Hashtbl.iter
+    (fun key durable ->
+      let frame = key / Layout.words_per_page in
+      let word_index = key mod Layout.words_per_page in
+      Physmem.poke t.pm ~frame ~word_index durable)
+    t.pending;
+  t.crash_dropped <- t.crash_dropped + Hashtbl.length t.pending;
+  Hashtbl.reset t.pending;
+  t.passthrough <- 0;
+  t.drain_hook <- None
+
+(* --- telemetry ------------------------------------------------------- *)
+
+module Telemetry = Nvml_telemetry.Telemetry
+
+let c_buffered = Telemetry.counter "persist.stores_buffered"
+let c_flushes = Telemetry.counter "persist.flushes"
+let c_fences = Telemetry.counter "persist.fences"
+let c_drains = Telemetry.counter "persist.drains"
+let c_dropped = Telemetry.counter "persist.crash_dropped"
+
+let publish t =
+  if Telemetry.enabled () then begin
+    Telemetry.add c_buffered t.stores_buffered;
+    Telemetry.add c_flushes t.flushes;
+    Telemetry.add c_fences t.fences;
+    Telemetry.add c_drains t.drains;
+    Telemetry.add c_dropped t.crash_dropped
+  end
+
+let flushes t = t.flushes
+let fences t = t.fences
+let drains t = t.drains
+let stores_buffered t = t.stores_buffered

@@ -86,6 +86,12 @@ type t = {
      hook: Txn.instrument points it at the undo log so legacy structure
      code becomes failure-atomic without source changes. *)
   mutable store_interceptor : (Ptr.t -> unit) option;
+  (* Buffered persistency: the engine is machine state shared by every
+     core ([fork]); the epoch counter is per-core — each core closes
+     its own epochs, all of them draining the shared dirty-line
+     buffer. *)
+  persist : Persist.t;
+  mutable persist_ops : int;
 }
 
 let reg_rel_capacity = 32
@@ -104,13 +110,15 @@ let with_default_timing v f =
   let prev = Atomic.exchange default_timing v in
   Fun.protect ~finally:(fun () -> Atomic.set default_timing prev) f
 
-let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ?timing ~mode
-    () =
+let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ?timing
+    ?(persist = Persist.Eager) ~mode () =
   let timing =
     match timing with Some v -> v | None -> Atomic.get default_timing
   in
   let mem = Mem.create () in
   let pm = Pmop.create mem in
+  let cpu = Cpu.create ~timing cfg mem in
+  if not (Persist.is_eager persist) then Cpu.set_relaxed_persistency cpu true;
   {
     mode;
     cfg;
@@ -118,13 +126,15 @@ let create ?(cfg = Config.default) ?(dram_capacity = 1 lsl 27) ?timing ~mode
     pm;
     valloc = Valloc.create mem ~capacity:dram_capacity;
     x = Xlate.make (Pmop.provider pm);
-    cpu = Cpu.create ~timing cfg mem;
+    cpu;
     pot_table_va = Mem.map_fresh mem Layout.Dram 65536;
     vat_table_va = Mem.map_fresh mem Layout.Dram 65536;
     dram_capacity;
     reg_rel = Hashtbl.create 64;
     reg_rel_fifo = Queue.create ();
     store_interceptor = None;
+    persist = Persist.create persist (Mem.phys mem);
+    persist_ops = 0;
   }
 
 (* A sibling execution context for one more core of a multi-core
@@ -142,6 +152,7 @@ let fork (t : t) =
     reg_rel = Hashtbl.create 64;
     reg_rel_fifo = Queue.create ();
     store_interceptor = None;
+    persist_ops = 0;
   }
 
 let set_store_interceptor t f = t.store_interceptor <- f
@@ -171,6 +182,27 @@ let recall_rel t ~va = Hashtbl.find_opt t.reg_rel va
 
 let mode t = t.mode
 let timing t = Cpu.timing t.cpu
+let persist t = t.persist
+let persist_model t = Persist.model t.persist
+let persist_relaxed t = not (Persist.is_eager (Persist.model t.persist))
+
+(* Drain the shared dirty-line buffer now (epoch close, pre-detach
+   sync, explicit barrier).  Flush/fence µ-events and stalls are
+   attributed to this core. *)
+let persist_sync t = Persist.drain t.persist ~cpu:t.cpu ~cfg:t.cfg
+
+(* One application-level operation completed on this core.  Under
+   [Epoch {interval}] every [interval]-th boundary closes the epoch and
+   drains; the other models do nothing here. *)
+let persist_op_boundary t =
+  match Persist.model t.persist with
+  | Persist.Eager | Persist.Lazy_on_detach -> ()
+  | Persist.Epoch { interval } ->
+      t.persist_ops <- t.persist_ops + 1;
+      if t.persist_ops >= interval then begin
+        t.persist_ops <- 0;
+        persist_sync t
+      end
 let cpu t = t.cpu
 let mem t = t.mem
 let pmop t = t.pm
@@ -194,6 +226,10 @@ let open_pool t name =
   base
 
 let detach_pool t pool =
+  (* A detach is a durability point under every model: whatever is
+     still buffered drains first (this is the whole of the lazy
+     model's contract). *)
+  persist_sync t;
   (match Pmop.pool_base t.pm pool with
   | Some base -> Cpu.unmap_pool t.cpu ~base ~pool
   | None -> ());
@@ -206,6 +242,10 @@ let crash_and_restart t =
     Telemetry.incr c_crashes;
     Telemetry.event "crash_and_restart"
   end;
+  (* First reveal what the media actually held: buffered lines never
+     reached it, so their words revert to the last-drained values. *)
+  Persist.crash t.persist;
+  t.persist_ops <- 0;
   List.iter
     (fun pool ->
       match Pmop.pool_base t.pm pool with
@@ -676,5 +716,6 @@ let publish_stats t =
     let xc = Xlate.counters t.x in
     Telemetry.add c_x_ra2va xc.Xlate.ra2va;
     Telemetry.add c_x_va2ra xc.Xlate.va2ra;
-    Telemetry.add c_x_checks xc.Xlate.dynamic_checks
+    Telemetry.add c_x_checks xc.Xlate.dynamic_checks;
+    Persist.publish t.persist
   end

@@ -34,15 +34,46 @@ val all_modes : mode list
 type t
 
 val create :
-  ?cfg:Config.t -> ?dram_capacity:int -> ?timing:bool -> mode:mode -> unit -> t
+  ?cfg:Config.t ->
+  ?dram_capacity:int ->
+  ?timing:bool ->
+  ?persist:Persist.model ->
+  mode:mode ->
+  unit ->
+  t
 (** [timing] selects cycle-accurate ([true]) or fast functional
     ([false]) simulation; when omitted it falls back to the ambient
     default (see {!set_default_timing}).  Both modes perform identical
     pointer-format checks, POW/VAW translations, crash-point hooks and
     media hooks; fast mode skips all cache/TLB/predictor/storeP timing,
-    so [cycles = instrs] and timing statistics read as zero. *)
+    so [cycles = instrs] and timing statistics read as zero.
+
+    [persist] selects the persistency model (default {!Persist.Eager},
+    which is bit-identical to the pre-existing behavior).  Relaxed
+    models buffer dirty NVM lines in the machine-wide {!Persist.t}
+    engine and drain them at epoch boundaries
+    ({!persist_op_boundary}), explicit syncs ({!persist_sync}) and
+    {!detach_pool}. *)
 
 val mode : t -> mode
+
+(** {1 Persistency model} *)
+
+val persist : t -> Persist.t
+(** The machine-wide buffered-persistency engine (shared by forks). *)
+
+val persist_model : t -> Persist.model
+val persist_relaxed : t -> bool
+(** [true] iff the model buffers (epoch or lazy). *)
+
+val persist_sync : t -> unit
+(** Drain the shared dirty-line buffer now; flush/fence µ-events and
+    stall cycles are attributed to this core.  No-op under [Eager]. *)
+
+val persist_op_boundary : t -> unit
+(** Mark the end of one application-level operation on this core.
+    Under [Epoch {interval}] every [interval]-th boundary closes the
+    core's epoch and drains the shared buffer; no-op otherwise. *)
 
 val fork : t -> t
 (** A sibling execution context for one more core of a multi-core
@@ -84,6 +115,9 @@ val open_pool : t -> string -> int64
 (** Re-open a pool after a crash; returns its (fresh) base address. *)
 
 val detach_pool : t -> int -> unit
+(** Unmap and detach the pool.  A detach is a durability point under
+    every persistency model: the shared buffer drains first (this is
+    the whole of the [Lazy_on_detach] contract). *)
 
 val crash_and_restart : t -> unit
 (** Simulated power failure plus reboot.

@@ -46,6 +46,11 @@ type t = {
      (appends, rollback restores, state/count updates) must not be
      re-logged by the store interceptor. *)
   mutable busy : bool;
+  (* Volatile "an operation is open" flag.  Under the eager model it
+     mirrors the persistent state word; under a relaxed model the log
+     stays active (and accumulates entries) across the whole epoch, so
+     per-operation bracketing must be tracked off-media. *)
+  mutable in_op : bool;
 }
 
 exception Log_full
@@ -56,14 +61,54 @@ let site = Site.make ~static:true "txn.log"
 
 let default_capacity = 4096
 
-(* Allocate a fresh log inside [pool]. *)
+(* The log's own stores are kept out of the log by the [busy] guard
+   and — under a relaxed persistency model — written through to media
+   immediately ([Persist.with_eager]): log records must be durable
+   before the epoch's data drains, or the undo information a crash
+   needs could itself be lost with the epoch. *)
+let with_busy t f =
+  if t.busy then f ()
+  else begin
+    t.busy <- true;
+    Fun.protect
+      ~finally:(fun () -> t.busy <- false)
+      (fun () -> Persist.with_eager (Runtime.persist t.rt) f)
+  end
+
+let state t = Runtime.load_word t.rt ~site t.log ~off:o_state
+let count t = Int64.to_int (Runtime.load_word t.rt ~site t.log ~off:o_count)
+let is_active t = Int64.equal (state t) 1L
+
+(* Under a relaxed model a completed drain has made the epoch's data
+   durable, so the log entries covering it are dead: truncate.  The
+   drain engine calls this after its fence.  Epoch boundaries must sit
+   between operations — a drain inside an open operation would
+   truncate undo information the operation still needs. *)
+let on_drain t () =
+  if t.in_op then
+    invalid_arg "Txn: persistency drain inside an open operation";
+  if is_active t then
+    with_busy t (fun () ->
+        Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+        Runtime.store_word t.rt ~site t.log ~off:o_state 0L)
+
+let register_drain_hook t =
+  if Runtime.persist_relaxed t.rt then
+    Persist.set_drain_hook (Runtime.persist t.rt) (Some (on_drain t))
+
+(* Allocate a fresh log inside [pool].  The header stores run in
+   [with_busy] so they are immediately durable under every model — the
+   log must never itself be buffered. *)
 let create rt ~pool ?(capacity = default_capacity) () =
   let bytes = o_entries + (capacity * 16) in
   let log = Runtime.alloc rt ~pool ~persistent:true bytes in
-  Runtime.store_word rt ~site log ~off:o_state 0L;
-  Runtime.store_word rt ~site log ~off:o_count 0L;
-  Runtime.store_word rt ~site log ~off:o_capacity (Int64.of_int capacity);
-  { rt; pool; log; capacity; busy = false }
+  let t = { rt; pool; log; capacity; busy = false; in_op = false } in
+  with_busy t (fun () ->
+      Runtime.store_word rt ~site log ~off:o_state 0L;
+      Runtime.store_word rt ~site log ~off:o_count 0L;
+      Runtime.store_word rt ~site log ~off:o_capacity (Int64.of_int capacity));
+  register_drain_hook t;
+  t
 
 let header t = t.log
 let log_bytes t = o_entries + (t.capacity * 16)
@@ -78,25 +123,32 @@ let attach rt log =
     | Runtime.Pool_region p -> p
     | Runtime.Dram_region -> invalid_arg "Txn.attach: log is not persistent"
   in
-  { rt; pool; log; capacity; busy = false }
-
-let with_busy t f =
-  if t.busy then f ()
-  else begin
-    t.busy <- true;
-    Fun.protect ~finally:(fun () -> t.busy <- false) f
-  end
-
-let state t = Runtime.load_word t.rt ~site t.log ~off:o_state
-let count t = Int64.to_int (Runtime.load_word t.rt ~site t.log ~off:o_count)
-let is_active t = Int64.equal (state t) 1L
+  let t = { rt; pool; log; capacity; busy = false; in_op = false } in
+  register_drain_hook t;
+  t
 
 let begin_ t =
-  if is_active t then raise Already_active;
-  if Telemetry.enabled () then Telemetry.incr c_begins;
-  with_busy t (fun () ->
-      Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
-      Runtime.store_word t.rt ~site t.log ~off:o_state 1L)
+  if Runtime.persist_relaxed t.rt then begin
+    (* Relaxed models: the log covers the whole open epoch, so a new
+       operation joins an already-active log rather than truncating
+       it — the accumulated entries still protect this epoch's earlier
+       (not yet drained) operations. *)
+    if t.in_op then raise Already_active;
+    if Telemetry.enabled () then Telemetry.incr c_begins;
+    t.in_op <- true;
+    if not (is_active t) then
+      with_busy t (fun () ->
+          Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+          Runtime.store_word t.rt ~site t.log ~off:o_state 1L)
+  end
+  else begin
+    if is_active t then raise Already_active;
+    if Telemetry.enabled () then Telemetry.incr c_begins;
+    t.in_op <- true;
+    with_busy t (fun () ->
+        Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+        Runtime.store_word t.rt ~site t.log ~off:o_state 1L)
+  end
 
 (* Record the current value of [cell] before it is overwritten.  The
    logged address is the cell's relative form so it stays valid across
@@ -128,8 +180,11 @@ let store_ptr t ~site:s (p : Ptr.t) ~off v =
   log_cell t (Ptr.add p (Int64.of_int off));
   Runtime.store_ptr t.rt ~site:s p ~off v
 
-(* Replay the undo log backwards, restoring the exact raw words. *)
+(* Replay the undo log backwards, restoring the exact raw words.
+   Under a relaxed model the log spans the whole open epoch, so this
+   lands exactly on the last-drained (epoch-consistent) state. *)
 let roll_back t =
+  t.in_op <- false;
   with_busy t (fun () ->
       for i = count t - 1 downto 0 do
         let entry_off = o_entries + (i * 16) in
@@ -141,14 +196,26 @@ let roll_back t =
       Runtime.store_word t.rt ~site t.log ~off:o_state 0L)
 
 let commit t =
-  if not (is_active t) then raise Not_active;
-  if Telemetry.enabled () then Telemetry.incr c_commits;
-  with_busy t (fun () ->
-      Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
-      Runtime.store_word t.rt ~site t.log ~off:o_state 0L)
+  if Runtime.persist_relaxed t.rt then begin
+    (* The log cannot truncate yet: the operation's data is still
+       buffered, and a crash before the epoch drains must roll the
+       whole epoch back.  Truncation happens in [on_drain]. *)
+    if not t.in_op then raise Not_active;
+    if Telemetry.enabled () then Telemetry.incr c_commits;
+    t.in_op <- false
+  end
+  else begin
+    if not (is_active t) then raise Not_active;
+    if Telemetry.enabled () then Telemetry.incr c_commits;
+    t.in_op <- false;
+    with_busy t (fun () ->
+        Runtime.store_word t.rt ~site t.log ~off:o_count 0L;
+        Runtime.store_word t.rt ~site t.log ~off:o_state 0L)
+  end
 
 let abort t =
-  if not (is_active t) then raise Not_active;
+  if not (if Runtime.persist_relaxed t.rt then t.in_op else is_active t) then
+    raise Not_active;
   if Telemetry.enabled () then Telemetry.incr c_aborts;
   roll_back t
 

@@ -4,7 +4,18 @@
     The undo log lives inside the pool, so it survives crashes; every
     tracked store first appends (cell, previous value) to the log, and
     a crash that interrupts an active transaction is healed by
-    {!recover}, which replays the log backwards. *)
+    {!recover}, which replays the log backwards.
+
+    Under a relaxed persistency model ([Runtime.persist_relaxed]) the
+    log's own stores are written through to media immediately
+    ([Persist.with_eager]) — the write-ahead rule "log records reach
+    media before their epoch's data drains" — and the log covers the
+    whole open {e epoch} rather than one operation: {!commit} does not
+    truncate (the committed data is still buffered), truncation happens
+    when the epoch drains, and a crash before the drain rolls the whole
+    epoch back to the last drained state.  {!abort} consequently also
+    rolls back to the last epoch boundary, not to the start of the
+    current operation. *)
 
 module Ptr = Nvml_core.Ptr
 

@@ -23,12 +23,18 @@ type event =
   | Txn_log_append (* The undo log is about to append an entry. *)
   | Alloc_meta_write of { pool : int; offset : int64 }
       (* The pool allocator is about to update freelist metadata. *)
+  | Flush_line of { frame : int; line : int }
+      (* The persistency engine is about to drain one buffered 64-byte
+         line ([line] is the line index inside [frame]) to media. *)
+  | Fence (* The persistency engine is about to retire a drain fence. *)
 
 let kind_name = function
   | Pm_store _ -> "pm_store"
   | Storep_retire -> "storep"
   | Txn_log_append -> "log_append"
   | Alloc_meta_write _ -> "alloc_meta"
+  | Flush_line _ -> "flush"
+  | Fence -> "fence"
 
 (* A torn word mixes the old and new value at byte granularity: bit [i]
    of [keep_old_bytes] selects the old byte for byte lane [i].  This is

@@ -18,10 +18,16 @@ type event =
   | Alloc_meta_write of { pool : int; offset : int64 }
       (** The pool allocator about to update freelist metadata;
           [offset] is the word's pool-relative offset. *)
+  | Flush_line of { frame : int; line : int }
+      (** The persistency engine about to drain one buffered 64-byte
+          line ([line] is the line index inside [frame]) to media.
+          Crashing here loses this line and every un-drained line
+          after it. *)
+  | Fence  (** The persistency engine about to retire a drain fence. *)
 
 val kind_name : event -> string
 (** Short stable tag for reports: ["pm_store"], ["storep"],
-    ["log_append"], ["alloc_meta"]. *)
+    ["log_append"], ["alloc_meta"], ["flush"], ["fence"]. *)
 
 val torn_word : keep_old_bytes:int -> old_value:int64 -> new_value:int64 -> int64
 (** Byte-granular mix of [old_value] and [new_value]: bit [i] of

@@ -31,6 +31,11 @@ type t = {
      write note lets the model heal a location that is re-written. *)
   mutable media_read : (frame:int -> word_index:int -> int64 -> int64) option;
   mutable media_write : (frame:int -> word_index:int -> unit) option;
+  (* Persistency model: an armed note sees every NVM word store after
+     the fi hook has let it through but before it lands, so a buffered
+     persistency engine can record the word as dirty-but-volatile. *)
+  mutable persist_note :
+    (frame:int -> word_index:int -> old_value:int64 -> unit) option;
 }
 
 let no_storage : frame =
@@ -51,6 +56,7 @@ let create () =
     frozen = false;
     media_read = None;
     media_write = None;
+    persist_note = None;
   }
 
 let region_of_frame frame =
@@ -146,12 +152,24 @@ let announce_nvm_store t f frame word_index value =
            new_value = value;
          })
 
+(* Tell the persistency engine about an NVM word store the fi hook let
+   through.  Fires between the fi announcement and the bigarray set, so
+   a crash raised from the hook never records a phantom dirty word. *)
+let note_persist_store t frame word_index =
+  match t.persist_note with
+  | None -> ()
+  | Some f ->
+      if frame >= Layout.nvm_phys_frame_base then
+        f ~frame ~word_index
+          ~old_value:(Bigarray.Array1.get (storage t frame) word_index)
+
 let write_word t ~frame ~word_index value =
   if not t.frozen then begin
     t.writes <- t.writes + 1;
     (match t.fi_hook with
     | None -> ()
     | Some f -> announce_nvm_store t f frame word_index value);
+    note_persist_store t frame word_index;
     Bigarray.Array1.set (storage t frame) word_index value;
     match t.media_write with None -> () | Some f -> f ~frame ~word_index
   end
@@ -186,6 +204,9 @@ let write_pa t pa value =
   | None ->
       if not t.frozen then begin
         t.writes <- t.writes + 1;
+        (if t.persist_note <> None then
+           note_persist_store t (pa lsr Layout.page_shift)
+             ((pa land (Layout.page_size - 1)) lsr 3));
         Bigarray.Array1.unsafe_set
           (storage t (pa lsr Layout.page_shift))
           ((pa land (Layout.page_size - 1)) lsr 3)
@@ -198,6 +219,7 @@ let write_pa t pa value =
         let frame = pa lsr Layout.page_shift in
         let word_index = (pa land (Layout.page_size - 1)) lsr 3 in
         announce_nvm_store t f frame word_index value;
+        note_persist_store t frame word_index;
         Bigarray.Array1.unsafe_set (storage t frame) word_index value;
         note_media_write t pa
       end
@@ -218,6 +240,7 @@ let frozen t = t.frozen
 let set_media_read t hook = t.media_read <- hook
 let set_media_write_note t hook = t.media_write <- hook
 let media_armed t = t.media_read <> None || t.media_write <> None
+let set_persist_note t hook = t.persist_note <- hook
 
 let peek t ~frame ~word_index =
   Bigarray.Array1.get (storage t frame) word_index

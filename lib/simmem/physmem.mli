@@ -98,6 +98,16 @@ val set_media_read : t -> (frame:int -> word_index:int -> int64 -> int64) option
 val set_media_write_note : t -> (frame:int -> word_index:int -> unit) option -> unit
 val media_armed : t -> bool
 
+val set_persist_note :
+  t -> (frame:int -> word_index:int -> old_value:int64 -> unit) option -> unit
+(** Arm or disarm the persistency-engine note: an armed note sees every
+    NVM word store {e after} the fi hook has let it through but
+    {e before} the word lands, with the still-durable [old_value] of
+    the location.  A buffered persistency model ([Persist]) uses it to
+    record the word as dirty-but-volatile; the unarmed write path pays
+    only a null test.  Survives {!crash} management by the caller: the
+    hook itself is left untouched by {!crash}. *)
+
 val peek : t -> frame:int -> word_index:int -> int64
 (** Raw word read: no counters, no hook, no media model. *)
 

@@ -77,6 +77,17 @@ let read { rt; shared; core = _ } =
   done;
   !sum
 
+(* The value as it would be recovered, with every cell read through
+   [read] (byte offset within the header object -> raw word).  The
+   contract oracle passes a durable-value reader here to predict the
+   exact post-crash counter under a buffered persistency model. *)
+let value_via ~cells read =
+  let sum = ref 0L in
+  for i = 0 to cells - 1 do
+    sum := Int64.add !sum (read (cell_off i))
+  done;
+  !sum
+
 (* Recovery-side read: the value as found after a crash (no FliT
    traffic — the table died with the process). *)
 let recovered_value rt (t : t) =

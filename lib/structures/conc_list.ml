@@ -116,6 +116,28 @@ let mem h key =
   iter h (fun k -> if k = key then found := true);
   !found
 
+(* The chain as it would be recovered, with every word read through
+   [read] (byte offset within the header object -> raw word).  The
+   header must be the relative-format handle; stored node pointers are
+   relative too, so the walk needs no live translation machinery.  The
+   contract oracle passes a durable-value reader here to predict the
+   exact post-crash contents under a buffered persistency model —
+   including torn mid-drain chains where a drained head points at
+   not-yet-drained (still zero) slots. *)
+let keys_via ~capacity ~header read =
+  let hdr_off = Ptr.offset_of header in
+  let keys = ref [] in
+  let node = ref (read h_head) in
+  let steps = ref 0 in
+  while not (Ptr.is_null !node) do
+    if !steps > capacity then failwith "Conc_list: chain exceeds arena";
+    incr steps;
+    let off = Int64.to_int (Int64.sub (Ptr.offset_of !node) hdr_off) in
+    keys := read (off + o_key) :: !keys;
+    node := read (off + o_next)
+  done;
+  List.rev !keys
+
 (* Recovery-side contents, newest first (no FliT traffic — the table
    died with the process). *)
 let recovered_keys rt (t : t) =

@@ -57,6 +57,10 @@ let run ?(mark = no_mark) s =
       mark ~core ~op:j List_invoke;
       Conc_list.insert lh ~slot:((core * s.ops_per_core) + j) ~key:(key ~core ~op:j);
       mark ~core ~op:j List_done;
+      (* End of one application-level operation on this core: under an
+         epoch model every interval-th boundary drains this core's
+         epoch through the shared buffer. *)
+      Runtime.persist_op_boundary rt;
       if (j + 1) mod s.read_every = 0 then ignore (Conc_counter.read ch);
       if (j + 1) mod (s.read_every * 4) = 0 then
         ignore (Conc_list.mem lh (key ~core ~op:j))
